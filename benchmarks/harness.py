@@ -1,0 +1,107 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation: it runs the same workload on every system, prints the same
+rows/series the paper reports, and *asserts the shape* of the result —
+who wins, roughly by how much, where the crossover falls. Absolute
+numbers are not comparable (the substrate is an in-process simulator,
+not the authors' nine-node cluster), so each row reports both measured
+wall-clock and the cost-model's modeled cluster time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine import ClusterContext
+
+
+@dataclass
+class Measured:
+    """One cell of a result table."""
+
+    value: object
+    wall_s: float
+    modeled_s: float
+    failed: str = None
+    network_s: float = 0.0
+    scheduling_s: float = 0.0
+    disk_s: float = 0.0
+
+    def cell(self) -> str:
+        if self.failed:
+            return f"x ({self.failed})"
+        return f"{self.wall_s:.3f}s / {self.modeled_s:.3f}s"
+
+    def modeled_with_parallelism(self, ways: int) -> float:
+        """Modeled time when the compute divides over ``ways`` workers.
+
+        The engine executes tasks serially in-process, so measured wall
+        time is the *total* compute; on a cluster it divides across
+        executors while the network/scheduling/disk overheads do not.
+        """
+        return (self.wall_s / max(ways, 1) + self.network_s
+                + self.scheduling_s + self.disk_s)
+
+
+def run_measured(ctx: ClusterContext, fn, *args, **kwargs) -> Measured:
+    """Run ``fn`` and capture wall time + modeled cluster time.
+
+    Expected feasibility failures (OOM, bounded-time) become ``x`` cells
+    — the paper's Fig. 10 marks — instead of propagating.
+    """
+    from repro.baselines.scidb import SciDBTimeout
+    from repro.baselines.scispark import UnsupportedOperation
+    from repro.errors import OutOfMemoryError, TaskFailure
+
+    expected = (OutOfMemoryError, SciDBTimeout, UnsupportedOperation)
+    with ctx.measure() as measurement:
+        try:
+            value = fn(*args, **kwargs)
+            failed = None
+        except expected as exc:
+            value = None
+            failed = type(exc).__name__
+        except TaskFailure as exc:
+            if isinstance(exc.cause, expected):
+                value = None
+                failed = type(exc.cause).__name__
+            else:
+                raise
+    return Measured(value=value,
+                    wall_s=measurement.wall_s,
+                    modeled_s=measurement.report.modeled_s,
+                    failed=failed,
+                    network_s=measurement.report.network_s,
+                    scheduling_s=measurement.report.scheduling_s,
+                    disk_s=measurement.report.disk_s)
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print an aligned ASCII table (the bench's 'paper figure')."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "-+-".join("-" * w for w in widths)
+    print(f"\n=== {title} ===")
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print(line)
+    for row in str_rows:
+        print(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print()
+
+
+def timed(fn, *args, **kwargs):
+    """Plain wall-clock timing: ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def fresh_context(num_executors: int = 8) -> ClusterContext:
+    return ClusterContext(num_executors=num_executors,
+                          default_parallelism=num_executors)

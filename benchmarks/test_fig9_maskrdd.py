@@ -1,0 +1,109 @@
+"""Fig. 9 — memory by mode (9a) and the MaskRDD's effect (9b).
+
+Fig. 9a: in-memory size of a sparse CHL grid under dense vs sparse
+chunk modes as the chunk width grows. Shape: dense grows with chunk
+size (invalid cells stored explicitly, fewer empty chunks dropped);
+sparse stays roughly flat; both shrink at small chunk sizes where empty
+chunks are elided.
+
+Fig. 9b: Q5 over a multi-band dataset with one filter per attribute,
+with and without the MaskRDD, as the attribute count k grows. Shape:
+identical at k=1; without the MaskRDD every operator eagerly collects
+and ANDs every attribute's bitmask, so time grows superlinearly in k;
+with it, the pipeline stays linear.
+"""
+
+import time
+
+from benchmarks.harness import fresh_context, print_table
+from repro.core import ArrayRDD, ChunkMode
+from repro.data import sdss_like
+from repro.data.raster import chl_slice
+from repro.queries import SpangleRasterQueries, load_spangle_dataset
+
+WIDTHS = (8, 16, 32, 64, 128, 192)
+SHAPE = (192, 256)
+
+
+def test_fig9a_memory_by_mode(benchmark):
+    values, valid = chl_slice(SHAPE, seed=0)
+    ctx = fresh_context()
+
+    def run():
+        sizes = {"dense": {}, "sparse": {}}
+        for width in WIDTHS:
+            for mode_name, mode in (("dense", ChunkMode.DENSE),
+                                    ("sparse", ChunkMode.SPARSE)):
+                array = ArrayRDD.from_numpy(
+                    ctx, values, (width, width), valid=valid, mode=mode)
+                sizes[mode_name][width] = array.memory_bytes()
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [mode] + [f"{sizes[mode][w] / 1024:.0f} KiB" for w in WIDTHS]
+        for mode in ("dense", "sparse")
+    ]
+    print_table("Fig. 9a — in-memory size vs chunk size",
+                ["mode \\ chunk w"] + [str(w) for w in WIDTHS], rows)
+
+    dense = sizes["dense"]
+    sparse = sizes["sparse"]
+    # dense grows substantially with the chunk width
+    assert dense[WIDTHS[-1]] > dense[WIDTHS[0]] * 1.5
+    # sparse stays roughly flat
+    assert max(sparse.values()) < min(sparse.values()) * 1.7
+    # and sparse is decisively smaller at large chunks
+    assert sparse[WIDTHS[-1]] < dense[WIDTHS[-1]] / 2
+    # small chunks shrink both modes (empty-chunk elision)
+    assert dense[WIDTHS[0]] < dense[WIDTHS[-1]]
+
+
+def _q5_pipeline(dataset, bands_used):
+    """One filter per attribute, then the Q5 density count."""
+    ds = dataset
+    for band in bands_used:
+        ds = ds.filter(band, lambda xs: xs > 0.1)
+    return SpangleRasterQueries(ds).q5_density(bands_used[0], 32, 40)
+
+
+def test_fig9b_maskrdd_effect(benchmark):
+    all_bands = ("u", "g", "r", "i", "z")
+    scenes = sdss_like(12, shape=(256, 256), objects_per_image=220,
+                       seed=3)
+    ctx = fresh_context()
+
+    def run():
+        times = {"with MaskRDD": {}, "without MaskRDD": {}}
+        answers = {}
+        for k in range(1, len(all_bands) + 1):
+            bands_used = all_bands[:k]
+            band_scenes = {b: scenes[b] for b in bands_used}
+            for label, use_mask in (("with MaskRDD", True),
+                                    ("without MaskRDD", False)):
+                dataset = load_spangle_dataset(
+                    ctx, band_scenes, (64, 64, 1), use_mask_rdd=use_mask)
+                start = time.perf_counter()
+                answer = _q5_pipeline(dataset, bands_used)
+                times[label][k] = time.perf_counter() - start
+                answers.setdefault(k, answer)
+                assert answer == answers[k], (label, k)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    ks = sorted(times["with MaskRDD"])
+    rows = [
+        [label] + [f"{times[label][k]:.3f}s" for k in ks]
+        for label in ("with MaskRDD", "without MaskRDD")
+    ]
+    print_table("Fig. 9b — Q5 time vs number of attributes",
+                ["variant \\ #attrs"] + [str(k) for k in ks], rows)
+
+    lazy = times["with MaskRDD"]
+    eager = times["without MaskRDD"]
+    # similar with one attribute
+    assert lazy[1] < eager[1] * 2.0
+    # the gap opens as attributes are added
+    assert eager[5] > lazy[5] * 1.5
+    # eager growth outpaces lazy growth
+    assert eager[5] / eager[1] > lazy[5] / lazy[1]

@@ -1,0 +1,125 @@
+"""Table III — logistic regression: Spangle vs MLlib on three datasets.
+
+Scaled URL-reputation / KDD Cup 2010 / KDD Cup 2012 stand-ins (80/20
+train-test structure preserved; see :mod:`repro.data.lr_datasets`).
+Hyper-parameters follow the paper: tolerance 1e-4, step size 0.6.
+
+Shape claims:
+- Spangle trains all three datasets;
+- MLlib ingests only the smallest (URL-like) — the two KDD-like
+  datasets exceed its (scaled) heap, the paper's "-" cells;
+- on the shared dataset both systems reach comparable accuracy, with
+  training times of the same order.
+"""
+
+import pytest
+
+from benchmarks.harness import fresh_context, print_table, run_measured
+from repro.baselines import LogisticRegressionMLlib
+from repro.data import LR_SPECS, scaled_lr_dataset
+from repro.ml import DistributedSamples, LogisticRegression
+
+DATASETS = ("url", "kddcup2010", "kddcup2012")
+STEP_SIZE = 0.6
+TOLERANCE = 1e-4
+MAX_ITERATIONS = 250
+
+# MLlib driver/executor heaps from the paper (2 GB / 10 GB), scaled per
+# dataset so feasibility is decided by the same mechanism at every scale
+PAPER_DRIVER_BYTES = 2 * 1024 ** 3
+PAPER_EXECUTOR_BYTES = 10 * 1024 ** 3
+
+
+def _train_spangle(ctx, data):
+    spec = data["spec"]
+    train = data["train"]
+    samples = DistributedSamples.from_coo(
+        ctx, train["rows"], train["cols"], train["values"],
+        train["labels"], spec.features, chunk_rows=256).cache()
+    model = LogisticRegression(
+        step_size=STEP_SIZE, tolerance=TOLERANCE,
+        max_iterations=MAX_ITERATIONS, chunks_per_step=3)
+    model.fit(samples)
+    test = data["test"]
+    test_samples = DistributedSamples.from_coo(
+        ctx, test["rows"], test["cols"], test["values"],
+        test["labels"], spec.features, chunk_rows=256)
+    return model.history.total_time_s, model.accuracy(test_samples)
+
+
+def _train_mllib(ctx, data):
+    spec = data["spec"]
+    train = data["train"]
+    model = LogisticRegressionMLlib(
+        step_size=STEP_SIZE, tolerance=TOLERANCE,
+        max_iterations=MAX_ITERATIONS,
+        driver_memory_bytes=PAPER_DRIVER_BYTES // spec.scale,
+        executor_memory_bytes=PAPER_EXECUTOR_BYTES // spec.scale)
+    matrix, labels = model.ingest(
+        ctx, train["rows"], train["cols"], train["values"],
+        train["labels"], spec.features)
+    model.fit(matrix, labels)
+    test = data["test"]
+    test_matrix = LogisticRegressionMLlib(
+        executor_memory_bytes=PAPER_EXECUTOR_BYTES)
+    test_m, test_labels = test_matrix.ingest(
+        ctx, test["rows"], test["cols"], test["values"],
+        test["labels"], spec.features)
+    return (sum(model.iteration_times_s),
+            model.accuracy(test_m, test_labels))
+
+
+def test_table3(benchmark):
+    ctx = fresh_context()
+
+    def run():
+        table = {}
+        for name in DATASETS:
+            data = scaled_lr_dataset(name, seed=0)
+            table[(name, "Spangle")] = run_measured(
+                ctx, _train_spangle, ctx, data)
+            table[(name, "MLlib")] = run_measured(
+                ctx, _train_mllib, ctx, data)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in DATASETS:
+        spec = LR_SPECS[name]
+        for system in ("Spangle", "MLlib"):
+            cell = table[(name, system)]
+            if cell.failed:
+                rows.append([name, system, "-", "-", cell.failed])
+            else:
+                train_s, acc = cell.value
+                rows.append([name, system, f"{train_s:.2f}s",
+                             f"{acc * 100:.2f}%", ""])
+    print_table(
+        "Table III — logistic regression (scaled datasets)",
+        ["dataset", "system", "train time", "test accuracy", "note"],
+        rows)
+
+    # Spangle completes all three datasets
+    for name in DATASETS:
+        assert table[(name, "Spangle")].failed is None, name
+        _time, acc = table[(name, "Spangle")].value
+        spec = LR_SPECS[name]
+        # within a few points of the paper's accuracy, same ordering
+        assert acc > spec.paper_accuracy - 0.06, (name, acc)
+
+    # MLlib completes only the URL-like dataset
+    assert table[("url", "MLlib")].failed is None
+    assert table[("kddcup2010", "MLlib")].failed is not None
+    assert table[("kddcup2012", "MLlib")].failed is not None
+
+    # on the shared dataset, accuracies are comparable
+    _spangle_time, spangle_acc = table[("url", "Spangle")].value
+    _mllib_time, mllib_acc = table[("url", "MLlib")].value
+    assert abs(spangle_acc - mllib_acc) < 0.08
+
+    # accuracy ordering across datasets matches the paper:
+    # kddcup2010 < url < kddcup2012
+    accs = {name: table[(name, "Spangle")].value[1]
+            for name in DATASETS}
+    assert accs["kddcup2010"] < accs["url"] < accs["kddcup2012"]

@@ -1,0 +1,90 @@
+"""Interactive analysis session: stats, plans, updates, re-layout.
+
+The paper pitches Spangle for "interactive analysis"; this example
+walks through the workflow an analyst would actually use: describe the
+data, look at its distribution, inspect the engine's execution plan,
+patch bad cells, re-chunk for a different access pattern, and compute
+running accumulations — all on the same distributed array.
+
+Run:  python examples/interactive_analysis.py
+"""
+
+import numpy as np
+
+from repro import ArrayRDD, ClusterContext
+from repro.core.accumulate import accumulate_axis
+from repro.core.reshape import permute_axes, rechunk
+from repro.core.stats import approx_quantiles, describe, histogram
+from repro.core.updates import delete_where, merge_cells
+from repro.engine.explain import explain
+
+
+def main():
+    ctx = ClusterContext(num_executors=4)
+
+    # sensor grid: hourly readings from a 200x150 station array, with
+    # dropouts and a few wildly miscalibrated cells
+    rng = np.random.default_rng(3)
+    readings = rng.normal(loc=20.0, scale=4.0, size=(200, 150))
+    bad = rng.random((200, 150)) < 0.002
+    readings[bad] = 9999.0                       # sensor glitches
+    valid = rng.random((200, 150)) < 0.8          # dropouts
+    grid = ArrayRDD.from_numpy(ctx, readings, (50, 50), valid=valid,
+                               dim_names=("station_x", "station_y"))
+
+    # ---- first look ----------------------------------------------------
+    summary = describe(grid)
+    print("describe():")
+    for key, value in summary.as_dict().items():
+        print(f"  {key:<6} {value:,.3f}" if isinstance(value, float)
+              else f"  {key:<6} {value:,}")
+
+    q05, q50, q95 = approx_quantiles(grid, [0.05, 0.5, 0.95],
+                                     sample_fraction=1.0)
+    print(f"quantiles: p05={q05:.2f}  median={q50:.2f}  p95={q95:.2f}")
+    print(f"max of {summary.maximum:.0f} is clearly a glitch — "
+          f"clean it up:")
+
+    # ---- repair ---------------------------------------------------------
+    cleaned = delete_where(grid, lambda xs: xs > 100.0)
+    removed = grid.count_valid() - cleaned.count_valid()
+    print(f"  deleted {removed} glitched cells")
+    # backfill two known stations from a maintenance log
+    cleaned = merge_cells(cleaned, [((0, 0), 19.5), ((10, 20), 21.2)],
+                          how="replace")
+    print(f"  backfilled 2 stations; mean now "
+          f"{describe(cleaned).mean:.3f}")
+
+    # ---- distribution ----------------------------------------------------
+    counts, edges = histogram(cleaned, bins=8)
+    print("\nhistogram:")
+    peak = counts.max()
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * int(40 * count / peak)
+        print(f"  [{lo:6.2f}, {hi:6.2f})  {bar} {count}")
+
+    # ---- inspect the plan -------------------------------------------------
+    pipeline = cleaned.filter(lambda xs: xs > 20.0) \
+                      .aggregate_by(["station_x"], "avg")
+    print("\nexecution plan for filter → aggregate_by(station_x):")
+    print(explain(pipeline.rdd))
+
+    # ---- re-layout --------------------------------------------------------
+    tall = rechunk(cleaned, (200, 10))
+    print(f"\nrechunked to column strips: "
+          f"{tall.num_chunks_materialized()} chunks of "
+          f"{tall.meta.chunk_shape}")
+    flipped = permute_axes(cleaned, (1, 0))
+    print(f"transposed logical layout: {flipped.meta.describe()}")
+
+    # ---- running accumulation ----------------------------------------------
+    cumulative = accumulate_axis(cleaned, "station_y", "sum",
+                                 mode="async")
+    values, _valid = cumulative.subarray((0, 149), (199, 149)) \
+                               .collect_dense(0.0)
+    print(f"\nrow totals via running sum, first three rows: "
+          f"{values[:3, 149].round(1)}")
+
+
+if __name__ == "__main__":
+    main()

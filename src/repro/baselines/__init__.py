@@ -1,0 +1,30 @@
+"""Comparison systems re-implemented over the same engine substrate.
+
+The paper evaluates Spangle against SciSpark, RasterFrames, and SciDB on
+raster queries (Fig. 7); Spark (COO), MLlib (CSC), and SciSpark on
+matrix kernels (Fig. 10); Spark and GraphX on PageRank (Fig. 11); and
+MLlib on logistic regression (Table III). Each baseline here reproduces
+the *architectural choices* the paper attributes to that system — dense
+array management, driver-side ingest, disk-backed chunks, COO joins,
+per-superstep triplet joins — so the benchmarks expose the same
+trade-offs without the original JVM code.
+"""
+
+from repro.baselines.graphx import GraphXPageRank
+from repro.baselines.mllib import LogisticRegressionMLlib, MLlibRowMatrix
+from repro.baselines.rasterframes import RasterFramesSystem
+from repro.baselines.scidb import SciDBSystem
+from repro.baselines.scispark import SciSparkSystem
+from repro.baselines.spark_coo import SparkCOOMatrix
+from repro.baselines.spark_pagerank import SparkPageRank
+
+__all__ = [
+    "GraphXPageRank",
+    "LogisticRegressionMLlib",
+    "MLlibRowMatrix",
+    "RasterFramesSystem",
+    "SciDBSystem",
+    "SciSparkSystem",
+    "SparkCOOMatrix",
+    "SparkPageRank",
+]

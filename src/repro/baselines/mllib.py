@@ -1,0 +1,212 @@
+"""MLlib-style baseline: CSC-row matrices and pre-canned logistic regression.
+
+Two pieces, mirroring what the paper benchmarks as "MLlib (CSC)":
+
+- :class:`MLlibRowMatrix` — a distributed matrix of compressed sparse
+  rows (MLlib's RowMatrix of SparseVectors). Matrix-vector products are
+  cheap; ``Mᵀ M`` accumulates dense f×f outer products *on the driver*
+  (exactly MLlib's computeGramianMatrix), which dies when f is large.
+- :class:`LogisticRegressionMLlib` — full-batch gradient descent with
+  driver-side weight aggregation. Its ingest path densifies feature
+  vectors per-partition with a driver/executor memory ceiling; the two
+  larger Table III datasets exceed it ("MLlib fails to ingest...
+  incurring out of heap memory").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError, ShapeMismatchError
+from repro.matrix.vector import SpangleVector
+from repro.ml.sgd import _sigmoid
+
+
+class MLlibRowMatrix:
+    """RDD of (row_index, (col_indices, values)) sparse rows."""
+
+    name = "MLlib (CSC)"
+
+    def __init__(self, context, rdd, shape):
+        self.context = context
+        self.rdd = rdd
+        self.shape = tuple(shape)
+
+    @classmethod
+    def from_coo(cls, context, rows, cols, values, shape,
+                 num_partitions=None) -> "MLlibRowMatrix":
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        order = np.argsort(rows, kind="stable")
+        rows, cols, values = rows[order], cols[order], values[order]
+        boundaries = np.nonzero(np.diff(rows))[0] + 1
+        starts = np.concatenate([[0], boundaries]) if rows.size else []
+        ends = np.concatenate([boundaries, [rows.size]]) if rows.size \
+            else []
+        records = [
+            (int(rows[s]), (cols[s:e].copy(), values[s:e].copy()))
+            for s, e in zip(starts, ends)
+        ]
+        if num_partitions is None:
+            num_partitions = context.default_parallelism
+        return cls(context,
+                   context.parallelize(records, num_partitions), shape)
+
+    def nnz(self) -> int:
+        return self.rdd.map(lambda kv: kv[1][0].size).fold(
+            0, lambda a, b: a + b)
+
+    def memory_bytes(self) -> int:
+        return self.nnz() * 16 + self.rdd.count() * 8
+
+    def dot_vector(self, vector: SpangleVector) -> SpangleVector:
+        if vector.size != self.shape[1]:
+            raise ShapeMismatchError(
+                f"matrix has {self.shape[1]} columns, vector has "
+                f"{vector.size}")
+        n_rows = self.shape[0]
+        data = vector.data
+
+        def partials(part):
+            partial = np.zeros(n_rows)
+            for row, (cols, vals) in part:
+                partial[row] = float(vals @ data[cols])
+            return [partial]
+
+        pieces = self.rdd.map_partitions(partials).collect()
+        out = np.zeros(n_rows)
+        for piece in pieces:
+            out += piece
+        return SpangleVector(out, "col")
+
+    def vector_dot(self, vector: SpangleVector) -> SpangleVector:
+        if vector.size != self.shape[0]:
+            raise ShapeMismatchError(
+                f"matrix has {self.shape[0]} rows, vector has "
+                f"{vector.size}")
+        n_cols = self.shape[1]
+        data = vector.data
+
+        def partials(part):
+            partial = np.zeros(n_cols)
+            for row, (cols, vals) in part:
+                np.add.at(partial, cols, vals * data[row])
+            return [partial]
+
+        pieces = self.rdd.map_partitions(partials).collect()
+        out = np.zeros(n_cols)
+        for piece in pieces:
+            out += piece
+        return SpangleVector(out, "row")
+
+    def gram(self, driver_memory_bytes: int = 2 * 1024 ** 3
+             ) -> np.ndarray:
+        """``Mᵀ M`` as MLlib's computeGramianMatrix: a dense f×f result
+        accumulated per partition and merged at the driver.
+
+        Raises :class:`OutOfMemoryError` when the dense Gramian exceeds
+        the driver budget (the paper's 2 GB driver) — the Fig. 10 "x".
+        """
+        f = self.shape[1]
+        gram_bytes = f * f * 8
+        if gram_bytes > driver_memory_bytes:
+            raise OutOfMemoryError("MLlib driver (Gramian)", gram_bytes,
+                                   driver_memory_bytes)
+
+        def partials(part):
+            local = np.zeros((f, f))
+            for _row, (cols, vals) in part:
+                local[np.ix_(cols, cols)] += np.outer(vals, vals)
+            return [local]
+
+        pieces = self.rdd.map_partitions(partials).collect()
+        out = np.zeros((f, f))
+        for piece in pieces:
+            out += piece
+        return out
+
+
+class LogisticRegressionMLlib:
+    """Full-batch LR with dense driver-side aggregation (MLlib style)."""
+
+    name = "MLlib"
+
+    def __init__(self, step_size: float = 0.6, tolerance: float = 1e-4,
+                 max_iterations: int = 200,
+                 driver_memory_bytes: int = 2 * 1024 ** 3,
+                 executor_memory_bytes: int = 10 * 1024 ** 3):
+        self.step_size = step_size
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self.driver_memory_bytes = driver_memory_bytes
+        self.executor_memory_bytes = executor_memory_bytes
+        self.weights = None
+        self.iteration_times_s = []
+
+    def ingest(self, context, rows, cols, values, labels,
+               num_features: int, num_partitions=None):
+        """Build the training RDD, with MLlib's memory behaviour.
+
+        MLlib's LabeledPoint pipeline caches *dense-gradient-sized*
+        working state per feature dimension on the driver, and densifies
+        aggregation buffers per partition on executors; datasets whose
+        dense dimension or cached footprint exceeds the heap fail here.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.float64)
+        # MLlib standardizes features at ingest with dense per-feature
+        # summarizers (mean/variance/count/... ~ 7 arrays of f doubles);
+        # the driver merges two of them at a time, so its peak is
+        # ~2 x 56 bytes per feature — this is what breaks the wide
+        # KDD datasets while URL squeaks through
+        summarizer_peak = 2 * num_features * 56
+        if summarizer_peak > self.driver_memory_bytes:
+            raise OutOfMemoryError("MLlib driver (feature summarizer)",
+                                   summarizer_peak,
+                                   self.driver_memory_bytes)
+        # executors hold a dense aggregation buffer per task plus the
+        # cached dataset partition
+        if num_partitions is None:
+            num_partitions = context.default_parallelism
+        cached_bytes = int(np.asarray(values).size) * 16 \
+            + labels.size * 8
+        per_executor = (cached_bytes // max(context.num_executors, 1)
+                        + num_features * 8 * 2)
+        if per_executor > self.executor_memory_bytes:
+            raise OutOfMemoryError("MLlib executor", per_executor,
+                                   self.executor_memory_bytes)
+        matrix = MLlibRowMatrix.from_coo(
+            context, rows, cols, values,
+            (labels.size, num_features), num_partitions)
+        return matrix, labels
+
+    def fit(self, matrix: MLlibRowMatrix, labels: np.ndarray
+            ) -> "LogisticRegressionMLlib":
+        """Full-batch gradient descent (every row, every iteration)."""
+        f = matrix.shape[1]
+        n = labels.size
+        x = np.zeros(f)
+        self.iteration_times_s = []
+        for _step in range(self.max_iterations):
+            start = time.perf_counter()
+            z = matrix.dot_vector(SpangleVector(x, "col")).data
+            error = _sigmoid(z) - labels
+            grad = matrix.vector_dot(
+                SpangleVector(error, "row")).data
+            new_x = x - (self.step_size / n) * grad
+            residual = float(np.abs(new_x - x).max())
+            x = new_x
+            self.iteration_times_s.append(time.perf_counter() - start)
+            if residual < self.tolerance:
+                break
+        self.weights = x
+        return self
+
+    def accuracy(self, matrix: MLlibRowMatrix,
+                 labels: np.ndarray) -> float:
+        z = matrix.dot_vector(SpangleVector(self.weights, "col")).data
+        predicted = _sigmoid(z) >= 0.5
+        return float((predicted == (labels >= 0.5)).mean())

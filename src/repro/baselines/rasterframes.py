@@ -1,0 +1,187 @@
+"""RasterFrames-style baseline: a DataFrame of raster tiles.
+
+The paper's characterization: RasterFrames
+
+- reads rasters **in the master node** and spreads tiles to workers
+  (driver-side ingest — a scalability ceiling);
+- compresses sparse tiles (it keeps a cell-type with no-data encoding,
+  so memory is closer to the valid-cell count than SciSpark's);
+- must pre-grid tiles to the target grid when regridding — which makes
+  Q2 fast (no reshaping at query time) but the layout inflexible for
+  other operators;
+- supports range geometry but (per the paper) untrusted for
+  correctness; we implement it correctly and only inherit the
+  architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError
+
+
+class _Tile:
+    """A tile row of the frame: compressed cells + no-data mask."""
+
+    __slots__ = ("scene", "r0", "c0", "shape", "offsets", "values")
+
+    def __init__(self, scene, r0, c0, shape, offsets, values):
+        self.scene = scene
+        self.r0 = r0
+        self.c0 = c0
+        self.shape = shape
+        self.offsets = offsets
+        self.values = values
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.offsets.nbytes + self.values.nbytes)
+
+    def dense(self) -> np.ndarray:
+        out = np.full(self.shape, np.nan)
+        out.ravel()[self.offsets] = self.values
+        return out
+
+
+class RasterFramesSystem:
+    """Tile-dataframe processing in RasterFrames' style."""
+
+    name = "RasterFrames"
+
+    def __init__(self, context, driver_memory_bytes: int = None):
+        self.context = context
+        self.driver_memory_bytes = driver_memory_bytes
+
+    def load_scenes(self, scenes, tile_shape=(128, 128)):
+        """Driver-side ingest: all scenes pass through the master.
+
+        Fails when the scenes (dense, as read from TIFF) exceed the
+        driver budget — the paper's "reads them in the master node".
+        """
+        dense_bytes = sum(
+            int(np.prod(scene.shape)) * 8 for scene in scenes)
+        if self.driver_memory_bytes is not None \
+                and dense_bytes > self.driver_memory_bytes:
+            raise OutOfMemoryError("RasterFrames driver", dense_bytes,
+                                   self.driver_memory_bytes)
+        rows_out = []
+        for scene_id, scene in enumerate(scenes):
+            scene = np.asarray(scene, dtype=np.float64)
+            rows, cols = scene.shape
+            for r0 in range(0, rows, tile_shape[0]):
+                for c0 in range(0, cols, tile_shape[1]):
+                    region = scene[r0:r0 + tile_shape[0],
+                                   c0:c0 + tile_shape[1]]
+                    mask = ~np.isnan(region)
+                    if not mask.any():
+                        continue
+                    flat = np.nonzero(mask.ravel())[0].astype(np.int64)
+                    rows_out.append(_Tile(
+                        scene_id, r0, c0, region.shape, flat,
+                        region.ravel()[flat].copy()))
+        return self.context.parallelize(
+            rows_out, self.context.default_parallelism)
+
+    # ------------------------------------------------------------------
+    # dataframe-style operations
+    # ------------------------------------------------------------------
+
+    def select_range(self, frame, lo, hi):
+        """Keep cells inside the box (tile-level filter + cell clip)."""
+
+        def clip(tile):
+            if tile.r0 + tile.shape[0] <= lo[0] or tile.r0 > hi[0]:
+                return []
+            if tile.c0 + tile.shape[1] <= lo[1] or tile.c0 > hi[1]:
+                return []
+            local_rows = tile.offsets // tile.shape[1] + tile.r0
+            local_cols = tile.offsets % tile.shape[1] + tile.c0
+            keep = (
+                (local_rows >= lo[0]) & (local_rows <= hi[0])
+                & (local_cols >= lo[1]) & (local_cols <= hi[1])
+            )
+            if not keep.any():
+                return []
+            return [_Tile(tile.scene, tile.r0, tile.c0, tile.shape,
+                          tile.offsets[keep], tile.values[keep])]
+
+        return frame.flat_map(clip)
+
+    def filter_cells(self, frame, predicate):
+        def apply(tile):
+            keep = predicate(tile.values)
+            if not keep.any():
+                return []
+            return [_Tile(tile.scene, tile.r0, tile.c0, tile.shape,
+                          tile.offsets[keep], tile.values[keep])]
+
+        return frame.flat_map(apply)
+
+    def aggregate_mean(self, frame) -> float:
+        def stats(part):
+            total = 0.0
+            count = 0
+            for tile in part:
+                total += float(tile.values.sum())
+                count += tile.values.size
+            return [(total, count)]
+
+        pieces = frame.map_partitions(stats).collect()
+        total = sum(p[0] for p in pieces)
+        count = sum(p[1] for p in pieces)
+        return total / count if count else float("nan")
+
+    def count_cells(self, frame) -> int:
+        return frame.map(lambda tile: tile.values.size).fold(
+            0, lambda a, b: a + b)
+
+    def regrid_mean(self, frame, grid: int):
+        """Regrid with tiles already aligned to the target grid.
+
+        RasterFrames fits the tile size to the grid at load time, so
+        each tile regrids independently — no reshaping, no shuffle.
+        The caller must have loaded with ``tile_shape`` divisible by
+        ``grid`` (the inflexibility the paper notes).
+        """
+
+        def regrid(tile):
+            dense = tile.dense()
+            rows, cols = dense.shape
+            out_rows = rows // grid
+            out_cols = cols // grid
+            if out_rows == 0 or out_cols == 0:
+                return []
+            blocks = dense[:out_rows * grid, :out_cols * grid] \
+                .reshape(out_rows, grid, out_cols, grid)
+            mask = ~np.isnan(blocks)
+            sums = np.where(mask, blocks, 0.0).sum(axis=(1, 3))
+            counts = mask.sum(axis=(1, 3))
+            with np.errstate(invalid="ignore", divide="ignore"):
+                means = np.where(counts > 0, sums / counts, np.nan)
+            return [((tile.scene, tile.r0 // grid, tile.c0 // grid),
+                     means)]
+
+        return frame.flat_map(regrid)
+
+    def density_windows(self, frame, window: int, min_count: int) -> int:
+        """Window counts, tile-aligned (same pre-gridding assumption)."""
+
+        def windows(tile):
+            valid = np.zeros(tile.shape, dtype=bool)
+            valid.ravel()[tile.offsets] = True
+            rows, cols = tile.shape
+            out_rows = rows // window
+            out_cols = cols // window
+            if out_rows == 0 or out_cols == 0:
+                return 0
+            counts = valid[:out_rows * window, :out_cols * window] \
+                .reshape(out_rows, window, out_cols, window) \
+                .sum(axis=(1, 3))
+            return int((counts > min_count).sum())
+
+        return frame.map(windows).fold(0, lambda a, b: a + b)
+
+    def memory_bytes(self, frame) -> int:
+        return frame.map(lambda tile: tile.nbytes).fold(
+            0, lambda a, b: a + b)

@@ -1,0 +1,289 @@
+"""SciSpark-style baseline: dense array tiles in an RDD.
+
+The paper's characterization (Sections VII-B, VIII): SciSpark
+
+- loads NetCDF data **densely** and only then splits it — so it needs
+  memory proportional to the *logical* array size, failing on data that
+  a sparse representation would fit;
+- keeps tiles dense for the rest of the pipeline — shuffles carry full
+  tiles, null cells included (it marks nulls with NaN);
+- exposes few array operations (users hand-roll queries over tiles);
+- provides no distributed matrix multiplication.
+
+This class mirrors those decisions over our engine so Fig. 7 and Fig. 10
+measure the same trade-offs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError, SpangleError
+from repro.matrix.vector import SpangleVector
+
+
+class UnsupportedOperation(SpangleError):
+    """The baseline system genuinely lacks this operation."""
+
+
+class SciSparkSystem:
+    """Dense-tile RDD processing in SciSpark's style."""
+
+    name = "SciSpark"
+
+    def __init__(self, context, driver_memory_bytes: int = None):
+        self.context = context
+        self.driver_memory_bytes = driver_memory_bytes
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def load_scenes(self, scenes, tile_shape=(128, 128)):
+        """Load a list of 2-D scenes (NaN = null) as dense tiles.
+
+        SciSpark materializes the dense arrays up front; if the dense
+        footprint exceeds the driver budget, ingest fails — the paper's
+        "it can fail to load data before distribution".
+        """
+        dense_bytes = sum(
+            int(np.prod(scene.shape)) * 8 for scene in scenes)
+        if self.driver_memory_bytes is not None \
+                and dense_bytes > self.driver_memory_bytes:
+            raise OutOfMemoryError("SciSpark driver", dense_bytes,
+                                   self.driver_memory_bytes)
+        records = []
+        for scene_id, scene in enumerate(scenes):
+            scene = np.asarray(scene, dtype=np.float64)
+            rows, cols = scene.shape
+            for r0 in range(0, rows, tile_shape[0]):
+                for c0 in range(0, cols, tile_shape[1]):
+                    tile = scene[r0:r0 + tile_shape[0],
+                                 c0:c0 + tile_shape[1]].copy()
+                    records.append(
+                        ((scene_id, r0, c0), tile))
+        return self.context.parallelize(
+            records, self.context.default_parallelism)
+
+    # ------------------------------------------------------------------
+    # hand-rolled query operations (the paper implemented these
+    # against SciSpark's limited API)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _tile_in_range(key, tile, lo, hi):
+        _scene, r0, c0 = key
+        rows, cols = tile.shape
+        if r0 + rows <= lo[0] or r0 > hi[0]:
+            return None
+        if c0 + cols <= lo[1] or c0 > hi[1]:
+            return None
+        r_lo = max(lo[0] - r0, 0)
+        r_hi = min(hi[0] - r0 + 1, rows)
+        c_lo = max(lo[1] - c0, 0)
+        c_hi = min(hi[1] - c0 + 1, cols)
+        return tile[r_lo:r_hi, c_lo:c_hi]
+
+    def select_range(self, tiles, lo, hi):
+        """Subarray by scanning every dense tile (no chunk-ID pruning)."""
+
+        def clip(record):
+            key, tile = record
+            region = self._tile_in_range(key, tile, lo, hi)
+            if region is None or region.size == 0:
+                return []
+            return [(key, region)]
+
+        return tiles.flat_map(clip)
+
+    def filter_cells(self, tiles, predicate):
+        """Mark failing cells NaN — tiles stay dense."""
+
+        def apply(record):
+            key, tile = record
+            out = tile.copy()
+            with np.errstate(invalid="ignore"):
+                keep = predicate(out) & ~np.isnan(out)
+            out[~keep] = np.nan
+            return key, out
+
+        return tiles.map(apply)
+
+    def aggregate_mean(self, tiles) -> float:
+        """Global mean of non-NaN cells."""
+        def stats(part):
+            total = 0.0
+            count = 0
+            for _key, tile in part:
+                mask = ~np.isnan(tile)
+                total += float(tile[mask].sum())
+                count += int(mask.sum())
+            return [(total, count)]
+
+        pieces = tiles.map_partitions(stats).collect()
+        total = sum(p[0] for p in pieces)
+        count = sum(p[1] for p in pieces)
+        return total / count if count else float("nan")
+
+    def regrid_mean(self, tiles, grid: int):
+        """Average over grid x grid windows.
+
+        SciSpark has no overlap support: boundary windows need cells
+        from neighbouring tiles, so whole dense tiles are shuffled to be
+        re-assembled per scene before regridding.
+        """
+        def by_scene(record):
+            (scene, r0, c0), tile = record
+            return scene, (r0, c0, tile)
+
+        def regrid(pieces):
+            rows = max(r0 + t.shape[0] for r0, _c0, t in pieces)
+            cols = max(c0 + t.shape[1] for _r0, c0, t in pieces)
+            scene = np.full((rows, cols), np.nan)
+            for r0, c0, tile in pieces:
+                scene[r0:r0 + tile.shape[0],
+                      c0:c0 + tile.shape[1]] = tile
+            out_rows = rows // grid
+            out_cols = cols // grid
+            trimmed = scene[:out_rows * grid, :out_cols * grid]
+            blocks = trimmed.reshape(out_rows, grid, out_cols, grid)
+            mask = ~np.isnan(blocks)
+            sums = np.where(mask, blocks, 0.0).sum(axis=(1, 3))
+            counts = mask.sum(axis=(1, 3))
+            with np.errstate(invalid="ignore", divide="ignore"):
+                return np.where(counts > 0, sums / counts, np.nan)
+
+        return tiles.map(by_scene).group_by_key().map_values(regrid)
+
+    def count_matching(self, tiles, predicate) -> int:
+        def count(part):
+            total = 0
+            for _key, tile in part:
+                with np.errstate(invalid="ignore"):
+                    total += int(
+                        (predicate(tile) & ~np.isnan(tile)).sum())
+            return [total]
+
+        return sum(tiles.map_partitions(count).collect())
+
+    def density_windows(self, tiles, window: int, min_count: int) -> int:
+        """Count windows with more than ``min_count`` observations.
+
+        Same full-scene reassembly shuffle as regrid (no overlap
+        support).
+        """
+        def by_scene(record):
+            (scene, r0, c0), tile = record
+            return scene, (r0, c0, tile)
+
+        def windows(pieces):
+            rows = max(r0 + t.shape[0] for r0, _c0, t in pieces)
+            cols = max(c0 + t.shape[1] for _r0, c0, t in pieces)
+            scene = np.full((rows, cols), np.nan)
+            for r0, c0, tile in pieces:
+                scene[r0:r0 + tile.shape[0],
+                      c0:c0 + tile.shape[1]] = tile
+            valid = ~np.isnan(scene)
+            out_rows = rows // window
+            out_cols = cols // window
+            counts = valid[:out_rows * window, :out_cols * window] \
+                .reshape(out_rows, window, out_cols, window) \
+                .sum(axis=(1, 3))
+            return int((counts > min_count).sum())
+
+        return sum(
+            tiles.map(by_scene).group_by_key()
+            .map_values(windows).values().collect()
+        )
+
+    # ------------------------------------------------------------------
+    # linear algebra (dense blocks; no distributed matmul)
+    # ------------------------------------------------------------------
+
+    def load_matrix(self, dense, block_shape=(128, 128)):
+        """A matrix as dense blocks — zeros stored explicitly."""
+        dense = np.asarray(dense, dtype=np.float64)
+        records = []
+        rows, cols = dense.shape
+        for r0 in range(0, rows, block_shape[0]):
+            for c0 in range(0, cols, block_shape[1]):
+                records.append(
+                    ((r0, c0),
+                     dense[r0:r0 + block_shape[0],
+                           c0:c0 + block_shape[1]].copy()))
+        return _SciSparkMatrix(self, records, dense.shape)
+
+    def matrix_from_coo(self, rows, cols, values, shape,
+                        block_shape=(128, 128),
+                        memory_budget_bytes: int = None):
+        """Densify a sparse matrix (SciSpark manages data as dense).
+
+        Refuses when the dense footprint exceeds the budget — the Fig. 10
+        "x" marks for the larger matrices.
+        """
+        dense_bytes = int(shape[0]) * int(shape[1]) * 8
+        budget = memory_budget_bytes or self.driver_memory_bytes
+        if budget is not None and dense_bytes > budget:
+            raise OutOfMemoryError("SciSpark executors", dense_bytes,
+                                   budget)
+        dense = np.zeros(shape)
+        dense[np.asarray(rows), np.asarray(cols)] = np.asarray(values)
+        return self.load_matrix(dense, block_shape)
+
+
+class _SciSparkMatrix:
+    """Dense block matrix with only local linear algebra."""
+
+    def __init__(self, system: SciSparkSystem, records, shape):
+        self.system = system
+        self.shape = shape
+        self.rdd = system.context.parallelize(
+            records, system.context.default_parallelism)
+
+    def memory_bytes(self) -> int:
+        return self.rdd.map(lambda kv: kv[1].nbytes).fold(
+            0, lambda a, b: a + b)
+
+    def dot_vector(self, vector: SpangleVector) -> SpangleVector:
+        n_rows = self.shape[0]
+        data = vector.data
+
+        def partials(part):
+            partial = np.zeros(n_rows)
+            for (r0, c0), block in part:
+                partial[r0:r0 + block.shape[0]] += \
+                    block @ data[c0:c0 + block.shape[1]]
+            return [partial]
+
+        pieces = self.rdd.map_partitions(partials).collect()
+        out = np.zeros(n_rows)
+        for piece in pieces:
+            out += piece
+        return SpangleVector(out, "col")
+
+    def vector_dot(self, vector: SpangleVector) -> SpangleVector:
+        n_cols = self.shape[1]
+        data = vector.data
+
+        def partials(part):
+            partial = np.zeros(n_cols)
+            for (r0, c0), block in part:
+                partial[c0:c0 + block.shape[1]] += \
+                    data[r0:r0 + block.shape[0]] @ block
+            return [partial]
+
+        pieces = self.rdd.map_partitions(partials).collect()
+        out = np.zeros(n_cols)
+        for piece in pieces:
+            out += piece
+        return SpangleVector(out, "row")
+
+    def multiply(self, other):
+        raise UnsupportedOperation(
+            "SciSpark does not provide distributed matrix multiplication"
+        )
+
+    def gram(self):
+        raise UnsupportedOperation(
+            "SciSpark does not provide distributed matrix multiplication"
+        )

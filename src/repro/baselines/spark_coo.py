@@ -1,0 +1,155 @@
+"""Spark (COO) baseline: a matrix as an RDD of (i, j, value) triples.
+
+This is the hand-rolled coordinate-format matrix the paper benchmarks as
+"Spark (COO)". Its character: ideal for hyper-sparse data (it stores
+exactly the non-zeros and nothing else), but matrix multiplication joins
+on the contraction index and materializes one record per *scalar*
+partial product — the record count explodes with density, which is why
+the paper sees COO survive Hardesty (6.4e-7 dense) yet fail Mouse
+(0.014 dense).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError, ShapeMismatchError
+from repro.matrix.vector import SpangleVector
+
+
+class SparkCOOMatrix:
+    """A distributed COO matrix with join-based multiplication."""
+
+    name = "Spark (COO)"
+
+    def __init__(self, context, rdd, shape):
+        self.context = context
+        self.rdd = rdd
+        self.shape = tuple(shape)
+
+    @classmethod
+    def from_coo(cls, context, rows, cols, values, shape,
+                 num_partitions=None) -> "SparkCOOMatrix":
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if num_partitions is None:
+            num_partitions = context.default_parallelism
+        triples = list(zip(rows.tolist(), cols.tolist(),
+                           values.tolist()))
+        return cls(context,
+                   context.parallelize(triples, num_partitions), shape)
+
+    def nnz(self) -> int:
+        return self.rdd.count()
+
+    def memory_bytes(self) -> int:
+        # 8 bytes each for row, col, value per stored entry
+        return self.nnz() * 24
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+
+    def dot_vector(self, vector: SpangleVector) -> SpangleVector:
+        if vector.size != self.shape[1]:
+            raise ShapeMismatchError(
+                f"matrix has {self.shape[1]} columns, vector has "
+                f"{vector.size}")
+        n_rows = self.shape[0]
+        data = vector.data
+
+        def partials(part):
+            partial = np.zeros(n_rows)
+            for i, j, v in part:
+                partial[i] += v * data[j]
+            return [partial]
+
+        pieces = self.rdd.map_partitions(partials).collect()
+        out = np.zeros(n_rows)
+        for piece in pieces:
+            out += piece
+        return SpangleVector(out, "col")
+
+    def vector_dot(self, vector: SpangleVector) -> SpangleVector:
+        if vector.size != self.shape[0]:
+            raise ShapeMismatchError(
+                f"matrix has {self.shape[0]} rows, vector has "
+                f"{vector.size}")
+        n_cols = self.shape[1]
+        data = vector.data
+
+        def partials(part):
+            partial = np.zeros(n_cols)
+            for i, j, v in part:
+                partial[j] += v * data[i]
+            return [partial]
+
+        pieces = self.rdd.map_partitions(partials).collect()
+        out = np.zeros(n_cols)
+        for piece in pieces:
+            out += piece
+        return SpangleVector(out, "row")
+
+    def _estimate_join_records(self, other: "SparkCOOMatrix") -> int:
+        """Expected scalar partial products of the contraction join.
+
+        With nnz_l entries spread over K contraction values and nnz_r
+        likewise, the join emits roughly nnz_l * nnz_r / K records.
+        """
+        k = self.shape[1]
+        return max(1, (self.nnz() * other.nnz()) // max(k, 1))
+
+    def multiply(self, other: "SparkCOOMatrix",
+                 max_intermediate_records: int = 50_000_000
+                 ) -> "SparkCOOMatrix":
+        """Join on the contraction index; one record per scalar product.
+
+        Raises :class:`OutOfMemoryError` when the estimated intermediate
+        record count exceeds the executor budget — COO's density wall.
+        """
+        if self.shape[1] != other.shape[0]:
+            raise ShapeMismatchError(
+                f"cannot multiply {self.shape} by {other.shape}")
+        estimated = self._estimate_join_records(other)
+        if estimated > max_intermediate_records:
+            raise OutOfMemoryError(
+                "Spark COO executors (join intermediates)",
+                estimated * 24, max_intermediate_records * 24)
+        left_by_k = self.rdd.map(lambda t: (t[1], (t[0], t[2])))
+        right_by_k = other.rdd.map(lambda t: (t[0], (t[1], t[2])))
+        joined = left_by_k.join(right_by_k)
+        products = joined.map(
+            lambda kv: ((kv[1][0][0], kv[1][1][0]),
+                        kv[1][0][1] * kv[1][1][1]))
+        summed = products.reduce_by_key(lambda a, b: a + b)
+        triples = summed.map(lambda kv: (kv[0][0], kv[0][1], kv[1])) \
+                        .filter(lambda t: t[2] != 0)
+        return SparkCOOMatrix(self.context, triples,
+                              (self.shape[0], other.shape[1]))
+
+    def gram(self, max_intermediate_records: int = 50_000_000
+             ) -> "SparkCOOMatrix":
+        """MᵀM by self-joining on the row index (pairs per row explode)."""
+        estimated = max(
+            1, (self.nnz() * self.nnz()) // max(self.shape[0], 1))
+        if estimated > max_intermediate_records:
+            raise OutOfMemoryError(
+                "Spark COO executors (gram intermediates)",
+                estimated * 24, max_intermediate_records * 24)
+        by_row = self.rdd.map(lambda t: (t[0], (t[1], t[2])))
+        joined = by_row.join(by_row)
+        products = joined.map(
+            lambda kv: ((kv[1][0][0], kv[1][1][0]),
+                        kv[1][0][1] * kv[1][1][1]))
+        summed = products.reduce_by_key(lambda a, b: a + b)
+        triples = summed.map(lambda kv: (kv[0][0], kv[0][1], kv[1])) \
+                        .filter(lambda t: t[2] != 0)
+        return SparkCOOMatrix(self.context, triples,
+                              (self.shape[1], self.shape[1]))
+
+    def to_numpy(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for i, j, v in self.rdd.collect():
+            out[i, j] += v
+        return out

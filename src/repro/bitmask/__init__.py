@@ -1,0 +1,36 @@
+"""Bitmask machinery (Section IV of the paper).
+
+A bitmask marks cell validity with one bit per cell. This package provides:
+
+- :class:`~repro.bitmask.bitmask.Bitmask` — a word-array bitmask with
+  get/set, bitwise algebra, population count (*rank*) and *select*.
+- :mod:`~repro.bitmask.popcount` — the three population-count strategies
+  the paper compares (naive per-word loop, builtin, vectorized
+  "SIMD"-style) plus per-64-word *milestones* for large chunks.
+- :class:`~repro.bitmask.cursor.SequentialCursor` — the *delta count*
+  optimization for sequential access patterns (Section IV-B-1).
+- :class:`~repro.bitmask.hierarchical.HierarchicalBitmask` — the
+  two-level bitmask used by super-sparse chunks (Section IV-A).
+"""
+
+from repro.bitmask.bitmask import Bitmask
+from repro.bitmask.cursor import SequentialCursor
+from repro.bitmask.hierarchical import HierarchicalBitmask
+from repro.bitmask.popcount import (
+    Milestones,
+    popcount_word,
+    popcount_words_builtin,
+    popcount_words_naive,
+    popcount_words_vectorized,
+)
+
+__all__ = [
+    "Bitmask",
+    "HierarchicalBitmask",
+    "Milestones",
+    "SequentialCursor",
+    "popcount_word",
+    "popcount_words_builtin",
+    "popcount_words_naive",
+    "popcount_words_vectorized",
+]

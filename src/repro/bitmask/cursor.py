@@ -1,0 +1,89 @@
+"""Sequential access with delta counting (Section IV-B-1).
+
+Operators that scan all cells (Filter, Aggregator) access bitmask
+positions in increasing order. Recomputing a full rank per position would
+be quadratic; the cursor instead remembers the rank at its last position
+and only counts the bits in between — the paper's *delta count*.
+"""
+
+from __future__ import annotations
+
+from repro.bitmask.bitmask import Bitmask
+from repro.bitmask.popcount import WORD_BITS
+from repro.errors import ArrayError
+
+
+class SequentialCursor:
+    """Monotone rank queries over a bitmask in O(delta) each.
+
+    ``rank_at(pos)`` returns the number of set bits strictly before
+    ``pos`` and requires the positions of successive calls to be
+    non-decreasing. ``next_valid(pos)`` finds the first set bit at or
+    after ``pos``.
+    """
+
+    def __init__(self, bitmask: Bitmask):
+        self._bitmask = bitmask
+        self._position = 0
+        self._rank = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def rank_at(self, position: int) -> int:
+        if position < self._position:
+            raise ArrayError(
+                "sequential cursor moved backwards: "
+                f"{position} < {self._position}"
+            )
+        position = min(position, self._bitmask.num_bits)
+        words = self._bitmask.words
+        pos = self._position
+        rank = self._rank
+        # finish the current partial word
+        while pos < position and pos % WORD_BITS:
+            if (int(words[pos // WORD_BITS]) >> (pos % WORD_BITS)) & 1:
+                rank += 1
+            pos += 1
+        # whole words via the builtin popcount
+        while position - pos >= WORD_BITS:
+            rank += int(words[pos // WORD_BITS]).bit_count()
+            pos += WORD_BITS
+        # trailing partial word
+        if pos < position:
+            word = int(words[pos // WORD_BITS])
+            offset = pos % WORD_BITS
+            span = position - pos
+            partial = (word >> offset) & ((1 << span) - 1)
+            rank += partial.bit_count()
+            pos = position
+        self._position = pos
+        self._rank = rank
+        return rank
+
+    def next_valid(self, position: int) -> int:
+        """First set-bit position >= ``position``; -1 when none remains."""
+        num_bits = self._bitmask.num_bits
+        words = self._bitmask.words
+        pos = max(position, 0)
+        while pos < num_bits:
+            word_index, offset = divmod(pos, WORD_BITS)
+            word = int(words[word_index]) >> offset
+            if word:
+                lowest = (word & -word).bit_length() - 1
+                candidate = pos + lowest
+                return candidate if candidate < num_bits else -1
+            pos = (word_index + 1) * WORD_BITS
+        return -1
+
+    def iter_valid(self):
+        """Yield ``(position, payload_rank)`` for every set bit, in order.
+
+        The payload rank is exactly the index of the cell's value in a
+        sparse chunk's payload array.
+        """
+        pos = self.next_valid(self._position)
+        while pos != -1:
+            yield pos, self.rank_at(pos)
+            pos = self.next_valid(pos + 1)

@@ -1,0 +1,168 @@
+"""The distributed Accumulator (Section V-B): running accumulation
+along an axis of an ArrayRDD.
+
+"If there are cells involved in separate chunks in a direction, the
+value of a previous cell must be computed with the next cell" — chunks
+along the axis form *strips* that must agree on carries at their
+boundaries. Two execution modes, as the paper describes:
+
+- **sync** — strips advance one chunk-step at a time; every step is a
+  separate job whose carries feed the next (a barrier per boundary).
+- **async** — one parallel pass computes every chunk's internal prefix
+  and per-strip totals; the driver runs an exclusive scan over the tiny
+  totals; a second parallel pass adds each chunk's offset. For an
+  associative operator the result is exact — two barriers total.
+
+Invalid cells pass the running value through and stay invalid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import mapper
+from repro.core.array_rdd import ArrayRDD
+from repro.core.chunk import Chunk
+from repro.errors import ArrayError
+
+_OPS = {
+    "sum": (np.add, 0.0),
+    "prod": (np.multiply, 1.0),
+    "min": (np.minimum, np.inf),
+    "max": (np.maximum, -np.inf),
+}
+
+
+def _resolve_op(op):
+    if isinstance(op, str):
+        try:
+            return _OPS[op]
+        except KeyError:
+            raise ArrayError(
+                f"unknown accumulation op {op!r}; have {sorted(_OPS)}"
+            ) from None
+    if isinstance(op, tuple) and len(op) == 2:
+        return op
+    raise ArrayError(
+        "op must be a name or a (ufunc, identity) pair"
+    )
+
+
+def _strip_key(meta, chunk_id: int, axis: int):
+    """(cross-axis grid coords, position along the axis)."""
+    grid = mapper.chunk_coords_from_id(meta, chunk_id)
+    cross = tuple(g for a, g in enumerate(grid) if a != axis)
+    return cross, grid[axis]
+
+
+def _chunk_prefix(meta, chunk, axis, ufunc, identity):
+    """Internal prefix over one chunk; returns (prefix, valid, total)."""
+    shape = meta.chunk_shape
+    dense = chunk.to_dense(0).reshape(shape, order="F")
+    valid = chunk.valid_bools().reshape(shape, order="F")
+    filled = np.where(valid, dense, identity)
+    prefix = ufunc.accumulate(filled.astype(np.float64), axis=axis)
+    total = np.take(prefix, -1, axis=axis)
+    return prefix, valid, total
+
+
+def _rebuild(prefix, valid):
+    return Chunk.from_dense(prefix.ravel(order="F"),
+                            valid.ravel(order="F"))
+
+
+def accumulate_axis(array: ArrayRDD, axis, op="sum",
+                    mode: str = "async") -> ArrayRDD:
+    """Running accumulation along ``axis``; returns a new ArrayRDD."""
+    meta = array.meta
+    if isinstance(axis, str):
+        axis = meta.dim_index(axis)
+    if not 0 <= axis < meta.ndim:
+        raise ArrayError(f"axis {axis} out of range for {meta.ndim}-D")
+    ufunc, identity = _resolve_op(op)
+    if mode == "async":
+        return _accumulate_async(array, axis, ufunc, identity)
+    if mode == "sync":
+        return _accumulate_sync(array, axis, ufunc, identity)
+    raise ArrayError(f"unknown accumulator mode {mode!r}")
+
+
+def _accumulate_async(array, axis, ufunc, identity):
+    meta = array.meta
+
+    # phase 1 (parallel): internal prefixes + per-chunk strip totals
+    def internal(part):
+        for chunk_id, chunk in part:
+            prefix, valid, total = _chunk_prefix(meta, chunk, axis,
+                                                 ufunc, identity)
+            yield chunk_id, (prefix, valid, total)
+
+    staged = array.rdd.map_partitions(internal,
+                                      preserves_partitioning=True) \
+                      .cache()
+
+    # phase 2 (driver): exclusive scan of the tiny per-chunk totals
+    totals = staged.map(
+        lambda kv: (kv[0], kv[1][2])).collect()
+    strips = {}
+    for chunk_id, total in totals:
+        cross, position = _strip_key(meta, chunk_id, axis)
+        strips.setdefault(cross, []).append((position, chunk_id, total))
+    offsets = {}
+    for cross, members in strips.items():
+        members.sort()
+        carry = None
+        for _position, chunk_id, total in members:
+            if carry is not None:
+                offsets[chunk_id] = carry
+                carry = ufunc(carry, total)
+            else:
+                carry = total
+
+    # phase 3 (parallel): add offsets, rebuild chunks
+    offsets_broadcast = array.context.broadcast(offsets)
+
+    def apply_offsets(pair):
+        chunk_id, (prefix, valid, _total) = pair
+        offset = offsets_broadcast.value.get(chunk_id)
+        if offset is not None:
+            prefix = ufunc(prefix, np.expand_dims(offset, axis))
+        return chunk_id, _rebuild(prefix, valid)
+
+    out = staged.map(apply_offsets)
+    out.partitioner = array.rdd.partitioner
+    result = ArrayRDD(out, meta, array.context).materialize()
+    staged.unpersist()
+    return result
+
+
+def _accumulate_sync(array, axis, ufunc, identity):
+    """One job per chunk-step along the axis (a barrier per boundary)."""
+    meta = array.meta
+    steps = meta.chunk_grid[axis]
+    carries = {}
+    finished = []
+    for step in range(steps):
+        step_carries = dict(carries)
+
+        def advance(part, step=step, step_carries=step_carries):
+            for chunk_id, chunk in part:
+                _cross, position = _strip_key(meta, chunk_id, axis)
+                if position != step:
+                    continue
+                prefix, valid, total = _chunk_prefix(
+                    meta, chunk, axis, ufunc, identity)
+                cross, _position = _strip_key(meta, chunk_id, axis)
+                carry = step_carries.get(cross)
+                if carry is not None:
+                    prefix = ufunc(prefix, np.expand_dims(carry, axis))
+                    total = ufunc(total, carry)
+                yield chunk_id, (_rebuild(prefix, valid), total, cross)
+
+        produced = array.rdd.map_partitions(advance).collect()
+        carries = dict(carries)
+        for chunk_id, (chunk, total, cross) in produced:
+            finished.append((chunk_id, chunk))
+            carries[cross] = total
+    return ArrayRDD.from_chunks(array.context, finished, meta,
+                                array.rdd.num_partitions)

@@ -1,0 +1,269 @@
+"""The Aggregator framework and Accumulator (Section V-B).
+
+An :class:`Aggregator` is the paper's four-function abstraction:
+
+1. ``initialize()`` — per-chunk state with a default value;
+2. ``accumulate(state, values)`` — fold a chunk's valid values in;
+3. ``merge(a, b)`` — combine states across chunks;
+4. ``evaluate(state)`` — produce the final result.
+
+``accumulate`` receives the *vector* of valid values so built-in
+aggregates stay numpy-fast; a scalar-at-a-time user function can be
+wrapped with :func:`scalar_aggregator`.
+
+The :class:`Accumulator` implements running (prefix) accumulation along
+an axis in the synchronous and asynchronous flavours the paper
+describes: synchronous walks chunk slabs one boundary step at a time
+(one synchronization per step); asynchronous lets every chunk scan
+internally first and then applies cross-chunk offsets in a single
+adjustment pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ArrayError
+
+
+class Aggregator:
+    """Base class; subclass or use the builtins below."""
+
+    name = "aggregator"
+
+    def initialize(self):
+        raise NotImplementedError
+
+    def accumulate(self, state, values: np.ndarray):
+        raise NotImplementedError
+
+    def merge(self, state_a, state_b):
+        raise NotImplementedError
+
+    def evaluate(self, state):
+        return state
+
+
+class SumAggregator(Aggregator):
+    name = "sum"
+
+    def initialize(self):
+        return 0.0
+
+    def accumulate(self, state, values):
+        return state + float(values.sum())
+
+    def merge(self, a, b):
+        return a + b
+
+
+class CountAggregator(Aggregator):
+    name = "count"
+
+    def initialize(self):
+        return 0
+
+    def accumulate(self, state, values):
+        return state + int(values.size)
+
+    def merge(self, a, b):
+        return a + b
+
+
+class MinAggregator(Aggregator):
+    name = "min"
+
+    def initialize(self):
+        return None
+
+    def accumulate(self, state, values):
+        if values.size == 0:
+            return state
+        low = float(values.min())
+        return low if state is None else min(state, low)
+
+    def merge(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+
+class MaxAggregator(Aggregator):
+    name = "max"
+
+    def initialize(self):
+        return None
+
+    def accumulate(self, state, values):
+        if values.size == 0:
+            return state
+        high = float(values.max())
+        return high if state is None else max(state, high)
+
+    def merge(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+
+
+class AvgAggregator(Aggregator):
+    """Average via a (sum, count) state pair."""
+
+    name = "avg"
+
+    def initialize(self):
+        return (0.0, 0)
+
+    def accumulate(self, state, values):
+        return (state[0] + float(values.sum()), state[1] + int(values.size))
+
+    def merge(self, a, b):
+        return (a[0] + b[0], a[1] + b[1])
+
+    def evaluate(self, state):
+        total, count = state
+        return total / count if count else None
+
+
+def scalar_aggregator(name, initialize, accumulate_one, merge,
+                      evaluate=None):
+    """Build an Aggregator from a scalar-at-a-time user function.
+
+    This is the user-defined-function abstraction of Section V-B: the
+    caller supplies the four functions and never sees vectors.
+    """
+
+    class _UserAggregator(Aggregator):
+        def initialize(self):
+            return initialize()
+
+        def accumulate(self, state, values):
+            for value in values:
+                state = accumulate_one(state, value)
+            return state
+
+        def merge(self, a, b):
+            return merge(a, b)
+
+        def evaluate(self, state):
+            return evaluate(state) if evaluate is not None else state
+
+    _UserAggregator.name = name
+    return _UserAggregator()
+
+
+BUILTIN_AGGREGATORS = {
+    "sum": SumAggregator,
+    "count": CountAggregator,
+    "min": MinAggregator,
+    "max": MaxAggregator,
+    "avg": AvgAggregator,
+}
+
+
+def resolve_aggregator(agg) -> Aggregator:
+    """Accept an Aggregator instance or a builtin name."""
+    if isinstance(agg, Aggregator):
+        return agg
+    if isinstance(agg, str):
+        try:
+            return BUILTIN_AGGREGATORS[agg]()
+        except KeyError:
+            raise ArrayError(
+                f"unknown aggregator {agg!r}; builtins are "
+                f"{sorted(BUILTIN_AGGREGATORS)}"
+            ) from None
+    raise ArrayError(f"expected Aggregator or name, got {type(agg)}")
+
+
+class Accumulator:
+    """Prefix accumulation along one axis (Section V-B).
+
+    Operates on the dense (values, valid) representation of an array,
+    chunked along ``axis`` with interval ``chunk_interval``. Returns the
+    running ``op``-prefix over valid cells (invalid cells pass the
+    running value through unchanged and stay invalid).
+
+    ``mode="sync"`` processes one chunk-slab at a time in axis order,
+    synchronizing at every chunk boundary — ``num_sync_steps`` counts
+    those barriers. ``mode="async"`` lets all chunks accumulate
+    internally (one parallel step), then fixes up chunk offsets with a
+    single exclusive scan over per-chunk totals. For associative ``op``
+    the async result is exact; the cost difference (many barriers vs
+    two) is what the paper's sync/async distinction is about.
+    """
+
+    def __init__(self, op=np.add, identity=0.0):
+        self.op = op
+        self.identity = identity
+        self.num_sync_steps = 0
+
+    def run(self, values: np.ndarray, valid: np.ndarray, axis: int,
+            chunk_interval: int, mode: str = "sync") -> np.ndarray:
+        if values.shape != valid.shape:
+            raise ArrayError("values and valid must have the same shape")
+        if not 0 <= axis < values.ndim:
+            raise ArrayError(f"axis {axis} out of range")
+        if chunk_interval <= 0:
+            raise ArrayError("chunk_interval must be positive")
+        if mode == "sync":
+            return self._run_sync(values, valid, axis, chunk_interval)
+        if mode == "async":
+            return self._run_async(values, valid, axis, chunk_interval)
+        raise ArrayError(f"unknown accumulator mode {mode!r}")
+
+    def _masked(self, values, valid):
+        filled = np.where(valid, values, self.identity)
+        return filled
+
+    def _run_sync(self, values, valid, axis, chunk_interval):
+        self.num_sync_steps = 0
+        filled = self._masked(values, valid)
+        out = np.empty_like(filled, dtype=np.float64)
+        length = values.shape[axis]
+        carry = None
+        for start in range(0, length, chunk_interval):
+            stop = min(start + chunk_interval, length)
+            slab = np.take(filled, range(start, stop), axis=axis)
+            prefix = self.op.accumulate(slab, axis=axis, dtype=np.float64)
+            if carry is not None:
+                prefix = self.op(prefix, np.expand_dims(carry, axis))
+            index = [slice(None)] * values.ndim
+            index[axis] = slice(start, stop)
+            out[tuple(index)] = prefix
+            carry = np.take(prefix, -1, axis=axis)
+            self.num_sync_steps += 1
+        return out
+
+    def _run_async(self, values, valid, axis, chunk_interval):
+        self.num_sync_steps = 2  # one parallel scan + one adjustment
+        filled = self._masked(values, valid)
+        out = np.empty_like(filled, dtype=np.float64)
+        length = values.shape[axis]
+        totals = []
+        # phase 1: every chunk scans internally (parallel in spirit)
+        for start in range(0, length, chunk_interval):
+            stop = min(start + chunk_interval, length)
+            slab = np.take(filled, range(start, stop), axis=axis)
+            prefix = self.op.accumulate(slab, axis=axis, dtype=np.float64)
+            index = [slice(None)] * values.ndim
+            index[axis] = slice(start, stop)
+            out[tuple(index)] = prefix
+            totals.append(np.take(prefix, -1, axis=axis))
+        # phase 2: one exclusive scan of chunk totals, added back
+        carry = None
+        for block, start in enumerate(range(0, length, chunk_interval)):
+            if block == 0:
+                carry = totals[0]
+                continue
+            stop = min(start + chunk_interval, length)
+            index = [slice(None)] * values.ndim
+            index[axis] = slice(start, stop)
+            out[tuple(index)] = self.op(out[tuple(index)],
+                                        np.expand_dims(carry, axis))
+            carry = self.op(carry, totals[block])
+        return out

@@ -1,0 +1,460 @@
+"""ArrayRDD: a distributed array as an RDD of (chunk_id, Chunk) records.
+
+The paper's central abstraction (Section III-B). An ArrayRDD inherits the
+pair-RDD contract from the engine — fault tolerance, lazy evaluation,
+partitioning — and adds the array operators of Section V: Subarray,
+Filter, Join (via :meth:`combine`), the Aggregator framework, and the
+matrix layer (package :mod:`repro.matrix`) builds on it.
+
+Empty chunks are never materialized: any operation that leaves a chunk
+with zero valid cells drops the record entirely, which is the paper's
+memory-reduction policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmask import Bitmask
+from repro.core import mapper
+from repro.core.aggregates import resolve_aggregator
+from repro.core.chunk import Chunk, ChunkMode
+from repro.core.metadata import ArrayMetadata
+from repro.engine import HashPartitioner
+from repro.errors import ArrayError, ShapeMismatchError
+
+
+class ArrayRDD:
+    """A lazily-evaluated, chunked, distributed array."""
+
+    def __init__(self, rdd, meta: ArrayMetadata, context):
+        self.rdd = rdd
+        self.meta = meta
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_numpy(cls, context, array, chunk_shape, valid=None,
+                   num_partitions=None, mode: ChunkMode = None,
+                   starts=None, dim_names=None,
+                   attribute="value") -> "ArrayRDD":
+        """Chunk a driver-side numpy array into an ArrayRDD.
+
+        ``valid`` marks which cells carry real data (None = all). Cells
+        with NaN values are additionally treated as null, matching the
+        paper's NaN discussion in Section II-B.
+        """
+        array = np.asarray(array)
+        meta = ArrayMetadata(array.shape, chunk_shape, starts=starts,
+                             dim_names=dim_names, dtype=array.dtype,
+                             attribute=attribute)
+        if valid is None:
+            valid = np.ones(array.shape, dtype=bool)
+        else:
+            valid = np.asarray(valid, dtype=bool)
+            if valid.shape != array.shape:
+                raise ShapeMismatchError(
+                    f"valid shape {valid.shape} != array shape "
+                    f"{array.shape}"
+                )
+        if np.issubdtype(array.dtype, np.floating):
+            valid = valid & ~np.isnan(array)
+        records = []
+        for chunk_id in range(meta.num_chunks):
+            chunk = _chunk_from_region(meta, chunk_id, array, valid, mode)
+            if chunk is not None:
+                records.append((chunk_id, chunk))
+        return cls._distribute(context, records, meta, num_partitions)
+
+    @classmethod
+    def _distribute(cls, context, records, meta,
+                    num_partitions=None) -> "ArrayRDD":
+        if num_partitions is None:
+            num_partitions = context.default_parallelism
+        partitioner = HashPartitioner(num_partitions)
+        rdd = context.parallelize(records, num_partitions,
+                                  partitioner=partitioner)
+        rdd.partitioner = partitioner
+        return cls(rdd, meta, context)
+
+    @classmethod
+    def from_chunks(cls, context, chunk_records, meta,
+                    num_partitions=None) -> "ArrayRDD":
+        """Wrap explicit ``(chunk_id, Chunk)`` records."""
+        records = [(cid, c) for cid, c in chunk_records
+                   if c.valid_count > 0]
+        return cls._distribute(context, records, meta, num_partitions)
+
+    def _with_rdd(self, rdd, meta=None) -> "ArrayRDD":
+        return ArrayRDD(rdd, meta or self.meta, self.context)
+
+    # ------------------------------------------------------------------
+    # basic actions
+    # ------------------------------------------------------------------
+
+    def num_chunks_materialized(self) -> int:
+        return self.rdd.count()
+
+    def count_valid(self) -> int:
+        return self.rdd.map(lambda kv: kv[1].valid_count).fold(
+            0, lambda a, b: a + b
+        )
+
+    def memory_bytes(self) -> int:
+        """Total in-memory footprint of all chunks (payloads + masks)."""
+        return self.rdd.map(lambda kv: kv[1].nbytes).fold(
+            0, lambda a, b: a + b
+        )
+
+    def get(self, coords):
+        """Point query: value at global coordinates, or None if invalid."""
+        coords = self.meta.check_coords(coords)
+        chunk_id = mapper.chunk_id_for_coords(self.meta, coords)
+        offset = mapper.local_offset(self.meta, coords)
+        hits = self.rdd.lookup(chunk_id)
+        if not hits:
+            return None
+        return hits[0].get(offset)
+
+    def collect_dense(self, fill=np.nan):
+        """Materialize as ``(values, valid)`` numpy arrays on the driver."""
+        values = np.full(self.meta.shape, fill,
+                         dtype=np.result_type(self.meta.dtype, type(fill))
+                         if fill is not np.nan else np.float64)
+        valid = np.zeros(self.meta.shape, dtype=bool)
+        for chunk_id, chunk in self.rdd.collect():
+            sel, local_shape = _chunk_selection(self.meta, chunk_id)
+            dense = chunk.to_dense(fill).reshape(
+                self.meta.chunk_shape, order="F")
+            mask = chunk.valid_bools().reshape(
+                self.meta.chunk_shape, order="F")
+            clip = tuple(slice(0, n) for n in local_shape)
+            values[sel] = dense[clip]
+            valid[sel] = mask[clip]
+        return values, valid
+
+    def cache(self) -> "ArrayRDD":
+        self.rdd.cache()
+        return self
+
+    def unpersist(self) -> "ArrayRDD":
+        self.rdd.unpersist()
+        return self
+
+    def materialize(self) -> "ArrayRDD":
+        """Force computation now (cache + count)."""
+        self.rdd.cache()
+        self.rdd.count()
+        return self
+
+    # ------------------------------------------------------------------
+    # operators (Section V)
+    # ------------------------------------------------------------------
+
+    def map_values(self, func) -> "ArrayRDD":
+        """Apply a vectorized function to every valid value."""
+        return self._with_rdd(
+            self.rdd.map_values(lambda chunk: chunk.map_values(func))
+        )
+
+    def filter(self, predicate) -> "ArrayRDD":
+        """Invalidate cells whose value fails ``predicate(values)``.
+
+        ``predicate`` is vectorized: it receives a value vector and
+        returns booleans. Chunks left with no valid cell are dropped.
+        """
+        filtered = self.rdd.map_values(
+            lambda chunk: chunk.filter(predicate)
+        ).filter(lambda kv: kv[1].valid_count > 0)
+        filtered.partitioner = self.rdd.partitioner
+        return self._with_rdd(filtered)
+
+    def subarray(self, lo, hi) -> "ArrayRDD":
+        """Keep cells inside the closed coordinate box ``[lo, hi]``.
+
+        Implements Fig. 4a: select intersecting chunks by ID (a metadata
+        operation — no scan), then AND each chunk's bitmask with the
+        virtual bitmask of the range.
+        """
+        wanted = set(mapper.chunk_ids_in_range(self.meta, lo, hi))
+        meta = self.meta
+
+        def restrict(index, part):
+            for chunk_id, chunk in part:
+                if chunk_id not in wanted:
+                    continue
+                if mapper.chunk_fully_inside(meta, chunk_id, lo, hi):
+                    yield chunk_id, chunk
+                    continue
+                virtual = Bitmask.from_bools(
+                    mapper.range_mask_for_chunk(meta, chunk_id, lo, hi)
+                )
+                restricted = chunk.and_mask(virtual)
+                if restricted.valid_count > 0:
+                    yield chunk_id, restricted
+
+        out = self.rdd.map_partitions_with_index(
+            restrict, preserves_partitioning=True
+        )
+        return self._with_rdd(out)
+
+    def combine(self, other: "ArrayRDD", op, how: str = "and",
+                fill=0) -> "ArrayRDD":
+        """Cell-wise combination of two co-dimensional arrays.
+
+        ``how="and"`` — and-join semantics: a result cell is valid only
+        when both inputs are (chunks missing on either side vanish).
+        ``how="or"`` — or-join: valid when either input is; the missing
+        operand contributes ``fill``.
+
+        When both ArrayRDDs share a partitioner the underlying join is
+        narrow — no shuffle.
+        """
+        if other.meta.shape != self.meta.shape:
+            raise ShapeMismatchError(
+                f"shape mismatch: {self.meta.shape} vs {other.meta.shape}"
+            )
+        if other.meta.chunk_shape != self.meta.chunk_shape:
+            raise ShapeMismatchError(
+                f"chunk shape mismatch: {self.meta.chunk_shape} vs "
+                f"{other.meta.chunk_shape}"
+            )
+        cells = self.meta.cells_per_chunk
+        dtype = self.meta.dtype
+        if how == "and":
+            joined = self.rdd.join(other.rdd)
+
+            def merge_and(pair):
+                left, right = pair
+                return left.elementwise(right, op, how="and")
+
+            out = joined.map_values(merge_and)
+        elif how == "or":
+            joined = self.rdd.full_outer_join(other.rdd)
+
+            def merge_or(pair):
+                left, right = pair
+                if left is None:
+                    left = Chunk.empty(cells, dtype=dtype)
+                if right is None:
+                    right = Chunk.empty(cells, dtype=dtype)
+                return left.elementwise(right, op, how="or", fill=fill)
+
+            out = joined.map_values(merge_or)
+        else:
+            raise ArrayError(f"unknown join mode {how!r}; use 'and'/'or'")
+        out = out.filter(lambda kv: kv[1].valid_count > 0)
+        return self._with_rdd(out)
+
+    def aggregate(self, aggregator="sum"):
+        """Collapse the whole array to one value with an Aggregator."""
+        agg = resolve_aggregator(aggregator)
+
+        def per_chunk(part):
+            state = agg.initialize()
+            for _chunk_id, chunk in part:
+                state = agg.accumulate(state, chunk.values())
+            return [state]
+
+        states = self.rdd.map_partitions(per_chunk).collect()
+        merged = agg.initialize()
+        for state in states:
+            merged = agg.merge(merged, state)
+        return agg.evaluate(merged)
+
+    def aggregate_by(self, dims, aggregator="sum",
+                     group_chunk_shape=None) -> "ArrayRDD":
+        """Group-by-dimensions aggregation producing a new, smaller array.
+
+        ``dims`` are the dimension names (or indices) to *keep*; all
+        other axes are collapsed. Each chunk computes partial states per
+        group (map side), a shuffle merges them, and the result becomes
+        a new ArrayRDD over the reduced schema — the "new schema" of
+        Section V-B.
+        """
+        axes = tuple(
+            self.meta.dim_index(d) if isinstance(d, str) else int(d)
+            for d in dims
+        )
+        if len(set(axes)) != len(axes) or not axes:
+            raise ArrayError(f"bad group dimensions: {dims}")
+        agg = resolve_aggregator(aggregator)
+        meta = self.meta
+
+        def partials(part):
+            for chunk_id, chunk in part:
+                offsets = chunk.indices()
+                if offsets.size == 0:
+                    continue
+                coords = mapper.coords_for_offsets_array(
+                    meta, chunk_id, offsets)
+                labels = coords[:, list(axes)]
+                values = chunk.values()
+                order = np.lexsort(labels.T[::-1])
+                labels = labels[order]
+                values = values[order]
+                boundaries = np.ones(labels.shape[0], dtype=bool)
+                boundaries[1:] = (labels[1:] != labels[:-1]).any(axis=1)
+                group_starts = np.nonzero(boundaries)[0]
+                group_ends = np.append(group_starts[1:], labels.shape[0])
+                for start, end in zip(group_starts, group_ends):
+                    state = agg.accumulate(agg.initialize(),
+                                           values[start:end])
+                    yield tuple(labels[start]), state
+
+        merged = self.rdd.map_partitions(partials) \
+                         .reduce_by_key(agg.merge) \
+                         .map_values(agg.evaluate)
+
+        new_shape = tuple(self.meta.shape[a] for a in axes)
+        new_starts = tuple(self.meta.starts[a] for a in axes)
+        new_names = tuple(self.meta.dim_names[a] for a in axes)
+        if group_chunk_shape is None:
+            group_chunk_shape = tuple(
+                min(self.meta.chunk_shape[a], new_shape[i])
+                for i, a in enumerate(axes)
+            )
+        new_meta = ArrayMetadata(new_shape, group_chunk_shape,
+                                 starts=new_starts, dim_names=new_names,
+                                 dtype=np.float64,
+                                 attribute=f"{agg.name}_{meta.attribute}")
+        from repro.core.ingest import array_rdd_from_cell_rdd
+
+        return array_rdd_from_cell_rdd(self.context, merged, new_meta)
+
+    # convenience scalar reductions -------------------------------------
+
+    def sum(self):
+        return self.aggregate("sum")
+
+    def min(self):
+        return self.aggregate("min")
+
+    def max(self):
+        return self.aggregate("max")
+
+    def avg(self):
+        return self.aggregate("avg")
+
+    def head(self, n: int = 10) -> list:
+        """First ``n`` valid cells as ``(coords, value)``, by chunk order.
+
+        Stops computing partitions as soon as enough cells are found.
+        """
+        meta = self.meta
+        taken = []
+        for index in range(self.rdd.num_partitions):
+            if len(taken) >= n:
+                break
+            for chunk_id, chunk in self.context.run_partition(self.rdd,
+                                                              index):
+                offsets = chunk.indices()[:n - len(taken)]
+                coords = mapper.coords_for_offsets_array(meta, chunk_id,
+                                                         offsets)
+                for cell_coords, value in zip(
+                        coords, chunk.values()[:offsets.size]):
+                    taken.append((tuple(int(c) for c in cell_coords),
+                                  value))
+                if len(taken) >= n:
+                    break
+        return taken[:n]
+
+    def show(self, n: int = 10) -> None:
+        """Print a small sample of valid cells (Spark's ``show``)."""
+        cells = self.head(n)
+        header = " | ".join(f"{name:>8}" for name in self.meta.dim_names)
+        print(f"{header} | {self.meta.attribute}")
+        print("-" * (len(header) + 3 + len(self.meta.attribute)))
+        for coords, value in cells:
+            coord_text = " | ".join(f"{c:>8}" for c in coords)
+            print(f"{coord_text} | {value:.6g}")
+        total = self.count_valid()
+        if total > n:
+            print(f"... {total - len(cells):,} more valid cells")
+
+    # ------------------------------------------------------------------
+    # arithmetic operators
+    # ------------------------------------------------------------------
+    # Paper semantics (Section II-B): arithmetic with a null value is
+    # null — so binary operators use and-join validity. Scalars map
+    # over valid cells only. Use :meth:`combine` with ``how="or"`` for
+    # union semantics explicitly.
+
+    def _binary_op(self, other, op):
+        if isinstance(other, ArrayRDD):
+            return self.combine(other, op, how="and")
+        if np.isscalar(other):
+            return self.map_values(lambda xs: op(xs, other))
+        return NotImplemented
+
+    def __add__(self, other):
+        return self._binary_op(other, np.add)
+
+    def __radd__(self, other):
+        if np.isscalar(other):
+            return self.map_values(lambda xs: other + xs)
+        return NotImplemented
+
+    def __sub__(self, other):
+        return self._binary_op(other, np.subtract)
+
+    def __rsub__(self, other):
+        if np.isscalar(other):
+            return self.map_values(lambda xs: other - xs)
+        return NotImplemented
+
+    def __mul__(self, other):
+        return self._binary_op(other, np.multiply)
+
+    def __rmul__(self, other):
+        if np.isscalar(other):
+            return self.map_values(lambda xs: other * xs)
+        return NotImplemented
+
+    def __truediv__(self, other):
+        return self._binary_op(other, np.divide)
+
+    def __neg__(self):
+        return self.map_values(np.negative)
+
+    def __abs__(self):
+        return self.map_values(np.abs)
+
+    def __repr__(self) -> str:
+        return f"ArrayRDD({self.meta.describe()})"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _chunk_selection(meta: ArrayMetadata, chunk_id: int):
+    """Global slices of a chunk's in-bounds region + its clipped shape."""
+    origin = mapper.chunk_origin(meta, chunk_id)
+    sel = []
+    local_shape = []
+    for axis in range(meta.ndim):
+        lo = origin[axis] - meta.starts[axis]
+        hi = min(lo + meta.chunk_shape[axis], meta.shape[axis])
+        sel.append(slice(lo, hi))
+        local_shape.append(hi - lo)
+    return tuple(sel), tuple(local_shape)
+
+
+def _chunk_from_region(meta: ArrayMetadata, chunk_id: int, array, valid,
+                       mode):
+    """Cut one chunk out of a dense array; None when it has no valid cell."""
+    sel, local_shape = _chunk_selection(meta, chunk_id)
+    region_valid = valid[sel]
+    if not region_valid.any():
+        return None
+    padded_values = np.zeros(meta.chunk_shape, dtype=array.dtype)
+    padded_valid = np.zeros(meta.chunk_shape, dtype=bool)
+    clip = tuple(slice(0, n) for n in local_shape)
+    padded_values[clip] = array[sel]
+    padded_valid[clip] = region_valid
+    return Chunk.from_dense(padded_values.ravel(order="F"),
+                            padded_valid.ravel(order="F"), mode=mode)

@@ -1,0 +1,240 @@
+"""The mapper: Algorithm 1 and its inverses (Section III-C).
+
+Translates between the logical layout (global coordinates) and the
+physical layout (chunk IDs plus payload offsets). The conventions follow
+Algorithm 1 exactly: dimension 0 varies fastest in the chunk-ID
+numbering, and the same fastest-first order is used for the local offset
+of a cell inside its chunk.
+
+Everything has a vectorized twin (suffix ``_array``) operating on an
+``(n, ndim)`` coordinate matrix, used by ingest and the query operators.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.metadata import ArrayMetadata
+from repro.errors import CoordinateError
+
+
+def chunk_id_for_coords(meta: ArrayMetadata, coords) -> int:
+    """Algorithm 1: compute a chunk ID from global coordinates."""
+    coords = meta.check_coords(coords)
+    chunk_id = 0
+    length = 1
+    for axis in range(meta.ndim):
+        pos = coords[axis] - meta.starts[axis]
+        chunk_id += (pos // meta.chunk_shape[axis]) * length
+        length *= meta.chunk_grid[axis]
+    return chunk_id
+
+
+def chunk_coords_from_id(meta: ArrayMetadata, chunk_id: int) -> tuple:
+    """Inverse of Algorithm 1: chunk-grid coordinates of a chunk ID."""
+    if not 0 <= chunk_id < meta.num_chunks:
+        raise CoordinateError(
+            f"chunk id {chunk_id} out of range [0, {meta.num_chunks})"
+        )
+    grid_coords = []
+    remaining = chunk_id
+    for grid_size in meta.chunk_grid:
+        grid_coords.append(remaining % grid_size)
+        remaining //= grid_size
+    return tuple(grid_coords)
+
+
+def chunk_id_from_chunk_coords(meta: ArrayMetadata, grid_coords) -> int:
+    """Chunk ID from chunk-grid coordinates."""
+    chunk_id = 0
+    length = 1
+    for axis, g in enumerate(grid_coords):
+        if not 0 <= g < meta.chunk_grid[axis]:
+            raise CoordinateError(
+                f"chunk grid coord {g} out of range on axis {axis}"
+            )
+        chunk_id += g * length
+        length *= meta.chunk_grid[axis]
+    return chunk_id
+
+
+def chunk_origin(meta: ArrayMetadata, chunk_id: int) -> tuple:
+    """Global coordinates of the first cell of a chunk."""
+    grid = chunk_coords_from_id(meta, chunk_id)
+    return tuple(
+        start + g * interval
+        for start, g, interval in zip(meta.starts, grid, meta.chunk_shape)
+    )
+
+
+def local_offset(meta: ArrayMetadata, coords) -> int:
+    """Payload offset of a cell inside its chunk (dimension 0 fastest)."""
+    coords = meta.check_coords(coords)
+    offset = 0
+    length = 1
+    for axis in range(meta.ndim):
+        pos = coords[axis] - meta.starts[axis]
+        offset += (pos % meta.chunk_shape[axis]) * length
+        length *= meta.chunk_shape[axis]
+    return offset
+
+
+def coords_for_offset(meta: ArrayMetadata, chunk_id: int,
+                      offset: int) -> tuple:
+    """Global coordinates of the cell at ``offset`` in chunk ``chunk_id``.
+
+    May produce coordinates beyond the array boundary for the padding
+    cells of an edge chunk; callers treating those as valid is a bug the
+    bitmask already prevents.
+    """
+    origin = chunk_origin(meta, chunk_id)
+    coords = []
+    remaining = offset
+    for axis in range(meta.ndim):
+        coords.append(origin[axis] + remaining % meta.chunk_shape[axis])
+        remaining //= meta.chunk_shape[axis]
+    return tuple(coords)
+
+
+def in_bounds_mask_for_chunk(meta: ArrayMetadata,
+                             chunk_id: int) -> np.ndarray:
+    """Boolean array over a chunk's cells: inside the array boundary?
+
+    All-true except for edge chunks, whose padding cells are forever
+    invalid.
+    """
+    origin = chunk_origin(meta, chunk_id)
+    grids = np.meshgrid(
+        *[
+            np.arange(origin[axis], origin[axis] + meta.chunk_shape[axis])
+            for axis in range(meta.ndim)
+        ],
+        indexing="ij",
+    )
+    inside = np.ones(meta.chunk_shape, dtype=bool)
+    for axis in range(meta.ndim):
+        inside &= grids[axis] < meta.ends[axis]
+    # local offset order is dimension-0-fastest == Fortran ravel
+    return inside.ravel(order="F")
+
+
+# ----------------------------------------------------------------------
+# vectorized twins
+# ----------------------------------------------------------------------
+
+def chunk_ids_for_coords_array(meta: ArrayMetadata,
+                               coords: np.ndarray) -> np.ndarray:
+    """Vectorized Algorithm 1 over an ``(n, ndim)`` coordinate matrix."""
+    coords = np.asarray(coords, dtype=np.int64)
+    if coords.ndim != 2 or coords.shape[1] != meta.ndim:
+        raise CoordinateError(
+            f"expected an (n, {meta.ndim}) coordinate matrix, got "
+            f"shape {coords.shape}"
+        )
+    chunk_ids = np.zeros(coords.shape[0], dtype=np.int64)
+    length = 1
+    for axis in range(meta.ndim):
+        pos = coords[:, axis] - meta.starts[axis]
+        chunk_ids += (pos // meta.chunk_shape[axis]) * length
+        length *= meta.chunk_grid[axis]
+    return chunk_ids
+
+
+def local_offsets_for_coords_array(meta: ArrayMetadata,
+                                   coords: np.ndarray) -> np.ndarray:
+    """Vectorized local offsets over an ``(n, ndim)`` coordinate matrix."""
+    coords = np.asarray(coords, dtype=np.int64)
+    offsets = np.zeros(coords.shape[0], dtype=np.int64)
+    length = 1
+    for axis in range(meta.ndim):
+        pos = coords[:, axis] - meta.starts[axis]
+        offsets += (pos % meta.chunk_shape[axis]) * length
+        length *= meta.chunk_shape[axis]
+    return offsets
+
+
+def coords_for_offsets_array(meta: ArrayMetadata, chunk_id: int,
+                             offsets: np.ndarray) -> np.ndarray:
+    """Vectorized inverse: ``(n, ndim)`` global coords for payload offsets."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    origin = chunk_origin(meta, chunk_id)
+    out = np.empty((offsets.size, meta.ndim), dtype=np.int64)
+    remaining = offsets.copy()
+    for axis in range(meta.ndim):
+        out[:, axis] = origin[axis] + remaining % meta.chunk_shape[axis]
+        remaining //= meta.chunk_shape[axis]
+    return out
+
+
+# ----------------------------------------------------------------------
+# range queries
+# ----------------------------------------------------------------------
+
+def chunk_ids_in_range(meta: ArrayMetadata, lo, hi) -> list:
+    """Chunk IDs whose box intersects the closed coordinate box [lo, hi].
+
+    ``lo``/``hi`` are global top-left and bottom-right corners, the way
+    Subarray takes them (Section V-A-1).
+    """
+    lo = tuple(int(c) for c in lo)
+    hi = tuple(int(c) for c in hi)
+    if len(lo) != meta.ndim or len(hi) != meta.ndim:
+        raise CoordinateError(
+            f"range corners must have {meta.ndim} coordinates"
+        )
+    if any(a > b for a, b in zip(lo, hi)):
+        raise CoordinateError(f"empty range: lo={lo} > hi={hi}")
+    axis_ranges = []
+    for axis in range(meta.ndim):
+        clamped_lo = max(lo[axis], meta.starts[axis])
+        clamped_hi = min(hi[axis], meta.ends[axis] - 1)
+        if clamped_lo > clamped_hi:
+            return []
+        first = (clamped_lo - meta.starts[axis]) // meta.chunk_shape[axis]
+        last = (clamped_hi - meta.starts[axis]) // meta.chunk_shape[axis]
+        axis_ranges.append(range(first, last + 1))
+    ids = []
+    for grid_coords in itertools.product(*axis_ranges):
+        ids.append(chunk_id_from_chunk_coords(meta, grid_coords))
+    return sorted(ids)
+
+
+def chunk_fully_inside(meta: ArrayMetadata, chunk_id: int, lo, hi) -> bool:
+    """Is the chunk's whole box inside the closed range [lo, hi]?
+
+    Pure integer arithmetic — lets Subarray skip building the virtual
+    bitmask (it would be all-ones) for interior chunks.
+    """
+    origin = chunk_origin(meta, chunk_id)
+    for axis in range(meta.ndim):
+        if origin[axis] < lo[axis]:
+            return False
+        # the chunk's last *in-bounds* cell along this axis
+        last = min(origin[axis] + meta.chunk_shape[axis],
+                   meta.ends[axis]) - 1
+        if last > hi[axis]:
+            return False
+    return True
+
+
+def range_mask_for_chunk(meta: ArrayMetadata, chunk_id: int,
+                         lo, hi) -> np.ndarray:
+    """Boolean array over a chunk's cells: inside the closed box [lo, hi]?
+
+    This is the *virtual bitmask* of Fig. 4a — Subarray ANDs it with the
+    chunk's own bitmask.
+    """
+    origin = chunk_origin(meta, chunk_id)
+    grids = np.meshgrid(
+        *[
+            np.arange(origin[axis], origin[axis] + meta.chunk_shape[axis])
+            for axis in range(meta.ndim)
+        ],
+        indexing="ij",
+    )
+    inside = np.ones(meta.chunk_shape, dtype=bool)
+    for axis in range(meta.ndim):
+        inside &= (grids[axis] >= lo[axis]) & (grids[axis] <= hi[axis])
+    return inside.ravel(order="F")

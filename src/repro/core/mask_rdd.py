@@ -1,0 +1,169 @@
+"""MaskRDD: the hidden, lazily-evaluated global validity mask.
+
+Section III-B-1 of the paper: with more than one attribute, keeping every
+attribute's bitmask consistent after each Filter/Subarray is expensive.
+The MaskRDD records the *global* validity instead; operators transform
+only the MaskRDD (cheap — one small RDD of bitmasks), and attributes are
+reconciled on demand with a single AND per chunk.
+
+The with/without-MaskRDD performance gap is the paper's Fig. 9b.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmask import Bitmask
+from repro.core import mapper
+from repro.core.metadata import ArrayMetadata
+from repro.errors import ArrayError, ShapeMismatchError
+
+
+class MaskRDD:
+    """An RDD of ``(chunk_id, Bitmask)`` describing valid cells globally."""
+
+    def __init__(self, rdd, meta: ArrayMetadata, context):
+        self.rdd = rdd
+        self.meta = meta
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_array_rdd(cls, array_rdd) -> "MaskRDD":
+        """Initial mask: exactly the validity of one attribute."""
+        masks = array_rdd.rdd.map_values(lambda chunk: chunk.flat_mask())
+        return cls(masks, array_rdd.meta, array_rdd.context)
+
+    @classmethod
+    def full(cls, context, meta: ArrayMetadata,
+             num_partitions=None) -> "MaskRDD":
+        """All in-bounds cells valid."""
+        records = []
+        for chunk_id in range(meta.num_chunks):
+            inside = mapper.in_bounds_mask_for_chunk(meta, chunk_id)
+            records.append((chunk_id, Bitmask.from_bools(inside)))
+        if num_partitions is None:
+            num_partitions = context.default_parallelism
+        from repro.engine import HashPartitioner
+
+        partitioner = HashPartitioner(num_partitions)
+        rdd = context.parallelize(records, num_partitions,
+                                  partitioner=partitioner)
+        rdd.partitioner = partitioner
+        return cls(rdd, meta, context)
+
+    def _with_rdd(self, rdd) -> "MaskRDD":
+        return MaskRDD(rdd, self.meta, self.context)
+
+    # ------------------------------------------------------------------
+    # mask transformations (all lazy, all cheap)
+    # ------------------------------------------------------------------
+
+    def subarray(self, lo, hi) -> "MaskRDD":
+        """AND with the virtual bitmask of a coordinate box (Fig. 4a)."""
+        wanted = set(mapper.chunk_ids_in_range(self.meta, lo, hi))
+        meta = self.meta
+
+        def restrict(index, part):
+            for chunk_id, mask in part:
+                if chunk_id not in wanted:
+                    continue
+                if mapper.chunk_fully_inside(meta, chunk_id, lo, hi):
+                    yield chunk_id, mask
+                    continue
+                virtual = Bitmask.from_bools(
+                    mapper.range_mask_for_chunk(meta, chunk_id, lo, hi))
+                combined = mask & virtual
+                if combined.any():
+                    yield chunk_id, combined
+
+        return self._with_rdd(self.rdd.map_partitions_with_index(
+            restrict, preserves_partitioning=True))
+
+    def filter_on(self, array_rdd, predicate) -> "MaskRDD":
+        """AND with the cells of ``array_rdd`` passing ``predicate``.
+
+        Fig. 4b: evaluate the filter once against the chosen attribute,
+        flip the failing bits in the MaskRDD, and leave every other
+        attribute untouched until evaluation time.
+        """
+        if array_rdd.meta.shape != self.meta.shape:
+            raise ShapeMismatchError(
+                "filter attribute has a different shape from the mask"
+            )
+
+        def to_mask(chunk):
+            keep = np.asarray(predicate(chunk.values()), dtype=bool)
+            kept_offsets = chunk.indices()[keep]
+            return Bitmask.from_indices(chunk.num_cells, kept_offsets)
+
+        passing = array_rdd.rdd.map_values(to_mask)
+        joined = self.rdd.join(passing)
+        combined = joined.map_values(lambda pair: pair[0] & pair[1]) \
+                         .filter(lambda kv: kv[1].any())
+        combined.partitioner = joined.partitioner
+        return self._with_rdd(combined)
+
+    def and_(self, other: "MaskRDD") -> "MaskRDD":
+        """Cell-wise AND of two masks (and-join of Fig. 4c)."""
+        self._check_compatible(other)
+        joined = self.rdd.join(other.rdd)
+        out = joined.map_values(lambda pair: pair[0] & pair[1]) \
+                    .filter(lambda kv: kv[1].any())
+        return self._with_rdd(out)
+
+    def or_(self, other: "MaskRDD") -> "MaskRDD":
+        """Cell-wise OR of two masks (or-join of Fig. 4c)."""
+        self._check_compatible(other)
+        joined = self.rdd.full_outer_join(other.rdd)
+
+        def merge(pair):
+            left, right = pair
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return left | right
+
+        return self._with_rdd(joined.map_values(merge))
+
+    def _check_compatible(self, other: "MaskRDD") -> None:
+        if other.meta.shape != self.meta.shape \
+                or other.meta.chunk_shape != self.meta.chunk_shape:
+            raise ShapeMismatchError(
+                "mask geometry mismatch: "
+                f"{self.meta.describe()} vs {other.meta.describe()}"
+            )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def apply_to(self, array_rdd):
+        """Reconcile an attribute with this mask (the on-demand step).
+
+        Joins attribute chunks with mask chunks and ANDs; attribute
+        chunks with no surviving cell — or no mask entry at all — are
+        dropped.
+        """
+        from repro.core.array_rdd import ArrayRDD
+
+        joined = array_rdd.rdd.join(self.rdd)
+        out = joined.map_values(
+            lambda pair: pair[0].and_mask(pair[1])
+        ).filter(lambda kv: kv[1].valid_count > 0)
+        return ArrayRDD(out, array_rdd.meta, array_rdd.context)
+
+    def count_valid(self) -> int:
+        return self.rdd.map(lambda kv: kv[1].count()).fold(
+            0, lambda a, b: a + b)
+
+    def cache(self) -> "MaskRDD":
+        self.rdd.cache()
+        return self
+
+    def __repr__(self) -> str:
+        return f"MaskRDD({self.meta.describe()})"

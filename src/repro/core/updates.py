@@ -1,0 +1,140 @@
+"""Cell updates: upserting records into an existing ArrayRDD.
+
+Arrays evolve — new observations arrive, bad retrievals are corrected,
+regions are re-processed. RDDs are immutable, so an update produces a
+new ArrayRDD; the machinery routes the incoming cells to their chunks
+(Algorithm 1), joins them against the existing chunks, and resolves
+conflicts per cell:
+
+- ``"replace"`` — the incoming value wins;
+- ``"keep"`` — the existing value wins (insert-only);
+- ``"sum"`` — values add (accumulation ingest);
+- a callable ``resolver(old_values, new_values) -> values``.
+
+Cells can also be *deleted* (made null) by region or predicate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import mapper
+from repro.core.array_rdd import ArrayRDD
+from repro.core.chunk import Chunk
+from repro.engine import HashPartitioner
+from repro.errors import ArrayError
+
+
+def _resolve_resolver(how):
+    if callable(how):
+        return how
+    if how == "replace":
+        return lambda _old, new: new
+    if how == "keep":
+        return lambda old, _new: old
+    if how == "sum":
+        return lambda old, new: old + new
+    raise ArrayError(
+        f"unknown resolver {how!r}; use 'replace'/'keep'/'sum' or a "
+        f"callable"
+    )
+
+
+def merge_cells(array: ArrayRDD, records, how="replace",
+                fill=0.0) -> ArrayRDD:
+    """Upsert ``(coords, value)`` records into an array.
+
+    New cells become valid; cells present on both sides go through the
+    resolver. Returns a new ArrayRDD over the same metadata.
+    """
+    resolver = _resolve_resolver(how)
+    meta = array.meta
+    records = list(records)
+    cells_per_chunk = meta.cells_per_chunk
+    if not records:
+        return array
+
+    coords = np.array([record[0] for record in records], dtype=np.int64)
+    for row in coords:
+        meta.check_coords(tuple(int(c) for c in row))
+    values = np.array([record[1] for record in records],
+                      dtype=np.float64)
+    chunk_ids = mapper.chunk_ids_for_coords_array(meta, coords)
+    offsets = mapper.local_offsets_for_coords_array(meta, coords)
+    order = np.argsort(chunk_ids, kind="stable")
+    chunk_ids = chunk_ids[order]
+    offsets = offsets[order]
+    values = values[order]
+    updates = {}
+    boundaries = np.nonzero(np.diff(chunk_ids))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [chunk_ids.size]])
+    for start, end in zip(starts, ends):
+        chunk_offsets = offsets[start:end]
+        chunk_values = values[start:end]
+        if np.unique(chunk_offsets).size != chunk_offsets.size:
+            raise ArrayError("duplicate coordinates in one update batch")
+        updates[int(chunk_ids[start])] = (chunk_offsets, chunk_values)
+
+    num_partitions = array.rdd.num_partitions
+    partitioner = array.rdd.partitioner \
+        or HashPartitioner(num_partitions)
+    update_rdd = array.context.parallelize(
+        list(updates.items()), num_partitions, partitioner=partitioner)
+    update_rdd.partitioner = partitioner
+    placed = array.rdd.partition_by(partitioner)
+
+    def apply_updates(pair):
+        existing, incoming = pair
+        if not incoming:
+            return existing[0]
+        upd_offsets, upd_values = incoming[0]
+        if not existing:
+            return Chunk.from_sparse(cells_per_chunk, upd_offsets,
+                                     upd_values)
+        chunk = existing[0]
+        dense = chunk.to_dense(fill)
+        valid = chunk.valid_bools()
+        both = valid[upd_offsets]
+        resolved = upd_values.copy()
+        if both.any():
+            resolved[both] = resolver(dense[upd_offsets[both]],
+                                      upd_values[both])
+        dense[upd_offsets] = resolved
+        valid[upd_offsets] = True
+        return Chunk.from_dense(dense, valid)
+
+    merged = placed.cogroup(update_rdd, partitioner=partitioner) \
+        .map_values(apply_updates) \
+        .filter(lambda kv: kv[1].valid_count > 0)
+    merged.partitioner = partitioner
+    return ArrayRDD(merged, meta, array.context)
+
+
+def delete_region(array: ArrayRDD, lo, hi) -> ArrayRDD:
+    """Invalidate every cell inside the closed box [lo, hi]."""
+    from repro.bitmask import Bitmask
+
+    meta = array.meta
+    affected = set(mapper.chunk_ids_in_range(meta, lo, hi))
+
+    def erase(index, part):
+        for chunk_id, chunk in part:
+            if chunk_id not in affected:
+                yield chunk_id, chunk
+                continue
+            inside = mapper.range_mask_for_chunk(meta, chunk_id, lo, hi)
+            keep_mask = Bitmask.from_bools(~inside)
+            remaining = chunk.and_mask(keep_mask)
+            if remaining.valid_count > 0:
+                yield chunk_id, remaining
+
+    out = array.rdd.map_partitions_with_index(
+        erase, preserves_partitioning=True)
+    return ArrayRDD(out, meta, array.context)
+
+
+def delete_where(array: ArrayRDD, predicate) -> ArrayRDD:
+    """Invalidate cells whose value satisfies ``predicate(values)``."""
+    return array.filter(lambda xs: ~np.asarray(predicate(xs),
+                                               dtype=bool))

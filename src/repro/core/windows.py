@@ -1,0 +1,104 @@
+"""General N-dimensional window aggregation.
+
+The raster benchmark's regrid (Q2) and density (Q5) queries are
+instances of one operator: tile the array with axis-aligned windows,
+fold every window's valid cells through an Aggregator, and emit the
+result as a *new array* whose cell (w₀, w₁, ...) holds window
+(w₀, w₁, ...)'s aggregate — downsampling with any reduction.
+
+Windows never need halo exchange: each chunk computes partial states
+for the windows it intersects, and a reduce merges partials of windows
+that straddle chunk boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import mapper
+from repro.core.aggregates import resolve_aggregator
+from repro.core.array_rdd import ArrayRDD
+from repro.core.metadata import ArrayMetadata
+from repro.errors import ArrayError
+
+
+def window_aggregate(array: ArrayRDD, window_shape, aggregator="avg",
+                     result_chunk_shape=None) -> ArrayRDD:
+    """Aggregate over tiling windows; returns the downsampled array.
+
+    ``window_shape`` gives the window extent per axis (an entry of 1
+    passes that axis through). Only windows containing at least one
+    valid cell materialize.
+    """
+    meta = array.meta
+    window_shape = tuple(int(w) for w in window_shape)
+    if len(window_shape) != meta.ndim:
+        raise ArrayError(
+            f"need {meta.ndim} window extents, got {len(window_shape)}"
+        )
+    if any(w <= 0 for w in window_shape):
+        raise ArrayError(f"window extents must be positive: "
+                         f"{window_shape}")
+    agg = resolve_aggregator(aggregator)
+
+    out_shape = tuple(
+        math.ceil(size / w) for size, w in zip(meta.shape, window_shape))
+    if result_chunk_shape is None:
+        result_chunk_shape = tuple(
+            max(1, math.ceil(c / w))
+            for c, w in zip(meta.chunk_shape, window_shape))
+    out_meta = ArrayMetadata(
+        out_shape, result_chunk_shape, dim_names=meta.dim_names,
+        dtype=np.float64,
+        attribute=f"{agg.name}_{meta.attribute}")
+
+    def partials(part):
+        for chunk_id, chunk in part:
+            offsets = chunk.indices()
+            if offsets.size == 0:
+                continue
+            coords = mapper.coords_for_offsets_array(meta, chunk_id,
+                                                     offsets)
+            window_coords = np.empty_like(coords)
+            for axis in range(meta.ndim):
+                window_coords[:, axis] = (
+                    (coords[:, axis] - meta.starts[axis])
+                    // window_shape[axis]
+                )
+            values = chunk.values()
+            keys = window_coords[:, 0].astype(np.int64)
+            for axis in range(1, meta.ndim):
+                keys = keys * out_shape[axis] + window_coords[:, axis]
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            values = values[order]
+            window_coords = window_coords[order]
+            boundaries = np.nonzero(np.diff(keys))[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [keys.size]])
+            for start, end in zip(starts, ends):
+                state = agg.accumulate(agg.initialize(),
+                                       values[start:end])
+                yield tuple(int(c) for c in window_coords[start]), state
+
+    merged = array.rdd.map_partitions(partials) \
+        .reduce_by_key(agg.merge) \
+        .map_values(agg.evaluate) \
+        .filter(lambda kv: kv[1] is not None)
+
+    from repro.core.ingest import array_rdd_from_cell_rdd
+
+    return array_rdd_from_cell_rdd(array.context, merged, out_meta,
+                                   array.rdd.num_partitions)
+
+
+def window_counts(array: ArrayRDD, window_shape) -> ArrayRDD:
+    """Observation counts per window (the Q5 primitive)."""
+    return window_aggregate(array, window_shape, "count")
+
+
+def regrid(array: ArrayRDD, window_shape) -> ArrayRDD:
+    """Mean-downsample onto a coarser grid (the Q2 primitive)."""
+    return window_aggregate(array, window_shape, "avg")

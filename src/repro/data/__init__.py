@@ -1,0 +1,28 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+The paper's data (SDSS imagery, SeaWiFS chlorophyll, SuiteSparse
+matrices, SNAP graphs, KDD Cup logs) is not available offline, so each
+generator reproduces the *statistical signature* that drives the
+corresponding experiment — sparsity structure, density, skew, scale
+ratios — at laptop-sized dimensions. Every spec records the paper's
+original numbers next to the scaled ones.
+"""
+
+from repro.data.graphs import GRAPH_SPECS, GraphSpec, scaled_graph
+from repro.data.lr_datasets import LR_SPECS, LRDatasetSpec, scaled_lr_dataset
+from repro.data.matrices import MATRIX_SPECS, MatrixSpec, scaled_matrix
+from repro.data.raster import chl_like, sdss_like
+
+__all__ = [
+    "GRAPH_SPECS",
+    "GraphSpec",
+    "LR_SPECS",
+    "LRDatasetSpec",
+    "MATRIX_SPECS",
+    "MatrixSpec",
+    "chl_like",
+    "scaled_graph",
+    "scaled_lr_dataset",
+    "scaled_matrix",
+    "sdss_like",
+]

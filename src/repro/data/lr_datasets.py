@@ -1,0 +1,115 @@
+"""Scaled stand-ins for the paper's logistic-regression datasets (Table IIc).
+
+URL Reputation, KDD Cup 2010 and KDD Cup 2012 are large sparse binary
+classification problems (rows ≫ features ≫ nnz/row). Each spec scales
+rows and features down by the same factor and plants a *concentrated*
+linear separator: a small pool of informative features (URL tokens,
+problem-step skills...) carries the signal, the rest is sparse noise —
+the structure that lets real URL/KDD models reach high accuracy from
+relatively few examples per feature. Label noise per dataset is tuned
+so the achievable test accuracy lands near Table III's numbers
+(94.3 %, 86.6 %, 95.6 %) with the same ordering.
+
+Paper numbers: URL 1.9M train / 479K test / 3.2M features ·
+KDD10 8.4M / 510K / 20M · KDD12 120M / 30M / 55M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LRDatasetSpec:
+    name: str
+    paper_train_rows: int
+    paper_test_rows: int
+    paper_features: int
+    scale: int
+    paper_accuracy: float
+    label_noise: float
+    informative_features: int = 80
+    informative_per_row: int = 8
+    noise_per_row: int = 16
+
+    @property
+    def train_rows(self) -> int:
+        return max(256, self.paper_train_rows // self.scale)
+
+    @property
+    def test_rows(self) -> int:
+        return max(64, self.paper_test_rows // self.scale)
+
+    @property
+    def features(self) -> int:
+        return max(64, self.paper_features // self.scale)
+
+    @property
+    def nnz_per_row(self) -> int:
+        return self.informative_per_row + self.noise_per_row
+
+
+LR_SPECS = {
+    "url": LRDatasetSpec("url", 1_900_000, 479_000, 3_200_000,
+                         scale=512, paper_accuracy=0.9426,
+                         label_noise=0.012),
+    "kddcup2010": LRDatasetSpec("kddcup2010", 8_400_000, 510_000,
+                                20_000_000, scale=2048,
+                                paper_accuracy=0.8662,
+                                label_noise=0.10),
+    "kddcup2012": LRDatasetSpec("kddcup2012", 120_000_000, 30_000_000,
+                                55_000_000, scale=16_384,
+                                paper_accuracy=0.9555,
+                                label_noise=0.010),
+}
+
+
+def _generate_rows(rng, num_rows, spec, weights, informative_ids):
+    ipr = spec.informative_per_row
+    nnz = spec.nnz_per_row
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), nnz)
+    cols = np.empty((num_rows, nnz), dtype=np.int64)
+    cols[:, :ipr] = rng.choice(informative_ids,
+                               size=(num_rows, ipr))
+    cols[:, ipr:] = rng.integers(0, spec.features,
+                                 (num_rows, spec.noise_per_row))
+    cols = cols.ravel()
+    values = rng.random(rows.size) + 0.1
+    scores = np.bincount(rows, weights=values * weights[cols],
+                         minlength=num_rows)
+    labels = (scores > 0).astype(np.float64)
+    flips = rng.random(num_rows) < spec.label_noise
+    labels[flips] = 1.0 - labels[flips]
+    return rows, cols, values, labels
+
+
+def scaled_lr_dataset(name: str, seed: int = 0) -> dict:
+    """Generate train/test splits for a named spec.
+
+    Returns a dict with COO arrays and labels for both splits plus the
+    spec, ready for :meth:`DistributedSamples.from_coo` and the MLlib
+    baseline's ingest. Train and test share the planted separator.
+    """
+    spec = LR_SPECS[name]
+    rng = np.random.default_rng(seed)
+    informative_ids = rng.choice(spec.features,
+                                 spec.informative_features,
+                                 replace=False)
+    weights = np.zeros(spec.features)
+    weights[informative_ids] = rng.normal(
+        scale=3.0, size=spec.informative_features)
+    train = _generate_rows(np.random.default_rng(seed + 10),
+                           spec.train_rows, spec, weights,
+                           informative_ids)
+    test = _generate_rows(np.random.default_rng(seed + 11),
+                          spec.test_rows, spec, weights,
+                          informative_ids)
+    return {
+        "spec": spec,
+        "train": {"rows": train[0], "cols": train[1],
+                  "values": train[2], "labels": train[3]},
+        "test": {"rows": test[0], "cols": test[1],
+                 "values": test[2], "labels": test[3]},
+    }

@@ -1,0 +1,113 @@
+"""Synthetic raster datasets: SDSS-like sky imagery and CHL-like ocean grids.
+
+- :func:`sdss_like` — night-sky survey scenes: a handful of bright
+  point-spread objects per image on an empty (null) background, in five
+  bands *u g r i z*. Astronomy images are mostly empty (Section II-B);
+  this is what exercises sparse chunks and the multi-attribute column
+  store.
+- :func:`chl_like` — a SeaWiFS-chlorophyll-like (lat, lon, time) grid:
+  about two thirds of cells are invalid (land/coastline, spatially
+  correlated), valid cells carry positive concentrations. This is the
+  dataset behind the chunk-size and mode experiments (Figs. 8–9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _smooth(field: np.ndarray, passes: int = 2) -> np.ndarray:
+    """Cheap separable box smoothing to create spatial correlation."""
+    out = field.astype(np.float64)
+    for _ in range(passes):
+        for axis in range(out.ndim):
+            out = (out + np.roll(out, 1, axis) + np.roll(out, -1, axis)) / 3.0
+    return out
+
+
+def sdss_like(num_images: int, shape=(256, 256), bands=("u", "g", "r",
+                                                        "i", "z"),
+              objects_per_image: int = 40, object_radius: int = 3,
+              seed: int = 0) -> dict:
+    """Synthetic multi-band sky scenes.
+
+    Returns ``{band: [scene_0, scene_1, ...]}`` where each scene is a
+    2-D float array with NaN for empty sky. All bands of one image share
+    object positions (the same stars observed through five filters),
+    with band-dependent brightness — exactly the structure that makes
+    the shared MaskRDD useful.
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    out = {band: [] for band in bands}
+    yy, xx = np.mgrid[-object_radius:object_radius + 1,
+                      -object_radius:object_radius + 1]
+    kernel = np.exp(-(xx ** 2 + yy ** 2) / (object_radius * 0.7) ** 2)
+    for _img in range(num_images):
+        centers_r = rng.integers(object_radius, rows - object_radius,
+                                 objects_per_image)
+        centers_c = rng.integers(object_radius, cols - object_radius,
+                                 objects_per_image)
+        brightness = rng.lognormal(mean=2.0, sigma=0.8,
+                                   size=objects_per_image)
+        base = np.full(shape, np.nan)
+        for r, c, b in zip(centers_r, centers_c, brightness):
+            patch = b * kernel
+            sel = (slice(r - object_radius, r + object_radius + 1),
+                   slice(c - object_radius, c + object_radius + 1))
+            existing = base[sel]
+            base[sel] = np.where(np.isnan(existing), patch,
+                                 existing + patch)
+        for band_index, band in enumerate(bands):
+            gain = 0.5 + 0.25 * band_index
+            noise = rng.normal(0, 0.05, shape)
+            scene = base * gain
+            scene = np.where(np.isnan(base), np.nan, scene + noise)
+            out[band].append(scene)
+    return out
+
+
+def sdss_stack(scenes: list) -> tuple:
+    """Stack per-image 2-D scenes into the (x, y, image) cube Spangle
+    ingests (chunk size 128×128×1 in the paper's Fig. 7 setup).
+
+    Returns ``(values, valid)`` 3-D arrays.
+    """
+    cube = np.stack(scenes, axis=2)
+    valid = ~np.isnan(cube)
+    return np.where(valid, cube, 0.0), valid
+
+
+def chl_like(shape=(360, 540, 4), ocean_fraction: float = 0.34,
+             seed: int = 0) -> tuple:
+    """Synthetic chlorophyll grid: ``(values, valid)`` 3-D arrays.
+
+    ``shape`` is (latitude, longitude, time). Validity is a smooth
+    spatial mask (the same continents at every time step, roughly
+    ``ocean_fraction`` of cells valid) — matching SeaWiFS L3, where the
+    land/no-retrieval mask dominates and is spatially correlated.
+    """
+    rng = np.random.default_rng(seed)
+    lat, lon, steps = shape
+    terrain = _smooth(rng.normal(size=(lat, lon)), passes=4)
+    threshold = np.quantile(terrain, 1.0 - ocean_fraction)
+    ocean = terrain > threshold
+    values = np.empty(shape)
+    valid = np.empty(shape, dtype=bool)
+    for t in range(steps):
+        concentration = np.exp(
+            _smooth(rng.normal(size=(lat, lon)), passes=2))
+        # a few percent of retrievals drop out per time step (clouds)
+        clouds = rng.random((lat, lon)) < 0.05
+        step_valid = ocean & ~clouds
+        values[:, :, t] = np.where(step_valid, concentration, 0.0)
+        valid[:, :, t] = step_valid
+    return values, valid
+
+
+def chl_slice(shape=(360, 540), ocean_fraction: float = 0.34,
+              seed: int = 0) -> tuple:
+    """A single 2-D chlorophyll slice (used by the chunk-size benches)."""
+    values, valid = chl_like((shape[0], shape[1], 1), ocean_fraction,
+                             seed)
+    return values[:, :, 0], valid[:, :, 0]

@@ -1,0 +1,40 @@
+"""A from-scratch mini-Spark: the execution substrate Spangle runs on.
+
+The paper builds Spangle on Apache Spark. This package reimplements the
+slice of Spark that Spangle needs, in pure Python:
+
+- :class:`~repro.engine.context.ClusterContext` — entry point; owns the
+  simulated executors, the cache, and the metrics registry.
+- :class:`~repro.engine.rdd.RDD` — lazy, lineage-tracked, partitioned
+  collections with narrow transformations and actions.
+- pair-RDD operations (:mod:`repro.engine.pairs`) — ``reduce_by_key``,
+  ``join``, ``cogroup``... implemented over a real shuffle with byte
+  accounting.
+- :mod:`repro.engine.storage` — block cache with a memory budget and
+  LRU eviction (persist / unpersist).
+- :mod:`repro.engine.lineage` — fault injection and lineage-based
+  recomputation.
+- :mod:`repro.engine.costmodel` — converts measured metrics (shuffle
+  bytes, task counts, disk I/O) into a modeled cluster execution time so
+  benchmarks can report cluster-scale comparisons from in-process runs.
+"""
+
+from repro.engine.context import ClusterContext
+from repro.engine.costmodel import ClusterCostModel, CostReport
+from repro.engine.metrics import MetricsRegistry, MetricsSnapshot
+from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.rdd import RDD
+from repro.engine.storage import StorageLevel
+
+__all__ = [
+    "ClusterContext",
+    "ClusterCostModel",
+    "CostReport",
+    "HashPartitioner",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Partitioner",
+    "RangePartitioner",
+    "RDD",
+    "StorageLevel",
+]

@@ -1,0 +1,74 @@
+"""Broadcast variables and driver-side accumulator counters.
+
+Spark ships read-only values to every executor once per job through its
+broadcast mechanism; Spangle's ML algorithms lean on it for the rank /
+weight vectors. The engine runs in one process, so a broadcast is
+physically a reference — but its *cost* is real on a cluster, so
+:meth:`ClusterContext.broadcast` meters ``value_size × num_executors``
+bytes into the metrics, which the cost model prices as network time.
+
+:class:`AccumulatorParam`-style counters (Spark's ``Accumulator``, not
+the array Accumulator of Section V-B) let tasks report side statistics
+without a shuffle.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.sizing import estimate_size
+from repro.errors import EngineError
+
+
+class Broadcast:
+    """A read-only value shipped once to every executor."""
+
+    __slots__ = ("_value", "_destroyed", "nbytes")
+
+    def __init__(self, value, nbytes: int):
+        self._value = value
+        self._destroyed = False
+        self.nbytes = nbytes
+
+    @property
+    def value(self):
+        if self._destroyed:
+            raise EngineError("broadcast variable was destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the broadcast (further access is an error)."""
+        self._destroyed = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"{self.nbytes}B"
+        return f"Broadcast({state})"
+
+
+class CounterAccumulator:
+    """A driver-visible additive counter usable from tasks.
+
+    Thread-safe (tasks may run concurrently under ``use_threads``).
+    """
+
+    def __init__(self, initial=0, name: str = None):
+        self._value = initial
+        self._name = name or "counter"
+        self._lock = threading.Lock()
+
+    def add(self, amount) -> None:
+        with self._lock:
+            self._value = self._value + amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def reset(self, value=0) -> None:
+        with self._lock:
+            self._value = value
+
+    def __repr__(self) -> str:
+        return f"CounterAccumulator({self._name}={self.value})"

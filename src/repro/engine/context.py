@@ -1,0 +1,194 @@
+"""ClusterContext: the engine's entry point (Spark's SparkContext).
+
+Owns the simulated cluster configuration (number of executors, default
+parallelism), the block cache, the metrics registry, and job execution.
+Jobs run serially by default — determinism first — with an optional thread
+pool for workloads dominated by numpy kernels.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+from repro.engine.costmodel import ClusterCostModel
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.sizing import estimate_size
+from repro.engine.rdd import GeneratedRDD, ParallelCollectionRDD, RDD
+from repro.engine.storage import CacheManager
+from repro.errors import EngineError, TaskFailure
+
+
+class ClusterContext:
+    """A simulated Spark cluster in one process.
+
+    Parameters
+    ----------
+    num_executors:
+        Size of the simulated cluster; used as the default parallelism and
+        as the worker count when ``use_threads`` is on.
+    default_parallelism:
+        Default partition count for :meth:`parallelize`.
+    cache_budget_bytes:
+        Memory budget of the block cache (None = unbounded).
+    use_threads:
+        Execute tasks of a job concurrently with a thread pool. numpy
+        kernels release the GIL, so chunk-heavy jobs do overlap.
+    """
+
+    def __init__(self, num_executors: int = 4, default_parallelism=None,
+                 cache_budget_bytes=None, use_threads: bool = False,
+                 cost_model: ClusterCostModel = None,
+                 task_retries: int = 3):
+        if num_executors <= 0:
+            raise EngineError("num_executors must be positive")
+        if task_retries < 0:
+            raise EngineError("task_retries must be >= 0")
+        self.num_executors = num_executors
+        self.default_parallelism = default_parallelism or num_executors
+        self.metrics = MetricsRegistry()
+        self.cache = CacheManager(self.metrics,
+                                  budget_bytes=cache_budget_bytes)
+        self.use_threads = use_threads
+        self.cost_model = cost_model or ClusterCostModel()
+        self.task_retries = task_retries
+        self._rdd_counter = 0
+
+    def _next_rdd_id(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+
+    def parallelize(self, data, num_partitions=None, partitioner=None) -> RDD:
+        """Distribute a driver-side collection."""
+        if num_partitions is None:
+            num_partitions = self.default_parallelism
+        return ParallelCollectionRDD(self, data, num_partitions,
+                                     partitioner=partitioner)
+
+    def generate(self, num_partitions: int, func, partitioner=None) -> RDD:
+        """Create an RDD whose partition ``i`` is ``func(i)``.
+
+        The generator runs inside tasks, so synthetic datasets larger than
+        driver memory never exist as a single list.
+        """
+        return GeneratedRDD(self, num_partitions, func,
+                            partitioner=partitioner)
+
+    def empty_rdd(self) -> RDD:
+        return self.parallelize([], num_partitions=1)
+
+    # ------------------------------------------------------------------
+    # broadcast and counters
+    # ------------------------------------------------------------------
+
+    def broadcast(self, value):
+        """Ship a read-only value to every executor (metered).
+
+        In-process the value is shared by reference; the network cost a
+        cluster would pay — value size × executors — is recorded so the
+        cost model charges for it.
+        """
+        from repro.engine.broadcast import Broadcast
+        from repro.engine.sizing import estimate_size as _size
+
+        nbytes = _size(value)
+        self.metrics.record_broadcast(nbytes * self.num_executors)
+        return Broadcast(value, nbytes)
+
+    def counter(self, initial=0, name: str = None):
+        """A driver-visible additive counter usable inside tasks."""
+        from repro.engine.broadcast import CounterAccumulator
+
+        return CounterAccumulator(initial, name)
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+
+    def run_job(self, rdd: RDD, partition_func) -> list:
+        """Apply ``partition_func`` to every partition; return the results.
+
+        Records one job, one result stage, and one task per partition
+        (shuffle map stages record themselves as they materialize).
+        """
+        self.metrics.record_job()
+        self.metrics.record_stage()
+        indices = range(rdd.num_partitions)
+
+        def run_one(index):
+            # a task gets 1 + task_retries attempts, as Spark's
+            # spark.task.maxFailures does; deterministic failures
+            # exhaust the attempts and surface as a TaskFailure
+            last_error = None
+            for attempt in range(1 + self.task_retries):
+                self.metrics.record_task()
+                if attempt > 0:
+                    self.metrics.record_task_retry()
+                try:
+                    result = partition_func(rdd.iterator(index))
+                except Exception as exc:  # noqa: BLE001 - retried
+                    last_error = exc
+                    continue
+                self.metrics.record_result(estimate_size(result))
+                return result
+            raise TaskFailure(index, last_error) from last_error
+
+        if self.use_threads and rdd.num_partitions > 1:
+            with ThreadPoolExecutor(max_workers=self.num_executors) as pool:
+                return list(pool.map(run_one, indices))
+        return [run_one(index) for index in indices]
+
+    def run_partition(self, rdd: RDD, index: int) -> list:
+        """Compute a single partition (used by ``take``/``lookup``)."""
+        if not 0 <= index < rdd.num_partitions:
+            raise EngineError(
+                f"partition index {index} out of range for {rdd!r}"
+            )
+        self.metrics.record_job()
+        self.metrics.record_stage()
+        self.metrics.record_task()
+        return rdd.iterator(index)
+
+    # ------------------------------------------------------------------
+    # fault injection and measurement helpers
+    # ------------------------------------------------------------------
+
+    def fail_partition(self, rdd: RDD, index: int) -> bool:
+        """Simulate losing a cached partition of ``rdd``.
+
+        Returns whether a cached block was present to lose. Subsequent
+        access transparently recomputes from lineage.
+        """
+        return self.cache.drop_partition(rdd.rdd_id, index)
+
+    @contextmanager
+    def measure(self):
+        """Measure wall time and metric deltas for a code block.
+
+        Yields a mutable holder; on exit the holder carries ``wall_s``,
+        ``delta`` (a :class:`MetricsSnapshot`) and ``report`` (the modeled
+        :class:`CostReport`).
+        """
+        holder = _Measurement()
+        before = self.metrics.snapshot()
+        start = time.perf_counter()
+        try:
+            yield holder
+        finally:
+            holder.wall_s = time.perf_counter() - start
+            holder.delta = self.metrics.snapshot() - before
+            holder.report = self.cost_model.report(holder.wall_s,
+                                                   holder.delta)
+
+
+class _Measurement:
+    """Result holder for :meth:`ClusterContext.measure`."""
+
+    wall_s = 0.0
+    delta = None
+    report = None

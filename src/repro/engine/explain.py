@@ -1,0 +1,102 @@
+"""Query-plan explanation: DAG → stages, the way Spark's UI shows them.
+
+``explain(rdd)`` renders the stage plan a DAGScheduler would build:
+narrow transformations pipeline inside a stage; every wide dependency
+(a shuffle that actually moves data) starts a new one. Narrowed
+shuffles — co-partitioned joins, the local-join matmul — stay inside
+their stage, which makes the effect of Spangle's partitioning
+optimizations directly visible in the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.rdd import RDD, CoGroupedRDD, ShuffledRDD
+
+
+@dataclass
+class Stage:
+    """One pipelined stage: the RDDs it computes and its inputs."""
+
+    stage_id: int
+    rdds: list = field(default_factory=list)
+    parent_stages: list = field(default_factory=list)
+
+    @property
+    def boundary(self) -> str:
+        return self.rdds[0].name if self.rdds else "?"
+
+
+def _wide_parents(rdd: RDD):
+    """(narrow_parents, wide_parents) of one RDD."""
+    if rdd.is_checkpointed:
+        return [], []
+    if isinstance(rdd, ShuffledRDD):
+        parent = rdd.dependencies[0]
+        if rdd.is_narrow:
+            return [parent], []
+        return [], [parent]
+    if isinstance(rdd, CoGroupedRDD):
+        narrow, wide = [], []
+        for parent in rdd.dependencies:
+            if rdd._parent_is_narrow(parent):
+                narrow.append(parent)
+            else:
+                wide.append(parent)
+        return narrow, wide
+    return list(rdd.dependencies), []
+
+
+def stage_plan(rdd: RDD) -> list:
+    """Stages in execution order (result stage last)."""
+    stages = []
+    stage_of = {}
+
+    def build(node: RDD) -> Stage:
+        if node.rdd_id in stage_of:
+            return stage_of[node.rdd_id]
+        stage = Stage(stage_id=0)
+        stage_of[node.rdd_id] = stage
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            stage.rdds.append(current)
+            narrow, wide = _wide_parents(current)
+            for parent in narrow:
+                if parent.rdd_id not in stage_of:
+                    stage_of[parent.rdd_id] = stage
+                    frontier.append(parent)
+            for parent in wide:
+                parent_stage = build(parent)
+                if parent_stage not in stage.parent_stages:
+                    stage.parent_stages.append(parent_stage)
+        stages.append(stage)
+        return stage
+
+    build(rdd)
+    for index, stage in enumerate(stages):
+        stage.stage_id = index
+    return stages
+
+
+def count_stages(rdd: RDD) -> int:
+    return len(stage_plan(rdd))
+
+
+def explain(rdd: RDD) -> str:
+    """A printable stage plan."""
+    lines = []
+    for stage in stage_plan(rdd):
+        parents = ", ".join(
+            f"stage {p.stage_id}" for p in stage.parent_stages)
+        dependency = f"  <- shuffle from {parents}" if parents else ""
+        lines.append(f"Stage {stage.stage_id}{dependency}")
+        for node in reversed(stage.rdds):
+            marker = " [cached]" if node._cached_indices or (
+                node.storage_level.value != "none") else ""
+            checkpoint = " [checkpoint]" if node.is_checkpointed else ""
+            lines.append(
+                f"  ({node.rdd_id}) {node.name}"
+                f"[{node.num_partitions}]{marker}{checkpoint}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Lineage inspection and fault injection utilities.
+
+RDDs already carry their lineage (``RDD.lineage()``); this module adds
+driver-side tools used by tests and by the fault-tolerance example:
+
+- :func:`lineage_depth` / :func:`count_shuffle_boundaries` — static DAG
+  analysis (stage counting the way Spark's DAGScheduler would).
+- :class:`FaultInjector` — deterministically lose cached blocks and
+  shuffle outputs mid-computation, so tests can assert that results are
+  rebuilt from lineage instead of silently going wrong.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.rdd import RDD, CoGroupedRDD, ShuffledRDD
+
+
+def lineage_depth(rdd: RDD) -> int:
+    """Longest chain of dependencies above (and including) ``rdd``.
+
+    Checkpointed RDDs are roots: nothing above them will recompute.
+    """
+    if rdd.is_checkpointed or not rdd.dependencies:
+        return 1
+    return 1 + max(lineage_depth(dep) for dep in rdd.dependencies)
+
+
+def count_shuffle_boundaries(rdd: RDD) -> int:
+    """Number of wide dependencies in the DAG rooted at ``rdd``.
+
+    Narrowed shuffles (parent already partitioned compatibly) do not
+    count — they will not move data.
+    """
+    count = 0
+    if isinstance(rdd, ShuffledRDD) and not rdd.is_narrow:
+        count += 1
+    if isinstance(rdd, CoGroupedRDD):
+        count += sum(
+            0 if rdd._parent_is_narrow(parent) else 1
+            for parent in rdd.dependencies
+        )
+    return count + sum(
+        count_shuffle_boundaries(dep) for dep in rdd.dependencies
+    )
+
+
+def collect_rdds(rdd: RDD) -> list:
+    """All distinct RDDs in the DAG, root last (topological-ish)."""
+    seen = {}
+
+    def visit(node):
+        if node.rdd_id in seen:
+            return
+        for dep in node.dependencies:
+            visit(dep)
+        seen[node.rdd_id] = node
+
+    visit(rdd)
+    return list(seen.values())
+
+
+class FaultInjector:
+    """Deterministic executor-failure simulation.
+
+    ``kill_fraction`` of the cached blocks (and materialized shuffle
+    outputs) in a DAG are dropped each time :meth:`strike` is called.
+    """
+
+    def __init__(self, context, seed: int = 0):
+        self._context = context
+        self._rng = random.Random(seed)
+
+    def strike(self, rdd: RDD, kill_fraction: float = 0.5) -> int:
+        """Lose cached blocks below ``rdd``; returns how many were lost."""
+        lost = 0
+        for node in collect_rdds(rdd):
+            for index in range(node.num_partitions):
+                if self._context.cache.contains(node.rdd_id, index):
+                    if self._rng.random() < kill_fraction:
+                        if self._context.fail_partition(node, index):
+                            lost += 1
+            if isinstance(node, ShuffledRDD):
+                if self._rng.random() < kill_fraction:
+                    node.invalidate_shuffle()
+                    lost += 1
+        return lost

@@ -1,0 +1,144 @@
+"""Execution metrics for the mini-Spark engine.
+
+The paper's experimental story is largely about *costs that we can count*:
+bytes moved through the shuffle, number of tasks scheduled, bytes spilled
+to disk. The engine increments these counters as it runs; benchmarks take
+snapshots before/after a job and feed the difference to the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable point-in-time copy of every engine counter."""
+
+    tasks_launched: int = 0
+    stages_run: int = 0
+    jobs_run: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    shuffles_performed: int = 0
+    disk_read_bytes: int = 0
+    disk_write_bytes: int = 0
+    result_bytes: int = 0
+    broadcast_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    recomputations: int = 0
+    task_retries: int = 0
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        deltas = {
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)
+        }
+        return MetricsSnapshot(**deltas)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class MetricsRegistry:
+    """Mutable counters owned by a :class:`ClusterContext`."""
+
+    tasks_launched: int = 0
+    stages_run: int = 0
+    jobs_run: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    shuffles_performed: int = 0
+    disk_read_bytes: int = 0
+    disk_write_bytes: int = 0
+    result_bytes: int = 0
+    broadcast_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    recomputations: int = 0
+    task_retries: int = 0
+    _history: list = field(default_factory=list, repr=False)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            tasks_launched=self.tasks_launched,
+            stages_run=self.stages_run,
+            jobs_run=self.jobs_run,
+            shuffle_records=self.shuffle_records,
+            shuffle_bytes=self.shuffle_bytes,
+            shuffles_performed=self.shuffles_performed,
+            disk_read_bytes=self.disk_read_bytes,
+            disk_write_bytes=self.disk_write_bytes,
+            result_bytes=self.result_bytes,
+            broadcast_bytes=self.broadcast_bytes,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_evictions=self.cache_evictions,
+            recomputations=self.recomputations,
+            task_retries=self.task_retries,
+        )
+
+    def reset(self) -> None:
+        for name in (
+            "tasks_launched",
+            "stages_run",
+            "jobs_run",
+            "shuffle_records",
+            "shuffle_bytes",
+            "shuffles_performed",
+            "disk_read_bytes",
+            "disk_write_bytes",
+            "result_bytes",
+            "broadcast_bytes",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "recomputations",
+            "task_retries",
+        ):
+            setattr(self, name, 0)
+
+    def record_task(self, count: int = 1) -> None:
+        self.tasks_launched += count
+
+    def record_stage(self) -> None:
+        self.stages_run += 1
+
+    def record_job(self) -> None:
+        self.jobs_run += 1
+
+    def record_shuffle(self, records: int, size_bytes: int) -> None:
+        self.shuffles_performed += 1
+        self.shuffle_records += records
+        self.shuffle_bytes += size_bytes
+
+    def record_disk_read(self, size_bytes: int) -> None:
+        self.disk_read_bytes += size_bytes
+
+    def record_disk_write(self, size_bytes: int) -> None:
+        self.disk_write_bytes += size_bytes
+
+    def record_result(self, size_bytes: int) -> None:
+        self.result_bytes += size_bytes
+
+    def record_broadcast(self, size_bytes: int) -> None:
+        self.broadcast_bytes += size_bytes
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        self.cache_misses += 1
+
+    def record_eviction(self) -> None:
+        self.cache_evictions += 1
+
+    def record_recomputation(self) -> None:
+        self.recomputations += 1
+
+    def record_task_retry(self) -> None:
+        self.task_retries += 1

@@ -1,0 +1,123 @@
+"""Partitioners: how keys map to partitions.
+
+Spangle relies on both hash partitioning (the default for shuffles) and
+range partitioning (used when chunk locality along an axis matters, e.g.
+row-block co-location for the matmul local join).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import EngineError
+
+
+class Partitioner:
+    """Maps a key to a partition index in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise EngineError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+
+    def partition(self, key) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_partitions})"
+
+
+class HashPartitioner(Partitioner):
+    """Partition by ``hash(key) % n``, made stable for ints.
+
+    Python's ``hash`` of an int is the int itself (mod a large prime),
+    which is exactly Spark's behaviour for integer keys and gives the
+    deterministic placement that the SGD chunk-ID equation (Eq. 2 of the
+    paper) exploits.
+    """
+
+    def partition(self, key) -> int:
+        return hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Partition ordered keys into contiguous ranges.
+
+    ``bounds`` are the *upper-exclusive* split points between partitions;
+    ``len(bounds) == num_partitions - 1``. A key ``k`` goes to the first
+    partition whose bound exceeds it.
+    """
+
+    def __init__(self, bounds):
+        bounds = list(bounds)
+        if sorted(bounds) != bounds:
+            raise EngineError("range partitioner bounds must be sorted")
+        super().__init__(len(bounds) + 1)
+        self.bounds = bounds
+
+    @classmethod
+    def from_keys(cls, keys, num_partitions: int) -> "RangePartitioner":
+        """Sample ``keys`` and build balanced range bounds."""
+        ordered = sorted(set(keys))
+        if num_partitions <= 1 or len(ordered) <= 1:
+            return cls([])
+        step = len(ordered) / num_partitions
+        bounds = []
+        for i in range(1, num_partitions):
+            idx = min(int(i * step), len(ordered) - 1)
+            bound = ordered[idx]
+            if not bounds or bound > bounds[-1]:
+                bounds.append(bound)
+        return cls(bounds)
+
+    def partition(self, key) -> int:
+        return bisect.bisect_right(self.bounds, key)
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions
+            and self.bounds == other.bounds
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RangePartitioner", tuple(self.bounds)))
+
+
+class ExplicitPartitioner(Partitioner):
+    """Partition through a user-supplied function.
+
+    Spangle's matrix multiply partitions the left operand by row-block ID
+    and the right operand by column-block ID; this partitioner lets those
+    layouts be expressed directly.
+    """
+
+    def __init__(self, num_partitions: int, func, tag=None):
+        super().__init__(num_partitions)
+        self._func = func
+        self._tag = tag
+
+    def partition(self, key) -> int:
+        return self._func(key) % self.num_partitions
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions
+            and self._tag is not None
+            and self._tag == other._tag
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ExplicitPartitioner", self.num_partitions, self._tag))

@@ -1,0 +1,754 @@
+"""Resilient Distributed Datasets, in miniature.
+
+An :class:`RDD` is a lazy, partitioned collection. Transformations build a
+DAG; actions walk it. Narrow transformations (map/filter/...) pipeline
+within a partition exactly like Spark; wide transformations go through
+:class:`ShuffledRDD` / :class:`CoGroupedRDD`, which materialize a real
+hash-bucketed shuffle with byte accounting.
+
+Fault tolerance follows Spark's model: a partition is recomputed from its
+lineage whenever it is needed and not cached. Tests inject block loss via
+the cache manager and verify results are rebuilt transparently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+
+from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.sizing import estimate_partition_size
+from repro.engine.storage import StorageLevel
+from repro.errors import EngineError
+
+
+class RDD:
+    """Base class for all RDDs.
+
+    Subclasses implement :meth:`compute`; everything else (caching,
+    lineage, the transformation/action API) lives here.
+    """
+
+    def __init__(self, context, dependencies=(), num_partitions=None,
+                 partitioner=None, name=None):
+        self.context = context
+        self.rdd_id = context._next_rdd_id()
+        self.dependencies = tuple(dependencies)
+        if num_partitions is None:
+            if not self.dependencies:
+                raise EngineError("root RDD must declare num_partitions")
+            num_partitions = self.dependencies[0].num_partitions
+        self.num_partitions = num_partitions
+        self.partitioner = partitioner
+        self.name = name or type(self).__name__
+        self.storage_level = StorageLevel.NONE
+        self._cached_indices = set()
+        self._checkpoint_data = None
+
+    # ------------------------------------------------------------------
+    # computation and caching
+    # ------------------------------------------------------------------
+
+    def compute(self, index: int) -> list:
+        """Produce partition ``index`` from parent partitions."""
+        raise NotImplementedError
+
+    def iterator(self, index: int) -> list:
+        """Cache-aware access to partition ``index``.
+
+        If the RDD is persisted, serve from the block cache when possible
+        and repopulate it (counting a recomputation) when the block was
+        lost.
+        """
+        if self._checkpoint_data is not None:
+            data = self._checkpoint_data[index]
+            self.context.metrics.record_disk_read(
+                estimate_partition_size(data))
+            return data
+        if self.storage_level is StorageLevel.NONE:
+            return self.compute(index)
+        cache = self.context.cache
+        found, data = cache.get(self.rdd_id, index)
+        if found:
+            return data
+        if index in self._cached_indices:
+            self.context.metrics.record_recomputation()
+        data = list(self.compute(index))
+        cache.put(self.rdd_id, index, data,
+                  allow_spill=self.storage_level is StorageLevel.MEMORY_AND_DISK)
+        self._cached_indices.add(index)
+        return data
+
+    def persist(self, level: StorageLevel = StorageLevel.MEMORY) -> "RDD":
+        self.storage_level = level
+        return self
+
+    def cache(self) -> "RDD":
+        return self.persist(StorageLevel.MEMORY)
+
+    def unpersist(self) -> "RDD":
+        self.storage_level = StorageLevel.NONE
+        self._cached_indices.clear()
+        self.context.cache.drop_rdd(self.rdd_id)
+        return self
+
+    # ------------------------------------------------------------------
+    # checkpointing and lineage
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> "RDD":
+        """Materialize to (simulated) reliable storage, cutting lineage.
+
+        Iterative jobs whose lineage would otherwise grow without bound
+        — the paper observes GraphX regenerating spilled RDDs by lineage
+        and doubling its iteration time — checkpoint periodically. The
+        write is metered as disk I/O, as Spark's reliable checkpoints
+        are; afterwards reads come from the checkpoint, not the parents.
+        """
+        if self._checkpoint_data is None:
+            data = [list(self.compute(index))
+                    for index in range(self.num_partitions)]
+            total = sum(estimate_partition_size(part) for part in data)
+            self.context.metrics.record_disk_write(total)
+            self._checkpoint_data = data
+        return self
+
+    @property
+    def is_checkpointed(self) -> bool:
+        return self._checkpoint_data is not None
+
+    def lineage(self) -> dict:
+        """A nested description of how this RDD derives from its parents.
+
+        Checkpointed RDDs are lineage roots: their parents are elided.
+        """
+        if self.is_checkpointed:
+            return {
+                "id": self.rdd_id,
+                "op": f"{self.name} [checkpoint]",
+                "partitions": self.num_partitions,
+                "parents": [],
+            }
+        return {
+            "id": self.rdd_id,
+            "op": self.name,
+            "partitions": self.num_partitions,
+            "parents": [dep.lineage() for dep in self.dependencies],
+        }
+
+    def lineage_string(self, _depth: int = 0) -> str:
+        marker = " [checkpoint]" if self.is_checkpointed else ""
+        lines = [
+            "  " * _depth
+            + f"({self.rdd_id}) {self.name}[{self.num_partitions}]"
+            + marker
+        ]
+        if not self.is_checkpointed:
+            for dep in self.dependencies:
+                lines.append(dep.lineage_string(_depth + 1))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # narrow transformations
+    # ------------------------------------------------------------------
+
+    def map_partitions_with_index(self, func, preserves_partitioning=False):
+        """``func(index, iterable) -> iterable`` applied per partition."""
+        return MapPartitionsRDD(self, func,
+                                preserves_partitioning=preserves_partitioning)
+
+    def map_partitions(self, func, preserves_partitioning=False):
+        return self.map_partitions_with_index(
+            lambda _idx, part: func(part),
+            preserves_partitioning=preserves_partitioning,
+        )
+
+    def map(self, func):
+        return self.map_partitions(
+            lambda part: (func(record) for record in part)
+        ).rename("map")
+
+    def filter(self, predicate):
+        return self.map_partitions(
+            lambda part: (r for r in part if predicate(r)),
+            preserves_partitioning=True,
+        ).rename("filter")
+
+    def flat_map(self, func):
+        return self.map_partitions(
+            lambda part: itertools.chain.from_iterable(
+                func(record) for record in part
+            )
+        ).rename("flat_map")
+
+    def glom(self):
+        return self.map_partitions(lambda part: [list(part)]).rename("glom")
+
+    def key_by(self, func):
+        return self.map(lambda record: (func(record), record)).rename("key_by")
+
+    def zip_with_index(self):
+        """Pair every record with a global, partition-major index."""
+        counts = self.map_partitions(lambda part: [sum(1 for _ in part)]) \
+                     .collect()
+        offsets = [0]
+        for count in counts[:-1]:
+            offsets.append(offsets[-1] + count)
+
+        def attach(index, part):
+            return (
+                (record, offsets[index] + i)
+                for i, record in enumerate(part)
+            )
+
+        return self.map_partitions_with_index(attach).rename("zip_with_index")
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self.context, [self, other])
+
+    def zip_partitions(self, other: "RDD", func,
+                       preserves_partitioning: bool = False) -> "RDD":
+        """Pairwise-combine co-numbered partitions of two RDDs."""
+        return ZippedPartitionsRDD(self, other, func,
+                                   preserves_partitioning)
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        def sampler(index, part):
+            rng = random.Random(seed * 1_000_003 + index)
+            return (r for r in part if rng.random() < fraction)
+
+        return self.map_partitions_with_index(
+            sampler, preserves_partitioning=True
+        ).rename("sample")
+
+    def distinct(self) -> "RDD":
+        from repro.engine import pairs
+
+        return (
+            self.map(lambda record: (record, None))
+            .reduce_by_key(lambda a, _b: a)
+            .map(lambda kv: kv[0])
+            .rename("distinct")
+        )
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        return CoalescedRDD(self, num_partitions)
+
+    def rename(self, name: str) -> "RDD":
+        self.name = name
+        return self
+
+    # ------------------------------------------------------------------
+    # pair-RDD transformations (delegated; defined in pairs.py)
+    # ------------------------------------------------------------------
+
+    def keys(self):
+        return self.map(lambda kv: kv[0]).rename("keys")
+
+    def values(self):
+        return self.map(lambda kv: kv[1]).rename("values")
+
+    def map_values(self, func):
+        return self.map_partitions(
+            lambda part: ((k, func(v)) for k, v in part),
+            preserves_partitioning=True,
+        ).rename("map_values")
+
+    def flat_map_values(self, func):
+        return self.map_partitions(
+            lambda part: (
+                (k, out) for k, v in part for out in func(v)
+            ),
+            preserves_partitioning=True,
+        ).rename("flat_map_values")
+
+    def combine_by_key(self, create_combiner, merge_value, merge_combiners,
+                       partitioner=None, map_side_combine=True):
+        from repro.engine.pairs import combine_by_key
+
+        return combine_by_key(
+            self, create_combiner, merge_value, merge_combiners,
+            partitioner=partitioner, map_side_combine=map_side_combine,
+        )
+
+    def reduce_by_key(self, func, partitioner=None):
+        return self.combine_by_key(
+            lambda v: v, func, func, partitioner=partitioner
+        ).rename("reduce_by_key")
+
+    def group_by_key(self, partitioner=None):
+        def merge_value(acc, v):
+            acc.append(v)
+            return acc
+
+        def merge_combiners(a, b):
+            a.extend(b)
+            return a
+
+        return self.combine_by_key(
+            lambda v: [v], merge_value, merge_combiners,
+            partitioner=partitioner, map_side_combine=False,
+        ).rename("group_by_key")
+
+    def partition_by(self, partitioner: Partitioner):
+        from repro.engine.pairs import partition_by
+
+        return partition_by(self, partitioner)
+
+    def join(self, other, partitioner=None):
+        from repro.engine.pairs import join
+
+        return join(self, other, partitioner)
+
+    def left_outer_join(self, other, partitioner=None):
+        from repro.engine.pairs import left_outer_join
+
+        return left_outer_join(self, other, partitioner)
+
+    def full_outer_join(self, other, partitioner=None):
+        from repro.engine.pairs import full_outer_join
+
+        return full_outer_join(self, other, partitioner)
+
+    def cogroup(self, other, partitioner=None):
+        from repro.engine.pairs import cogroup
+
+        return cogroup([self, other], partitioner)
+
+    def sort_by_key(self, num_partitions=None):
+        from repro.engine.pairs import sort_by_key
+
+        return sort_by_key(self, num_partitions)
+
+    def count_by_key(self) -> dict:
+        return dict(
+            self.map_values(lambda _v: 1)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+
+    def lookup(self, key) -> list:
+        """All values for ``key``; uses the partitioner when known."""
+        if self.partitioner is not None:
+            index = self.partitioner.partition(key)
+            return [
+                v for k, v in self.context.run_partition(self, index)
+                if k == key
+            ]
+        return self.filter(lambda kv: kv[0] == key).values().collect()
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+
+    def collect(self) -> list:
+        chunks = self.context.run_job(self, list)
+        return [record for chunk in chunks for record in chunk]
+
+    def collect_as_map(self) -> dict:
+        return dict(self.collect())
+
+    def count(self) -> int:
+        return sum(self.context.run_job(
+            self, lambda part: sum(1 for _ in part)
+        ))
+
+    def reduce(self, func):
+        parts = self.context.run_job(self, list)
+        non_empty = [p for p in parts if p]
+        if not non_empty:
+            raise EngineError("reduce() on an empty RDD")
+        partials = []
+        for part in non_empty:
+            acc = part[0]
+            for record in part[1:]:
+                acc = func(acc, record)
+            partials.append(acc)
+        result = partials[0]
+        for partial in partials[1:]:
+            result = func(result, partial)
+        return result
+
+    def fold(self, zero, func):
+        parts = self.context.run_job(self, list)
+        result = zero
+        for part in parts:
+            acc = zero
+            for record in part:
+                acc = func(acc, record)
+            result = func(result, acc)
+        return result
+
+    def aggregate(self, zero, seq_op, comb_op):
+        def run(part):
+            acc = zero
+            for record in part:
+                acc = seq_op(acc, record)
+            return acc
+
+        partials = self.context.run_job(self, run)
+        result = zero
+        for partial in partials:
+            result = comb_op(result, partial)
+        return result
+
+    def sum(self):
+        return self.fold(0, lambda a, b: a + b)
+
+    def max(self):
+        return self.reduce(lambda a, b: a if a >= b else b)
+
+    def min(self):
+        return self.reduce(lambda a, b: a if a <= b else b)
+
+    def take(self, n: int) -> list:
+        taken = []
+        for index in range(self.num_partitions):
+            if len(taken) >= n:
+                break
+            taken.extend(self.context.run_partition(self, index))
+        return taken[:n]
+
+    def first(self):
+        got = self.take(1)
+        if not got:
+            raise EngineError("first() on an empty RDD")
+        return got[0]
+
+    def take_ordered(self, n: int, key=None) -> list:
+        """The ``n`` smallest records (per-partition heaps, one merge)."""
+        import heapq
+
+        partials = self.context.run_job(
+            self, lambda part: heapq.nsmallest(n, part, key=key))
+        return heapq.nsmallest(
+            n, (item for partial in partials for item in partial),
+            key=key)
+
+    def top(self, n: int, key=None) -> list:
+        """The ``n`` largest records (descending)."""
+        import heapq
+
+        partials = self.context.run_job(
+            self, lambda part: heapq.nlargest(n, part, key=key))
+        return heapq.nlargest(
+            n, (item for partial in partials for item in partial),
+            key=key)
+
+    def zip(self, other: "RDD") -> "RDD":
+        """Pair up records positionally (equal partition structure)."""
+        def zipper(left_part, right_part):
+            left_list = list(left_part)
+            right_list = list(right_part)
+            if len(left_list) != len(right_list):
+                raise EngineError(
+                    "zip requires identically sized partitions "
+                    f"({len(left_list)} vs {len(right_list)})"
+                )
+            return list(zip(left_list, right_list))
+
+        return self.zip_partitions(other, zipper).rename("zip")
+
+    def foreach(self, func) -> None:
+        def run(part):
+            for record in part:
+                func(record)
+            return None
+
+        self.context.run_job(self, run)
+
+    def count_by_value(self) -> dict:
+        counts = {}
+        for record in self.collect():
+            counts[record] = counts.get(record, 0) + 1
+        return counts
+
+    def is_empty(self) -> bool:
+        return not self.take(1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} id={self.rdd_id} name={self.name!r} "
+            f"partitions={self.num_partitions}>"
+        )
+
+
+class ParallelCollectionRDD(RDD):
+    """A driver-side collection sliced into partitions."""
+
+    def __init__(self, context, data, num_partitions: int, partitioner=None):
+        data = list(data)
+        if partitioner is not None:
+            # placement is dictated by the partitioner: the slice count
+            # must match it exactly, however small the data
+            num_partitions = partitioner.num_partitions
+        else:
+            num_partitions = max(1, min(num_partitions,
+                                        max(1, len(data))))
+        super().__init__(context, dependencies=(),
+                         num_partitions=num_partitions,
+                         partitioner=partitioner, name="parallelize")
+        self._slices = [[] for _ in range(num_partitions)]
+        if partitioner is not None:
+            for record in data:
+                self._slices[partitioner.partition(record[0])].append(record)
+        else:
+            # contiguous slicing, like Spark's parallelize
+            base, extra = divmod(len(data), num_partitions)
+            start = 0
+            for i in range(num_partitions):
+                size = base + (1 if i < extra else 0)
+                self._slices[i] = data[start:start + size]
+                start += size
+
+    def compute(self, index: int) -> list:
+        return self._slices[index]
+
+
+class GeneratedRDD(RDD):
+    """Partitions produced on demand by ``func(index) -> iterable``.
+
+    Used by data generators so large synthetic datasets never pass through
+    the driver as one list.
+    """
+
+    def __init__(self, context, num_partitions: int, func, partitioner=None):
+        super().__init__(context, dependencies=(),
+                         num_partitions=num_partitions,
+                         partitioner=partitioner, name="generate")
+        self._func = func
+
+    def compute(self, index: int) -> list:
+        return list(self._func(index))
+
+
+class MapPartitionsRDD(RDD):
+    """The workhorse narrow transformation."""
+
+    def __init__(self, parent: RDD, func, preserves_partitioning=False):
+        partitioner = parent.partitioner if preserves_partitioning else None
+        super().__init__(parent.context, dependencies=(parent,),
+                         partitioner=partitioner, name="map_partitions")
+        self._func = func
+
+    def compute(self, index: int) -> list:
+        parent = self.dependencies[0]
+        return list(self._func(index, parent.iterator(index)))
+
+
+class UnionRDD(RDD):
+    """Concatenation of the partitions of several RDDs."""
+
+    def __init__(self, context, parents):
+        parents = list(parents)
+        total = sum(p.num_partitions for p in parents)
+        super().__init__(context, dependencies=tuple(parents),
+                         num_partitions=total, name="union")
+        self._offsets = []
+        running = 0
+        for parent in parents:
+            self._offsets.append(running)
+            running += parent.num_partitions
+
+    def compute(self, index: int) -> list:
+        for parent, offset in zip(reversed(self.dependencies),
+                                  reversed(self._offsets)):
+            if index >= offset:
+                return list(parent.iterator(index - offset))
+        raise EngineError(f"partition index {index} out of range")
+
+
+class ZippedPartitionsRDD(RDD):
+    """Combine co-numbered partitions of two RDDs with ``func(a, b)``.
+
+    The zipper may emit records with arbitrary keys, so the parent's
+    partitioner is *not* inherited unless the caller opts in.
+    """
+
+    def __init__(self, left: RDD, right: RDD, func,
+                 preserves_partitioning: bool = False):
+        if left.num_partitions != right.num_partitions:
+            raise EngineError(
+                "zip_partitions requires equal partition counts "
+                f"({left.num_partitions} vs {right.num_partitions})"
+            )
+        partitioner = left.partitioner if preserves_partitioning else None
+        super().__init__(left.context, dependencies=(left, right),
+                         num_partitions=left.num_partitions,
+                         partitioner=partitioner,
+                         name="zip_partitions")
+        self._func = func
+
+    def compute(self, index: int) -> list:
+        left, right = self.dependencies
+        return list(self._func(left.iterator(index), right.iterator(index)))
+
+
+class CoalescedRDD(RDD):
+    """Reduce partition count without a shuffle."""
+
+    def __init__(self, parent: RDD, num_partitions: int):
+        num_partitions = max(1, min(num_partitions, parent.num_partitions))
+        super().__init__(parent.context, dependencies=(parent,),
+                         num_partitions=num_partitions, name="coalesce")
+
+    def compute(self, index: int) -> list:
+        parent = self.dependencies[0]
+        out = []
+        for parent_index in range(index, parent.num_partitions,
+                                  self.num_partitions):
+            out.extend(parent.iterator(parent_index))
+        return out
+
+
+class ShuffledRDD(RDD):
+    """A wide dependency: re-bucket (key, value) records by a partitioner.
+
+    The combiner triple mirrors Spark's ``combineByKey``. When the parent
+    is *already* partitioned by an equal partitioner, the dependency
+    narrows: no data moves and no shuffle is recorded — this is precisely
+    the property Spangle's matmul local join exploits (Section VI-A).
+    """
+
+    def __init__(self, parent: RDD, partitioner: Partitioner,
+                 create_combiner, merge_value, merge_combiners,
+                 map_side_combine: bool = True):
+        super().__init__(parent.context, dependencies=(parent,),
+                         num_partitions=partitioner.num_partitions,
+                         partitioner=partitioner, name="shuffle")
+        self._create = create_combiner
+        self._merge_value = merge_value
+        self._merge_combiners = merge_combiners
+        self._map_side_combine = map_side_combine
+        self._buckets = None
+        self._lock = threading.Lock()
+
+    @property
+    def is_narrow(self) -> bool:
+        parent = self.dependencies[0]
+        return (
+            parent.partitioner is not None
+            and parent.partitioner == self.partitioner
+        )
+
+    def _combine_partition(self, records) -> dict:
+        combined = {}
+        for key, value in records:
+            if key in combined:
+                combined[key] = self._merge_value(combined[key], value)
+            else:
+                combined[key] = self._create(value)
+        return combined
+
+    def _fetch_shuffle(self) -> list:
+        """Materialize map-side buckets for every reducer (once)."""
+        with self._lock:
+            if self._buckets is not None:
+                return self._buckets
+            parent = self.dependencies[0]
+            metrics = self.context.metrics
+            metrics.record_stage()
+            buckets = [[] for _ in range(self.num_partitions)]
+            total_records = 0
+            total_bytes = 0
+            for parent_index in range(parent.num_partitions):
+                metrics.record_task()
+                records = parent.iterator(parent_index)
+                if self._map_side_combine:
+                    records = list(self._combine_partition(records).items())
+                    emit_combined = True
+                else:
+                    emit_combined = False
+                for key, value in records:
+                    target = self.partitioner.partition(key)
+                    buckets[target].append((key, value, emit_combined))
+                total_records += len(records)
+                total_bytes += estimate_partition_size(records)
+            metrics.record_shuffle(total_records, total_bytes)
+            self._buckets = buckets
+            return buckets
+
+    def invalidate_shuffle(self) -> None:
+        """Drop materialized map output (used by fault-injection tests)."""
+        with self._lock:
+            self._buckets = None
+
+    def compute(self, index: int) -> list:
+        if self.is_narrow:
+            parent = self.dependencies[0]
+            combined = self._combine_partition(parent.iterator(index))
+            return list(combined.items())
+        bucket = self._fetch_shuffle()[index]
+        merged = {}
+        for key, value, already_combined in bucket:
+            if key in merged:
+                if already_combined:
+                    merged[key] = self._merge_combiners(merged[key], value)
+                else:
+                    merged[key] = self._merge_value(merged[key], value)
+            else:
+                if already_combined:
+                    merged[key] = value
+                else:
+                    merged[key] = self._create(value)
+        return list(merged.items())
+
+
+class CoGroupedRDD(RDD):
+    """Group several pair-RDDs by key: ``(key, [values_0, values_1, ...])``.
+
+    Parents whose partitioner equals the target partitioner contribute
+    through a narrow dependency (no shuffle); the rest are shuffled.
+    """
+
+    def __init__(self, parents, partitioner: Partitioner):
+        parents = list(parents)
+        super().__init__(parents[0].context, dependencies=tuple(parents),
+                         num_partitions=partitioner.num_partitions,
+                         partitioner=partitioner, name="cogroup")
+        self._buckets = [None] * len(parents)
+        self._lock = threading.Lock()
+
+    def _parent_is_narrow(self, parent: RDD) -> bool:
+        return (
+            parent.partitioner is not None
+            and parent.partitioner == self.partitioner
+        )
+
+    def _fetch_parent_shuffle(self, which: int) -> list:
+        with self._lock:
+            if self._buckets[which] is not None:
+                return self._buckets[which]
+            parent = self.dependencies[which]
+            metrics = self.context.metrics
+            metrics.record_stage()
+            buckets = [[] for _ in range(self.num_partitions)]
+            total_records = 0
+            total_bytes = 0
+            for parent_index in range(parent.num_partitions):
+                metrics.record_task()
+                records = parent.iterator(parent_index)
+                for key, value in records:
+                    buckets[self.partitioner.partition(key)].append(
+                        (key, value)
+                    )
+                total_records += len(records)
+                total_bytes += estimate_partition_size(list(records))
+            metrics.record_shuffle(total_records, total_bytes)
+            self._buckets[which] = buckets
+            return buckets
+
+    def compute(self, index: int) -> list:
+        groups = {}
+        arity = len(self.dependencies)
+        for which, parent in enumerate(self.dependencies):
+            if self._parent_is_narrow(parent):
+                records = parent.iterator(index)
+            else:
+                records = self._fetch_parent_shuffle(which)[index]
+            for key, value in records:
+                if key not in groups:
+                    groups[key] = [[] for _ in range(arity)]
+                groups[key][which].append(value)
+        return list(groups.items())

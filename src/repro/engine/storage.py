@@ -1,0 +1,130 @@
+"""Block cache: the engine's answer to Spark's BlockManager.
+
+Persisted RDD partitions are stored here as blocks keyed by
+``(rdd_id, partition_index)``. The cache has a configurable memory budget;
+when it overflows, least-recently-used blocks are evicted (and counted as
+disk spills so the cost model can charge for them, mirroring Spark's
+MEMORY_AND_DISK behaviour).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import OrderedDict
+
+from repro.engine.sizing import estimate_partition_size
+
+
+class StorageLevel(enum.Enum):
+    """How (whether) an RDD's partitions are retained after computation."""
+
+    NONE = "none"
+    MEMORY = "memory"
+    MEMORY_AND_DISK = "memory_and_disk"
+
+
+class CacheManager:
+    """LRU block store with a byte budget.
+
+    ``budget_bytes=None`` means unbounded (the default for tests). The
+    manager is thread-safe because the scheduler may compute partitions
+    concurrently.
+    """
+
+    def __init__(self, metrics, budget_bytes=None):
+        self._metrics = metrics
+        self._budget_bytes = budget_bytes
+        self._blocks = OrderedDict()
+        self._sizes = {}
+        self._spilled = {}
+        self._lock = threading.RLock()
+
+    @property
+    def budget_bytes(self):
+        return self._budget_bytes
+
+    def used_bytes(self) -> int:
+        with self._lock:
+            return sum(self._sizes.values())
+
+    def block_count(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def get(self, rdd_id: int, partition_index: int):
+        """Return ``(found, value)``; spilled blocks count as disk reads."""
+        key = (rdd_id, partition_index)
+        with self._lock:
+            if key in self._blocks:
+                self._blocks.move_to_end(key)
+                self._metrics.record_cache_hit()
+                return True, self._blocks[key]
+            if key in self._spilled:
+                data = self._spilled[key]
+                self._metrics.record_cache_hit()
+                self._metrics.record_disk_read(
+                    estimate_partition_size(data)
+                )
+                return True, data
+            self._metrics.record_cache_miss()
+            return False, None
+
+    def put(self, rdd_id: int, partition_index: int, data,
+            allow_spill: bool = True) -> None:
+        key = (rdd_id, partition_index)
+        size = estimate_partition_size(data)
+        with self._lock:
+            self._blocks[key] = data
+            self._sizes[key] = size
+            self._blocks.move_to_end(key)
+            if self._budget_bytes is not None:
+                self._evict_to_budget(allow_spill)
+
+    def _evict_to_budget(self, allow_spill: bool) -> None:
+        while (
+            sum(self._sizes.values()) > self._budget_bytes
+            and len(self._blocks) > 1
+        ):
+            victim_key, victim_data = self._blocks.popitem(last=False)
+            size = self._sizes.pop(victim_key)
+            self._metrics.record_eviction()
+            if allow_spill:
+                self._spilled[victim_key] = victim_data
+                self._metrics.record_disk_write(size)
+
+    def drop_partition(self, rdd_id: int, partition_index: int) -> bool:
+        """Simulate an executor failure losing one cached block.
+
+        Returns whether a block was actually dropped. The next access will
+        miss and trigger lineage recomputation.
+        """
+        key = (rdd_id, partition_index)
+        with self._lock:
+            dropped = self._blocks.pop(key, None) is not None
+            self._sizes.pop(key, None)
+            dropped = self._spilled.pop(key, None) is not None or dropped
+            return dropped
+
+    def drop_rdd(self, rdd_id: int) -> int:
+        """Unpersist every block of an RDD; returns the number dropped."""
+        with self._lock:
+            keys = [k for k in self._blocks if k[0] == rdd_id]
+            for key in keys:
+                del self._blocks[key]
+                self._sizes.pop(key, None)
+            spilled_keys = [k for k in self._spilled if k[0] == rdd_id]
+            for key in spilled_keys:
+                del self._spilled[key]
+            return len(keys) + len(spilled_keys)
+
+    def contains(self, rdd_id: int, partition_index: int) -> bool:
+        key = (rdd_id, partition_index)
+        with self._lock:
+            return key in self._blocks or key in self._spilled
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blocks.clear()
+            self._sizes.clear()
+            self._spilled.clear()

@@ -1,0 +1,87 @@
+"""CSV cell records: ``coord_0,...,coord_{d-1},attr_0,...,attr_{k-1}``.
+
+Only valid cells are written — the textual analogue of never storing
+nulls. The header line names the dimensions and attributes, e.g.::
+
+    # dims: x, y, time | attrs: chlorophyll
+
+Reading returns records compatible with the ingest pipeline
+(:func:`repro.core.ingest.array_rdd_from_records`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IngestError
+
+
+def write_csv_cells(path, dim_names, attr_names, records) -> int:
+    """Write ``(coords, values)`` records; returns the cell count.
+
+    ``values`` may be a scalar (single attribute) or a sequence of one
+    value per attribute.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        handle.write(
+            "# dims: " + ", ".join(dim_names)
+            + " | attrs: " + ", ".join(attr_names) + "\n")
+        for coords, values in records:
+            if np.isscalar(values):
+                values = (values,)
+            if len(values) != len(attr_names):
+                raise IngestError(
+                    f"record has {len(values)} values for "
+                    f"{len(attr_names)} attributes"
+                )
+            handle.write(
+                ",".join(str(int(c)) for c in coords) + ","
+                + ",".join(repr(float(v)) for v in values) + "\n")
+            count += 1
+    return count
+
+
+def read_csv_cells(path):
+    """Parse a cell CSV; returns ``(dim_names, attr_names, records)``.
+
+    Records are ``(coords_tuple, values_tuple)``.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        header = handle.readline().strip()
+        if not header.startswith("# dims:") or "| attrs:" not in header:
+            raise IngestError(
+                f"{path}: missing '# dims: ... | attrs: ...' header"
+            )
+        dims_part, attrs_part = header[len("# dims:"):].split("| attrs:")
+        dim_names = tuple(
+            name.strip() for name in dims_part.split(",") if name.strip())
+        attr_names = tuple(
+            name.strip() for name in attrs_part.split(",")
+            if name.strip())
+        ndim = len(dim_names)
+        nattr = len(attr_names)
+        records = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split(",")
+            if len(fields) != ndim + nattr:
+                raise IngestError(
+                    f"{path}:{line_number}: expected {ndim + nattr} "
+                    f"fields, got {len(fields)}"
+                )
+            try:
+                coords = tuple(int(f) for f in fields[:ndim])
+                values = tuple(float(f) for f in fields[ndim:])
+            except ValueError as exc:
+                raise IngestError(
+                    f"{path}:{line_number}: {exc}"
+                ) from exc
+            records.append((coords, values))
+    return dim_names, attr_names, records

@@ -1,0 +1,104 @@
+"""Export: writing ArrayRDDs and datasets back to SNF / CSV.
+
+The inverse of the ingest paths — analysis results (regridded arrays,
+aggregates, filtered datasets) leave the cluster as the same formats
+they came in as. CSV export streams one partition at a time so only a
+partition's cells are ever held on the driver; SNF export materializes
+the dense array (its layout is dense by definition), so it is meant for
+result-sized arrays, not raw inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import mapper
+from repro.core.array_rdd import ArrayRDD
+from repro.io.csv import write_csv_cells
+from repro.io.snf import write_snf
+
+
+def array_rdd_to_snf(array: ArrayRDD, path) -> None:
+    """Write one ArrayRDD as a single-attribute SNF file."""
+    values, valid = array.collect_dense(fill=0.0)
+    dims = {
+        name: size
+        for name, size in zip(array.meta.dim_names, array.meta.shape)
+    }
+    write_snf(path, dims, {array.meta.attribute: values}, valid)
+
+
+def dataset_to_snf(dataset, path) -> None:
+    """Write every (evaluated) attribute of a dataset into one SNF file.
+
+    The dataset's pending mask is applied first, so what lands on disk
+    is exactly what a reader would have computed.
+    """
+    meta = dataset.meta
+    dims = {name: size
+            for name, size in zip(meta.dim_names, meta.shape)}
+    attributes = {}
+    combined_valid = None
+    for name in dataset.attribute_names:
+        values, valid = dataset.evaluate(name).collect_dense(fill=0.0)
+        attributes[name] = values
+        combined_valid = valid if combined_valid is None \
+            else (combined_valid & valid)
+    write_snf(path, dims, attributes, combined_valid)
+
+
+def array_rdd_to_csv(array: ArrayRDD, path) -> int:
+    """Stream an ArrayRDD's valid cells to a cell CSV; returns the count.
+
+    Partitions are collected one at a time (``run_partition``), so the
+    driver never holds more than one partition of records.
+    """
+    path = Path(path)
+    meta = array.meta
+    count = 0
+    with path.open("w") as handle:
+        handle.write(
+            "# dims: " + ", ".join(meta.dim_names)
+            + " | attrs: " + meta.attribute + "\n")
+        for index in range(array.rdd.num_partitions):
+            records = array.context.run_partition(array.rdd, index)
+            for chunk_id, chunk in records:
+                offsets = chunk.indices()
+                if offsets.size == 0:
+                    continue
+                coords = mapper.coords_for_offsets_array(
+                    meta, chunk_id, offsets)
+                for cell_coords, value in zip(coords, chunk.values()):
+                    handle.write(
+                        ",".join(str(int(c)) for c in cell_coords)
+                        + "," + repr(float(value)) + "\n")
+                    count += 1
+    return count
+
+
+def csv_to_array_rdd(context, path, chunk_shape,
+                     num_partitions=None) -> ArrayRDD:
+    """Read a single-attribute cell CSV into an ArrayRDD.
+
+    The array geometry is inferred from the cells' bounding box.
+    """
+    from repro.core.ingest import array_rdd_from_records
+    from repro.core.metadata import ArrayMetadata
+    from repro.io.csv import read_csv_cells
+
+    dim_names, attr_names, records = read_csv_cells(path)
+    if not records:
+        raise ValueError(f"{path}: no cells to infer a geometry from")
+    coords = np.array([record[0] for record in records],
+                      dtype=np.int64)
+    starts = tuple(int(c) for c in coords.min(axis=0))
+    shape = tuple(
+        int(hi - lo + 1)
+        for lo, hi in zip(coords.min(axis=0), coords.max(axis=0)))
+    meta = ArrayMetadata(shape, chunk_shape, starts=starts,
+                         dim_names=dim_names,
+                         attribute=attr_names[0])
+    cells = [(record[0], record[1][0]) for record in records]
+    return array_rdd_from_records(context, cells, meta, num_partitions)

@@ -1,0 +1,118 @@
+"""SNF — the Simple NetCDF-like Format.
+
+Layout::
+
+    8 bytes   magic  b"SNF\\x00v01\\n"
+    8 bytes   header length (little-endian uint64)
+    N bytes   JSON header: {"dims": {...}, "attributes": [...]}
+    payload   per attribute, in header order:
+                values array  (raw little-endian, C order)
+                valid bitmap  (uint8, 0/1, same cell order)
+
+Multi-attribute files model NetCDF variables over shared dimensions;
+the valid bitmap models NetCDF's _FillValue semantics explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IngestError
+
+MAGIC = b"SNF\x00v01\n"
+
+
+def write_snf(path, dims: dict, attributes: dict,
+              valid: np.ndarray = None) -> None:
+    """Write arrays to an SNF file.
+
+    ``dims`` maps dimension names to sizes (ordered); ``attributes``
+    maps attribute names to arrays of exactly that shape; ``valid`` is
+    an optional shared validity array (None = everything valid, NaNs
+    still count as invalid on read).
+    """
+    path = Path(path)
+    shape = tuple(dims.values())
+    header = {"dims": dims, "attributes": []}
+    blobs = []
+    if valid is None:
+        valid_u8 = np.ones(shape, dtype=np.uint8)
+    else:
+        valid_arr = np.asarray(valid, dtype=bool)
+        if valid_arr.shape != shape:
+            raise IngestError(
+                f"valid shape {valid_arr.shape} != dims shape {shape}"
+            )
+        valid_u8 = valid_arr.astype(np.uint8)
+    for name, array in attributes.items():
+        array = np.asarray(array)
+        if array.shape != shape:
+            raise IngestError(
+                f"attribute {name!r} shape {array.shape} != dims "
+                f"shape {shape}"
+            )
+        data = np.ascontiguousarray(array, dtype="<f8")
+        header["attributes"].append({"name": name, "dtype": "<f8"})
+        blobs.append(data.tobytes())
+        blobs.append(np.ascontiguousarray(valid_u8).tobytes())
+    header_bytes = json.dumps(header).encode("utf-8")
+    with path.open("wb") as handle:
+        handle.write(MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        for blob in blobs:
+            handle.write(blob)
+
+
+def read_snf(path):
+    """Read an SNF file → ``(dims, {attr: (values, valid)})``."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise IngestError(f"{path}: not an SNF file")
+        header_len = int.from_bytes(handle.read(8), "little")
+        try:
+            header = json.loads(handle.read(header_len))
+        except json.JSONDecodeError as exc:
+            raise IngestError(f"{path}: corrupt header: {exc}") from exc
+        dims = {name: int(size) for name, size in header["dims"].items()}
+        shape = tuple(dims.values())
+        cells = int(np.prod(shape))
+        out = {}
+        for attr in header["attributes"]:
+            raw = handle.read(cells * 8)
+            if len(raw) != cells * 8:
+                raise IngestError(
+                    f"{path}: truncated payload for {attr['name']!r}"
+                )
+            values = np.frombuffer(raw, dtype="<f8").reshape(shape).copy()
+            raw_valid = handle.read(cells)
+            if len(raw_valid) != cells:
+                raise IngestError(
+                    f"{path}: truncated validity for {attr['name']!r}"
+                )
+            valid = np.frombuffer(raw_valid, dtype=np.uint8) \
+                      .reshape(shape).astype(bool)
+            valid &= ~np.isnan(values)
+            out[attr["name"]] = (values, valid)
+    return dims, out
+
+
+def load_snf_as_dataset(context, path, chunk_shape,
+                        num_partitions=None):
+    """Read an SNF file straight into a multi-attribute SpangleDataset."""
+    from repro.core import ArrayRDD, SpangleDataset
+
+    dims, attributes = read_snf(path)
+    dim_names = tuple(dims.keys())
+    arrays = {}
+    for name, (values, valid) in attributes.items():
+        arrays[name] = ArrayRDD.from_numpy(
+            context, values, chunk_shape, valid=valid,
+            num_partitions=num_partitions, dim_names=dim_names,
+            attribute=name)
+    return SpangleDataset(arrays)

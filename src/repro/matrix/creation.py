@@ -1,0 +1,153 @@
+"""Matrix constructors and whole-matrix reductions.
+
+Factory functions (identity, diagonal, random sparse) and the
+reductions a linear-algebra user expects (row/column sums, trace,
+Frobenius norm) — each a single distributed pass over the blocks, with
+the bitmask keeping all of them proportional to the nonzero count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.matrix.matrix import SpangleMatrix
+from repro.matrix.vector import SpangleVector
+
+
+def identity(context, n: int, block: int = 512) -> SpangleMatrix:
+    """The n×n identity as a (very sparse) SpangleMatrix."""
+    idx = np.arange(n, dtype=np.int64)
+    return SpangleMatrix.from_coo(context, idx, idx, np.ones(n),
+                                  (n, n), (min(block, n),) * 2)
+
+
+def from_diagonal(context, diagonal, block: int = 512) -> SpangleMatrix:
+    """A diagonal matrix from a vector of entries."""
+    diagonal = np.asarray(diagonal, dtype=np.float64).ravel()
+    n = diagonal.size
+    idx = np.arange(n, dtype=np.int64)
+    keep = diagonal != 0
+    return SpangleMatrix.from_coo(context, idx[keep], idx[keep],
+                                  diagonal[keep], (n, n),
+                                  (min(block, n),) * 2)
+
+
+def random_sparse(context, shape, density: float, block=(512, 512),
+                  seed: int = 0) -> SpangleMatrix:
+    """A uniform random sparse matrix (values in (0, 1])."""
+    rng = np.random.default_rng(seed)
+    rows_n, cols_n = shape
+    nnz = max(1, int(rows_n * cols_n * density))
+    flat = rng.choice(rows_n * cols_n, size=min(nnz, rows_n * cols_n),
+                      replace=False)
+    return SpangleMatrix.from_coo(
+        context, flat // cols_n, flat % cols_n,
+        rng.random(flat.size) + 1e-12, shape,
+        (min(block[0], rows_n), min(block[1], cols_n)))
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+
+def row_sums(matrix: SpangleMatrix) -> SpangleVector:
+    """Σ_j M[i, j] as a column vector (one pass, driver-merged)."""
+    n_rows = matrix.shape[0]
+    block_rows = matrix.block_shape[0]
+    grid_rows = matrix.grid_rows
+
+    def partials(part):
+        partial = np.zeros(n_rows)
+        for chunk_id, chunk in part:
+            offsets = chunk.indices()
+            if offsets.size == 0:
+                continue
+            rb = chunk_id % grid_rows
+            local_rows = offsets % block_rows
+            contribution = np.bincount(local_rows,
+                                       weights=chunk.values(),
+                                       minlength=block_rows)
+            lo = rb * block_rows
+            hi = min(lo + block_rows, n_rows)
+            partial[lo:hi] += contribution[:hi - lo]
+        return [partial]
+
+    pieces = matrix.array.rdd.map_partitions(partials).collect()
+    out = np.zeros(n_rows)
+    for piece in pieces:
+        out += piece
+    return SpangleVector(out, "col")
+
+
+def col_sums(matrix: SpangleMatrix) -> SpangleVector:
+    """Σ_i M[i, j] as a row vector."""
+    n_cols = matrix.shape[1]
+    block_rows, block_cols = matrix.block_shape
+    grid_rows = matrix.grid_rows
+
+    def partials(part):
+        partial = np.zeros(n_cols)
+        for chunk_id, chunk in part:
+            offsets = chunk.indices()
+            if offsets.size == 0:
+                continue
+            cb = chunk_id // grid_rows
+            local_cols = offsets // block_rows
+            contribution = np.bincount(local_cols,
+                                       weights=chunk.values(),
+                                       minlength=block_cols)
+            lo = cb * block_cols
+            hi = min(lo + block_cols, n_cols)
+            partial[lo:hi] += contribution[:hi - lo]
+        return [partial]
+
+    pieces = matrix.array.rdd.map_partitions(partials).collect()
+    out = np.zeros(n_cols)
+    for piece in pieces:
+        out += piece
+    return SpangleVector(out, "row")
+
+
+def diagonal(matrix: SpangleMatrix) -> np.ndarray:
+    """The main diagonal (square matrices)."""
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ShapeMismatchError(
+            f"diagonal of a non-square matrix {matrix.shape}"
+        )
+    n = matrix.shape[0]
+    block_rows, block_cols = matrix.block_shape
+    grid_rows = matrix.grid_rows
+
+    def partials(part):
+        partial = np.zeros(n)
+        for chunk_id, chunk in part:
+            rb = chunk_id % grid_rows
+            cb = chunk_id // grid_rows
+            offsets = chunk.indices()
+            if offsets.size == 0:
+                continue
+            global_rows = rb * block_rows + offsets % block_rows
+            global_cols = cb * block_cols + offsets // block_rows
+            on_diagonal = global_rows == global_cols
+            partial[global_rows[on_diagonal]] += \
+                chunk.values()[on_diagonal]
+        return [partial]
+
+    pieces = matrix.array.rdd.map_partitions(partials).collect()
+    out = np.zeros(n)
+    for piece in pieces:
+        out += piece
+    return out
+
+
+def trace(matrix: SpangleMatrix) -> float:
+    return float(diagonal(matrix).sum())
+
+
+def frobenius_norm(matrix: SpangleMatrix) -> float:
+    """sqrt(Σ M[i,j]²) — one pass over the valid values only."""
+    total = matrix.array.rdd.map(
+        lambda kv: float((kv[1].values() ** 2).sum())
+    ).fold(0.0, lambda a, b: a + b)
+    return float(np.sqrt(total))

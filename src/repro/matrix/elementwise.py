@@ -1,0 +1,53 @@
+"""Element-wise matrix operations with bitmask gating (Fig. 5).
+
+Addition and subtraction use or-join semantics (a cell present on either
+side contributes; the missing operand is zero). The Hadamard product uses
+and-join semantics: the bitwise AND of the two bitmasks decides which
+pairs are multiplied at all — if either bit is unset the product is zero
+(invalid) and no arithmetic happens.
+
+When the operands share a partitioner these are embarrassingly parallel:
+the underlying joins are narrow and no data moves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.matrix import matrix as matrix_mod
+
+
+def _check(left, right) -> None:
+    if left.shape != right.shape:
+        raise ShapeMismatchError(
+            f"matrix shape mismatch: {left.shape} vs {right.shape}"
+        )
+    if left.block_shape != right.block_shape:
+        raise ShapeMismatchError(
+            f"block shape mismatch: {left.block_shape} vs "
+            f"{right.block_shape}"
+        )
+
+
+def add(left, right):
+    _check(left, right)
+    combined = left.array.combine(right.array, np.add, how="or", fill=0.0)
+    # zero results (a + (-a)) are no longer valid matrix cells
+    nonzero = combined.filter(lambda xs: xs != 0)
+    return matrix_mod.SpangleMatrix(nonzero)
+
+
+def subtract(left, right):
+    _check(left, right)
+    combined = left.array.combine(right.array, np.subtract, how="or",
+                                  fill=0.0)
+    nonzero = combined.filter(lambda xs: xs != 0)
+    return matrix_mod.SpangleMatrix(nonzero)
+
+
+def hadamard(left, right):
+    _check(left, right)
+    combined = left.array.combine(right.array, np.multiply, how="and")
+    nonzero = combined.filter(lambda xs: xs != 0)
+    return matrix_mod.SpangleMatrix(nonzero)

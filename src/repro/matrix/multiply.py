@@ -1,0 +1,367 @@
+"""Distributed block matrix multiplication (Sections V-A-4 and VI-A).
+
+The default path mirrors Spark's three-stage plan: two shuffles to key
+the operands by the contraction block index *k*, then a reduce to gather
+partial products per output block.
+
+The **local join** path (Section VI-A) applies when the left operand is
+partitioned by column-block and the right by row-block under the *same*
+partitioner: the join becomes a per-partition zip — one fused stage, no
+input shuffle — and only the final gather shuffles. The paper reports
+this is what lets Spangle survive the largest (Mawi) matrices.
+
+Partial products are bitmask-gated: a pair of blocks is multiplied only
+when both carry valid cells, and zero rows/columns never reach the
+kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.array_rdd import ArrayRDD
+from repro.core.chunk import Chunk
+from repro.core.metadata import ArrayMetadata
+from repro.engine import HashPartitioner
+from repro.engine.partitioner import ExplicitPartitioner
+from repro.errors import ShapeMismatchError
+
+
+def _check_dims(left, right) -> None:
+    if left.shape[1] != right.shape[0]:
+        raise ShapeMismatchError(
+            f"cannot multiply {left.shape} by {right.shape}"
+        )
+    if left.block_shape[1] != right.block_shape[0]:
+        raise ShapeMismatchError(
+            f"contraction block mismatch: left blocks are "
+            f"{left.block_shape}, right blocks are {right.block_shape}"
+        )
+
+
+#: below this density both operands take the COO partial-product path
+SPARSE_KERNEL_THRESHOLD = 0.02
+
+
+class _COOPartial:
+    """A partial product held as COO triples instead of a dense block.
+
+    Hyper-sparse block pairs (the Hardesty/Mawi regime) would waste both
+    time and memory on dense partials that are almost entirely zero;
+    this keeps exactly the nonzero contributions. Merging with another
+    partial (COO or dense) happens in :func:`_merge_partials`.
+    """
+
+    __slots__ = ("rows", "cols", "vals", "shape")
+
+    def __init__(self, rows, cols, vals, shape):
+        self.rows = rows
+        self.cols = cols
+        self.vals = vals
+        self.shape = shape
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.rows, self.cols), self.vals)
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.rows.nbytes + self.cols.nbytes
+                   + self.vals.nbytes)
+
+
+def _merge_partials(a, b):
+    """Sum two partial products of the same output block."""
+    if isinstance(a, _COOPartial) and isinstance(b, _COOPartial):
+        return _COOPartial(
+            np.concatenate([a.rows, b.rows]),
+            np.concatenate([a.cols, b.cols]),
+            np.concatenate([a.vals, b.vals]),
+            a.shape,
+        )
+    if isinstance(a, _COOPartial):
+        a = a.to_dense()
+    if isinstance(b, _COOPartial):
+        b = b.to_dense()
+    return a + b
+
+
+def _partial_to_dense(partial) -> np.ndarray:
+    if isinstance(partial, _COOPartial):
+        return partial.to_dense()
+    return partial
+
+
+def _coo_join(a_rows, a_ks, a_vals, b_ks, b_cols, b_vals, shape):
+    """Join two COO operands on the contraction index.
+
+    ``a`` contributes (row, k, value), ``b`` contributes (k, col,
+    value); returns the COO partial of their product, or None when no
+    k-index is shared (no arithmetic at all — the COO analogue of the
+    bitmask AND in Fig. 5).
+    """
+    shared = np.intersect1d(a_ks, b_ks)
+    if shared.size == 0:
+        return None
+    out_rows, out_cols, out_vals = [], [], []
+    a_order = np.argsort(a_ks, kind="stable")
+    b_order = np.argsort(b_ks, kind="stable")
+    a_ks_sorted = a_ks[a_order]
+    b_ks_sorted = b_ks[b_order]
+    for k in shared:
+        a_lo, a_hi = np.searchsorted(a_ks_sorted, [k, k + 1])
+        b_lo, b_hi = np.searchsorted(b_ks_sorted, [k, k + 1])
+        ar = a_rows[a_order[a_lo:a_hi]]
+        av = a_vals[a_order[a_lo:a_hi]]
+        bc = b_cols[b_order[b_lo:b_hi]]
+        bv = b_vals[b_order[b_lo:b_hi]]
+        out_rows.append(np.repeat(ar, bc.size))
+        out_cols.append(np.tile(bc, ar.size))
+        out_vals.append(np.outer(av, bv).ravel())
+    return _COOPartial(
+        np.concatenate(out_rows), np.concatenate(out_cols),
+        np.concatenate(out_vals), shape,
+    )
+
+
+def _sparse_partial(left_chunk, right_chunk, left_rows, contraction,
+                    right_cols):
+    """COO product of two sparse blocks; None when no k-index matches."""
+    a_off = left_chunk.indices()
+    b_off = right_chunk.indices()
+    return _coo_join(
+        a_off % left_rows, a_off // left_rows, left_chunk.values(),
+        b_off % contraction, b_off // contraction, right_chunk.values(),
+        (left_rows, right_cols),
+    )
+
+
+def _multiply_blocks(left, right, left_chunk, right_chunk):
+    """Partial product of two blocks; None when nothing to do.
+
+    Dense kernel by default; COO kernel when both blocks are very
+    sparse (bitmask gating taken to its conclusion — only matching
+    k-indices are ever touched).
+    """
+    if left_chunk.valid_count == 0 or right_chunk.valid_count == 0:
+        return None
+    if (left_chunk.density < SPARSE_KERNEL_THRESHOLD
+            and right_chunk.density < SPARSE_KERNEL_THRESHOLD):
+        return _sparse_partial(
+            left_chunk, right_chunk, left.block_shape[0],
+            left.block_shape[1], right.block_shape[1])
+    a = left_chunk.to_dense(0).reshape(left.block_shape, order="F")
+    b = right_chunk.to_dense(0).reshape(right.block_shape, order="F")
+    partial = a @ b
+    if not partial.any():
+        return None
+    return partial
+
+
+def _result_meta(left, right) -> ArrayMetadata:
+    return ArrayMetadata(
+        (left.shape[0], right.shape[1]),
+        (left.block_shape[0], right.block_shape[1]),
+        dim_names=("row", "col"),
+    )
+
+
+def _assemble(context, partials_rdd, meta, out_grid_rows) -> ArrayRDD:
+    """(row_block, col_block) partial sums → (chunk_id, Chunk) records."""
+
+    def to_chunk(record):
+        (rb, cb), partial = record
+        chunk_id = rb + cb * out_grid_rows
+        flat = _partial_to_dense(partial).ravel(order="F")
+        return chunk_id, Chunk.from_dense(flat, flat != 0)
+
+    chunks = partials_rdd.map(to_chunk) \
+        .filter(lambda kv: kv[1].valid_count > 0)
+    partitioner = HashPartitioner(partials_rdd.num_partitions)
+    placed = chunks.partition_by(partitioner)
+    return ArrayRDD(placed, meta, context)
+
+
+def k_partitioners(left, right, num_partitions: int):
+    """The co-partitioning pair for the local join.
+
+    Left blocks are placed by their column-block index, right blocks by
+    their row-block index — both modulo the same partition count and
+    under the same tag, so the engine treats them as equal partitioners
+    and the contraction index *k* of both operands lands in the same
+    partition.
+    """
+    tag = ("matmul-k", num_partitions)
+    grid_rows_left = left.grid_rows
+    grid_rows_right = right.grid_rows
+    left_part = ExplicitPartitioner(
+        num_partitions, lambda cid: cid // grid_rows_left, tag=tag)
+    right_part = ExplicitPartitioner(
+        num_partitions, lambda cid: cid % grid_rows_right, tag=tag)
+    return left_part, right_part
+
+
+def prepare_local(left, right, num_partitions=None):
+    """Pre-place both operands for the local join (one-off shuffles).
+
+    Returns ``(left_prepared, right_prepared)``. Once prepared, every
+    ``block_matmul(..., local_join=True)`` on the pair runs without
+    shuffling the inputs — the fused single stage of Section VI-A.
+    """
+    from repro.matrix.matrix import SpangleMatrix
+
+    if num_partitions is None:
+        num_partitions = left.array.rdd.num_partitions
+    left_part, right_part = k_partitioners(left, right, num_partitions)
+    left_placed = left.array.rdd.partition_by(left_part)
+    right_placed = right.array.rdd.partition_by(right_part)
+    return (
+        SpangleMatrix(ArrayRDD(left_placed, left.meta, left.context)),
+        SpangleMatrix(ArrayRDD(right_placed, right.meta, right.context)),
+    )
+
+
+def block_matmul(left, right, local_join: bool = False):
+    """``left × right`` as a SpangleMatrix."""
+    from repro.matrix.matrix import SpangleMatrix
+
+    _check_dims(left, right)
+    meta = _result_meta(left, right)
+    out_grid_rows = meta.chunk_grid[0]
+    context = left.context
+
+    if local_join:
+        partials = _local_join_partials(left, right)
+    else:
+        partials = _shuffled_partials(left, right)
+
+    summed = partials.reduce_by_key(_merge_partials)
+    return SpangleMatrix(_assemble(context, summed, meta, out_grid_rows))
+
+
+def _shuffled_partials(left, right):
+    """Spark-style: key both sides by k, cogroup (two shuffles)."""
+    grid_rows_left = left.grid_rows
+    grid_rows_right = right.grid_rows
+
+    left_by_k = left.array.rdd.map(
+        lambda kv: (kv[0] // grid_rows_left,
+                    (kv[0] % grid_rows_left, kv[1]))
+    )
+    right_by_k = right.array.rdd.map(
+        lambda kv: (kv[0] % grid_rows_right,
+                    (kv[0] // grid_rows_right, kv[1]))
+    )
+    grouped = left_by_k.cogroup(right_by_k)
+
+    def emit(groups):
+        left_blocks, right_blocks = groups
+        out = []
+        for rb, left_chunk in left_blocks:
+            for cb, right_chunk in right_blocks:
+                partial = _multiply_blocks(left, right, left_chunk,
+                                           right_chunk)
+                if partial is not None:
+                    out.append(((rb, cb), partial))
+        return out
+
+    return grouped.flat_map_values(lambda g: emit(g)) \
+                  .map(lambda kv: kv[1])
+
+
+def _local_join_partials(left, right):
+    """Fused stage: zip co-partitioned operands, no input shuffle.
+
+    ``prepare_local`` (or matching prior placement) makes the
+    ``partition_by`` calls below no-ops; otherwise they fall back to the
+    one-off placement shuffles.
+    """
+    num_partitions = left.array.rdd.num_partitions
+    left_part, right_part = k_partitioners(left, right, num_partitions)
+    left_placed = left.array.rdd.partition_by(left_part)
+    right_placed = right.array.rdd.partition_by(right_part)
+    grid_rows_left = left.grid_rows
+    grid_rows_right = right.grid_rows
+
+    def zipper(left_records, right_records):
+        right_by_k = {}
+        for cid, chunk in right_records:
+            right_by_k.setdefault(cid % grid_rows_right, []).append(
+                (cid // grid_rows_right, chunk))
+        out = []
+        for cid, left_chunk in left_records:
+            k = cid // grid_rows_left
+            rb = cid % grid_rows_left
+            for cb, right_chunk in right_by_k.get(k, ()):
+                partial = _multiply_blocks(left, right, left_chunk,
+                                           right_chunk)
+                if partial is not None:
+                    out.append(((rb, cb), partial))
+        return out
+
+    return left_placed.zip_partitions(right_placed, zipper)
+
+
+def gram_matmul(matrix):
+    """``Mᵀ × M`` directly from M's blocks — no transpose materialized.
+
+    Blocks sharing a row-block index k meet in one group; each pair
+    (k,c1),(k,c2) contributes ``block(k,c1)ᵀ @ block(k,c2)`` to output
+    block (c1,c2). One shuffle to group by k, one to gather.
+    """
+    from repro.matrix.matrix import SpangleMatrix
+
+    n_cols = matrix.shape[1]
+    block_cols = matrix.block_shape[1]
+    meta = ArrayMetadata((n_cols, n_cols), (block_cols, block_cols),
+                         dim_names=("row", "col"))
+    out_grid_rows = meta.chunk_grid[0]
+    grid_rows = matrix.grid_rows
+
+    by_k = matrix.array.rdd.map(
+        lambda kv: (kv[0] % grid_rows, (kv[0] // grid_rows, kv[1]))
+    ).group_by_key()
+
+    block_rows = matrix.block_shape[0]
+    out_shape = (matrix.block_shape[1], matrix.block_shape[1])
+
+    def emit(blocks):
+        out = []
+        live = [(cb, chunk) for cb, chunk in blocks
+                if chunk.valid_count]
+        all_sparse = all(
+            chunk.density < SPARSE_KERNEL_THRESHOLD
+            for _cb, chunk in live)
+        if all_sparse:
+            # COO kernel: a block (k × c) transposes by swapping its
+            # offset decomposition; only matching k-indices join
+            coo = {}
+            for cb, chunk in live:
+                offsets = chunk.indices()
+                coo[cb] = (offsets % block_rows,       # k-index
+                           offsets // block_rows,      # column
+                           chunk.values())
+            for c1, (a_ks, a_cols, a_vals) in coo.items():
+                for c2, (b_ks, b_cols, b_vals) in coo.items():
+                    partial = _coo_join(a_cols, a_ks, a_vals, b_ks,
+                                        b_cols, b_vals, out_shape)
+                    if partial is not None:
+                        out.append(((c1, c2), partial))
+            return out
+        dense = {
+            cb: chunk.to_dense(0).reshape(matrix.block_shape, order="F")
+            for cb, chunk in live
+        }
+        for c1, a in dense.items():
+            at = a.T
+            for c2, b in dense.items():
+                partial = at @ b
+                if partial.any():
+                    out.append(((c1, c2), partial))
+        return out
+
+    partials = by_k.flat_map_values(emit).map(lambda kv: kv[1])
+    summed = partials.reduce_by_key(_merge_partials)
+    return SpangleMatrix(
+        _assemble(matrix.context, summed, meta, out_grid_rows))

@@ -1,0 +1,133 @@
+"""Offset-array encoding: the COO-like alternative for static matrices.
+
+Section V-A-4: for matrix computation Spangle may swap a chunk's bitmask
+for an *offset array* — a flat list of one-dimensional offsets, similar
+to the coordinate-list (COO) format but with multi-dimensional
+coordinates already collapsed. The swap happens only when the offset
+array is smaller than the bitmask (i.e. the chunk is extremely sparse),
+and only for *static* matrices that are rarely updated (training data,
+the PageRank adjacency structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunk import Chunk, ChunkMode
+from repro.errors import ArrayError
+
+
+class OffsetArrayChunk:
+    """A chunk encoded as (offsets, values) instead of (bitmask, values).
+
+    Duck-types the read-side of :class:`Chunk` (``values``, ``indices``,
+    ``to_dense``, ``valid_count``, ``nbytes``...) so the matrix kernels
+    accept either encoding.
+    """
+
+    __slots__ = ("_offsets", "payload", "num_cells")
+
+    mode = "offset_array"
+
+    def __init__(self, num_cells: int, offsets: np.ndarray,
+                 values: np.ndarray):
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        values = np.ascontiguousarray(values)
+        if offsets.size != values.size:
+            raise ArrayError(
+                f"{offsets.size} offsets but {values.size} values"
+            )
+        if offsets.size and (offsets.min() < 0
+                             or offsets.max() >= num_cells):
+            raise ArrayError(f"offsets out of range [0, {num_cells})")
+        order = np.argsort(offsets, kind="stable")
+        self._offsets = offsets[order]
+        self.payload = values[order]
+        self.num_cells = num_cells
+
+    @classmethod
+    def from_chunk(cls, chunk: Chunk) -> "OffsetArrayChunk":
+        return cls(chunk.num_cells, chunk.indices(), chunk.values())
+
+    def to_chunk(self, mode: ChunkMode = None) -> Chunk:
+        return Chunk.from_sparse(self.num_cells, self._offsets,
+                                 self.payload, mode=mode)
+
+    # ------------------------------------------------------------------
+    # Chunk-compatible read API
+    # ------------------------------------------------------------------
+
+    @property
+    def valid_count(self) -> int:
+        return int(self.payload.size)
+
+    @property
+    def density(self) -> float:
+        if self.num_cells == 0:
+            return 0.0
+        return self.valid_count / self.num_cells
+
+    @property
+    def dtype(self):
+        return self.payload.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._offsets.nbytes) + int(self.payload.nbytes)
+
+    def indices(self) -> np.ndarray:
+        return self._offsets
+
+    def values(self) -> np.ndarray:
+        return self.payload
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        out = np.full(self.num_cells, fill, dtype=self.payload.dtype)
+        out[self._offsets] = self.payload
+        return out
+
+    def get(self, offset: int):
+        if not 0 <= offset < self.num_cells:
+            raise ArrayError(
+                f"offset {offset} out of range [0, {self.num_cells})"
+            )
+        slot = np.searchsorted(self._offsets, offset)
+        if slot < self._offsets.size and self._offsets[slot] == offset:
+            return self.payload[slot]
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"OffsetArrayChunk(cells={self.num_cells}, "
+            f"nnz={self.valid_count}, {self.nbytes}B)"
+        )
+
+
+def bitmask_bytes(num_cells: int) -> int:
+    """Flat bitmask size for a chunk of ``num_cells`` cells."""
+    return ((num_cells + 63) // 64) * 8
+
+
+def offset_array_bytes(nnz: int) -> int:
+    return nnz * 8
+
+
+def should_use_offsets(chunk) -> bool:
+    """The paper's conversion rule: swap only when it shrinks the chunk."""
+    return (
+        offset_array_bytes(chunk.valid_count)
+        < bitmask_bytes(chunk.num_cells)
+    )
+
+
+def encode_static(chunk):
+    """Re-encode a static chunk with whichever structure is smaller.
+
+    Returns the chunk unchanged when the bitmask is already the compact
+    choice; otherwise an :class:`OffsetArrayChunk`.
+    """
+    if isinstance(chunk, OffsetArrayChunk):
+        return chunk
+    if should_use_offsets(chunk):
+        return OffsetArrayChunk.from_chunk(chunk)
+    return chunk

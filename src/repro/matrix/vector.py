@@ -1,0 +1,165 @@
+"""SpangleVector: a broadcast vector with metadata-only transpose (opt2).
+
+Vectors in the paper's ML workloads (the PageRank rank vector, the SGD
+weight vector) are orders of magnitude smaller than the matrices, so
+Spangle broadcasts them to every worker instead of distributing them.
+Section VI-C's *opt2*: transposing such a vector "only replaces metadata
+(e.g. from 1×n to n×1)" — the payload never moves.
+
+For the Fig. 12b ablation we also keep the naive path:
+:meth:`transpose_physical` rebuilds the vector through a distributed
+1×n array, paying the shuffle and materialization the optimization
+avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+
+
+class SpangleVector:
+    """A dense vector plus its logical orientation.
+
+    ``orientation`` is ``"col"`` (n×1) or ``"row"`` (1×n). All arithmetic
+    is orientation-checked so that transposed-without-copying vectors
+    behave exactly like physically transposed ones.
+    """
+
+    __slots__ = ("data", "orientation")
+
+    def __init__(self, data, orientation: str = "col"):
+        if orientation not in ("col", "row"):
+            raise ShapeMismatchError(
+                f"orientation must be 'col' or 'row', got {orientation!r}"
+            )
+        self.data = np.asarray(data, dtype=np.float64).ravel()
+        self.orientation = orientation
+
+    @classmethod
+    def zeros(cls, size: int, orientation: str = "col") -> "SpangleVector":
+        return cls(np.zeros(size), orientation)
+
+    @classmethod
+    def full(cls, size: int, value: float,
+             orientation: str = "col") -> "SpangleVector":
+        return cls(np.full(size, value), orientation)
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def shape(self) -> tuple:
+        if self.orientation == "col":
+            return (self.size, 1)
+        return (1, self.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    # ------------------------------------------------------------------
+    # transposes
+    # ------------------------------------------------------------------
+
+    def transpose(self) -> "SpangleVector":
+        """opt2: flip the orientation metadata; zero data movement.
+
+        The result shares the payload buffer — nothing is copied.
+        """
+        flipped = "row" if self.orientation == "col" else "col"
+        out = SpangleVector.__new__(SpangleVector)
+        out.data = self.data
+        out.orientation = flipped
+        return out
+
+    @property
+    def T(self) -> "SpangleVector":
+        return self.transpose()
+
+    def transpose_physical(self, context, chunk: int = 4096):
+        """The unoptimized path: round-trip through a distributed array.
+
+        Builds a 1×n ArrayRDD, transposes it chunk-by-chunk (a shuffle),
+        and collects the n×1 result — the cost *opt2* eliminates.
+        """
+        from repro.matrix.matrix import SpangleMatrix
+
+        if self.orientation == "col":
+            as_matrix = SpangleMatrix.from_numpy(
+                context, self.data.reshape(-1, 1),
+                (min(chunk, self.size), 1), sparse_zeros=False)
+        else:
+            as_matrix = SpangleMatrix.from_numpy(
+                context, self.data.reshape(1, -1),
+                (1, min(chunk, self.size)), sparse_zeros=False)
+        transposed = as_matrix.transpose()
+        dense = transposed.to_numpy()
+        flipped = "row" if self.orientation == "col" else "col"
+        return SpangleVector(dense.ravel(), flipped)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    def _check_same_orientation(self, other: "SpangleVector") -> None:
+        if self.orientation != other.orientation:
+            raise ShapeMismatchError(
+                f"orientation mismatch: {self.orientation} vs "
+                f"{other.orientation}"
+            )
+        if self.size != other.size:
+            raise ShapeMismatchError(
+                f"vector length mismatch: {self.size} vs {other.size}"
+            )
+
+    def __add__(self, other):
+        if isinstance(other, SpangleVector):
+            self._check_same_orientation(other)
+            return SpangleVector(self.data + other.data, self.orientation)
+        return SpangleVector(self.data + other, self.orientation)
+
+    def __sub__(self, other):
+        if isinstance(other, SpangleVector):
+            self._check_same_orientation(other)
+            return SpangleVector(self.data - other.data, self.orientation)
+        return SpangleVector(self.data - other, self.orientation)
+
+    def __mul__(self, scalar):
+        return SpangleVector(self.data * scalar, self.orientation)
+
+    __rmul__ = __mul__
+
+    def hadamard(self, other: "SpangleVector") -> "SpangleVector":
+        """Element-wise product (the ∘ of the PageRank decomposition)."""
+        self._check_same_orientation(other)
+        return SpangleVector(self.data * other.data, self.orientation)
+
+    def dot(self, other: "SpangleVector") -> float:
+        if self.size != other.size:
+            raise ShapeMismatchError(
+                f"vector length mismatch: {self.size} vs {other.size}"
+            )
+        return float(self.data @ other.data)
+
+    def norm_diff(self, other: "SpangleVector") -> float:
+        """L1 distance, the paper's PageRank/SGD convergence residual."""
+        return float(np.abs(self.data - other.data).sum())
+
+    def map(self, func) -> "SpangleVector":
+        return SpangleVector(func(self.data), self.orientation)
+
+    def to_numpy(self) -> np.ndarray:
+        return self.data.copy()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SpangleVector)
+            and self.orientation == other.orientation
+            and np.allclose(self.data, other.data)
+        )
+
+    def __repr__(self) -> str:
+        return f"SpangleVector(shape={self.shape})"

@@ -1,0 +1,149 @@
+"""Distributed k-means over a SpangleMatrix of sample rows.
+
+Lloyd's algorithm in the broadcast-and-aggregate style of the other ML
+algorithms here: centers are broadcast, every partition assigns its
+rows and emits per-cluster partial sums/counts (no shuffle — the same
+tree-aggregate pattern as the matvec kernels), the driver averages.
+Distances use the ‖x−c‖² = ‖x‖² + ‖c‖² − 2x·c expansion, so the
+per-partition work is one dense (rows × centers) product against the
+chunk's sparse payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ArrayError, ConvergenceError
+from repro.matrix.matrix import SpangleMatrix
+
+
+@dataclass
+class KMeansModel:
+    centers: np.ndarray            # (k, f)
+    inertia: float                 # sum of squared distances
+    iterations: int
+    inertia_history: list = field(default_factory=list)
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centers.shape[0]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, np.float64))
+        distances = (
+            (features ** 2).sum(axis=1, keepdims=True)
+            + (self.centers ** 2).sum(axis=1)
+            - 2.0 * features @ self.centers.T
+        )
+        return distances.argmin(axis=1)
+
+
+def _row_blocks(matrix: SpangleMatrix):
+    """Per-chunk dense row blocks with their global row offsets."""
+    block_rows, _block_cols = matrix.block_shape
+    grid_rows = matrix.grid_rows
+
+    def blocks(part):
+        for chunk_id, chunk in part:
+            rb = chunk_id % grid_rows
+            dense = chunk.to_dense(0).reshape(matrix.block_shape,
+                                              order="F")
+            yield rb * block_rows, dense
+
+    return blocks
+
+
+def kmeans(matrix: SpangleMatrix, num_clusters: int,
+           max_iterations: int = 50, tolerance: float = 1e-6,
+           seed: int = 0) -> KMeansModel:
+    """Cluster the rows of an n×f matrix into ``num_clusters`` groups.
+
+    Rows are assumed to fit one chunk row-block each (the matrix's
+    blocks partition rows; column blocks must cover all features, i.e.
+    ``block_shape[1] == f``), which is the layout `from_coo` produces
+    for sample matrices.
+    """
+    n, f = matrix.shape
+    if not 1 <= num_clusters <= n:
+        raise ArrayError(
+            f"num_clusters must be in [1, {n}], got {num_clusters}"
+        )
+    if matrix.block_shape[1] != f:
+        raise ArrayError(
+            "kmeans needs row-major blocks: block_shape[1] must equal "
+            f"the feature count ({matrix.block_shape[1]} != {f})"
+        )
+    rng = np.random.default_rng(seed)
+
+    # initialize from a sample of actual rows (k distinct row indices)
+    chosen = rng.choice(n, size=num_clusters, replace=False)
+    chosen_set = set(int(i) for i in chosen)
+    blocks = _row_blocks(matrix)
+
+    def pick_rows(part):
+        found = []
+        for row0, dense in blocks(part):
+            for index in range(dense.shape[0]):
+                if row0 + index in chosen_set:
+                    found.append((row0 + index, dense[index].copy()))
+        return found
+
+    picked = dict(
+        (row, vec) for row, vec
+        in (pair for partial in
+            matrix.context.run_job(matrix.array.rdd, pick_rows)
+            for pair in partial))
+    centers = np.stack([picked[int(i)] for i in chosen])
+
+    inertia = np.inf
+    history = []
+    iterations = 0
+    for _step in range(max_iterations):
+        center_norms = (centers ** 2).sum(axis=1)
+        current = centers
+
+        def assign(part):
+            sums = np.zeros((num_clusters, f))
+            counts = np.zeros(num_clusters, dtype=np.int64)
+            sq_error = 0.0
+            for row0, dense in blocks(part):
+                live = min(dense.shape[0], n - row0)
+                rows = dense[:live]
+                distances = (
+                    (rows ** 2).sum(axis=1, keepdims=True)
+                    + center_norms - 2.0 * rows @ current.T
+                )
+                labels = distances.argmin(axis=1)
+                sq_error += float(
+                    np.clip(distances[np.arange(live), labels],
+                            0, None).sum())
+                np.add.at(sums, labels, rows)
+                counts += np.bincount(labels,
+                                      minlength=num_clusters)
+            return sums, counts, sq_error
+
+        partials = matrix.context.run_job(matrix.array.rdd, assign)
+        sums = np.zeros((num_clusters, f))
+        counts = np.zeros(num_clusters, dtype=np.int64)
+        new_inertia = 0.0
+        for partial_sums, partial_counts, partial_error in partials:
+            sums += partial_sums
+            counts += partial_counts
+            new_inertia += partial_error
+        nonempty = counts > 0
+        new_centers = centers.copy()
+        new_centers[nonempty] = sums[nonempty] \
+            / counts[nonempty, None]
+        iterations += 1
+        history.append(new_inertia)
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        improved = inertia - new_inertia
+        inertia = new_inertia
+        if shift < tolerance or 0 <= improved < tolerance:
+            break
+    return KMeansModel(centers=centers, inertia=inertia,
+                       iterations=iterations,
+                       inertia_history=history)

@@ -1,0 +1,298 @@
+"""Parallel mini-batch SGD machinery (Section VI-C).
+
+Two ideas from the paper:
+
+1. **Chunk IDs assigned in parallel** (Eq. 2): with ``nP`` partitions,
+   partition ``pID`` numbers its local row-chunks ``rID = 0, 1, ...``
+   and each chunk gets the globally unique ID
+
+       C = nP · rID + pID
+
+   — no coordination, no shuffle. IDs need not be consecutive, only
+   unique.
+2. **Shuffle-free sampling**: evaluated *in reverse*, the equation tells
+   every partition which chunk IDs it owns (``C ≡ pID (mod nP)``), so at
+   each SGD step every partition draws random local chunks and computes
+   a partial gradient without any data movement; only the small gradient
+   vectors meet at the driver.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.engine.partitioner import ExplicitPartitioner
+from repro.errors import ArrayError, ShapeMismatchError
+
+
+class SampleChunk:
+    """A block of training rows in COO form plus their labels."""
+
+    __slots__ = ("row_local", "col", "val", "labels", "num_rows")
+
+    def __init__(self, row_local, col, val, labels, num_rows: int):
+        self.row_local = np.ascontiguousarray(row_local, dtype=np.int64)
+        self.col = np.ascontiguousarray(col, dtype=np.int64)
+        self.val = np.ascontiguousarray(val, dtype=np.float64)
+        self.labels = np.ascontiguousarray(labels, dtype=np.float64)
+        self.num_rows = num_rows
+        if not self.row_local.size == self.col.size == self.val.size:
+            raise ShapeMismatchError("COO arrays must share a length")
+        if self.labels.size != num_rows:
+            raise ShapeMismatchError(
+                f"{self.labels.size} labels for {num_rows} rows"
+            )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.val.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.row_local.nbytes + self.col.nbytes
+                   + self.val.nbytes + self.labels.nbytes)
+
+    def dot(self, x: np.ndarray) -> np.ndarray:
+        """``X_block @ x`` — one gather + segmented sum."""
+        return np.bincount(self.row_local,
+                           weights=self.val * x[self.col],
+                           minlength=self.num_rows)
+
+    def t_dot(self, e: np.ndarray, num_features: int) -> np.ndarray:
+        """``(eᵀ X_block)`` without forming Xᵀ — the *opt1* kernel."""
+        return np.bincount(self.col,
+                           weights=self.val * e[self.row_local],
+                           minlength=num_features)
+
+    def transpose_coo(self) -> "SampleChunk":
+        """Physically build the transposed structure (the non-opt1 cost).
+
+        Sorting the nonzeros into column-major order is the in-process
+        analogue of the O(n/p) distributed transpose the paper avoids.
+        """
+        order = np.argsort(self.col, kind="stable")
+        return SampleChunk(self.col[order], self.row_local[order],
+                           self.val[order], self.labels, self.num_rows)
+
+    def t_dot_materialized(self, e: np.ndarray,
+                           num_features: int) -> np.ndarray:
+        """``Xᵀ e`` through an explicitly transposed copy (no opt1)."""
+        transposed = self.transpose_coo()
+        # in the transposed structure, "rows" are the original columns
+        return np.bincount(transposed.row_local,
+                           weights=transposed.val
+                           * e[transposed.col],
+                           minlength=num_features)
+
+
+def chunk_id(num_partitions: int, r_id: int, p_id: int) -> int:
+    """Equation 2: C = nP · rID + pID."""
+    return num_partitions * r_id + p_id
+
+
+def partition_of(chunk: int, num_partitions: int) -> int:
+    """Equation 2 reversed: which partition owns a chunk ID."""
+    return chunk % num_partitions
+
+
+def row_chunk_of(chunk: int, num_partitions: int) -> int:
+    """Equation 2 reversed: the local row-chunk index of a chunk ID."""
+    return chunk // num_partitions
+
+
+class DistributedSamples:
+    """Training data distributed as Eq.-2-numbered sample chunks."""
+
+    def __init__(self, rdd, num_features: int, num_partitions: int,
+                 chunks_per_partition: list, total_rows: int, context):
+        self.rdd = rdd
+        self.num_features = num_features
+        self.num_partitions = num_partitions
+        self.chunks_per_partition = list(chunks_per_partition)
+        self.total_rows = total_rows
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, context, rows, cols, values, labels,
+                 num_features: int, chunk_rows: int = 256,
+                 num_partitions=None) -> "DistributedSamples":
+        """Ingest a sparse sample matrix given as global COO + labels."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if num_partitions is None:
+            num_partitions = context.default_parallelism
+        num_rows = labels.size
+        if chunk_rows <= 0:
+            raise ArrayError("chunk_rows must be positive")
+
+        # contiguous row ranges per partition, then Eq. 2 numbering
+        bounds = np.linspace(0, num_rows, num_partitions + 1) \
+                   .astype(np.int64)
+        records = []
+        chunks_per_partition = []
+        order = np.argsort(rows, kind="stable")
+        rows_sorted = rows[order]
+        cols_sorted = cols[order]
+        values_sorted = values[order]
+        for p_id in range(num_partitions):
+            lo, hi = int(bounds[p_id]), int(bounds[p_id + 1])
+            r_count = 0
+            for r_id, start in enumerate(range(lo, hi, chunk_rows)):
+                stop = min(start + chunk_rows, hi)
+                sel_lo = np.searchsorted(rows_sorted, start)
+                sel_hi = np.searchsorted(rows_sorted, stop)
+                chunk = SampleChunk(
+                    rows_sorted[sel_lo:sel_hi] - start,
+                    cols_sorted[sel_lo:sel_hi],
+                    values_sorted[sel_lo:sel_hi],
+                    labels[start:stop],
+                    stop - start,
+                )
+                records.append(
+                    (chunk_id(num_partitions, r_id, p_id), chunk))
+                r_count += 1
+            chunks_per_partition.append(r_count)
+        partitioner = ExplicitPartitioner(
+            num_partitions, lambda cid: cid % num_partitions,
+            tag=("eq2", num_partitions))
+        rdd = context.parallelize(records, num_partitions,
+                                  partitioner=partitioner)
+        rdd.partitioner = partitioner
+        return cls(rdd, num_features, num_partitions,
+                   chunks_per_partition, num_rows, context)
+
+    @classmethod
+    def from_generator(cls, context, num_partitions: int,
+                       partition_chunks, num_features: int
+                       ) -> "DistributedSamples":
+        """Distributed ingest: ``partition_chunks(p_id)`` yields
+        :class:`SampleChunk` objects for partition ``p_id``.
+
+        Chunk IDs are assigned inside each partition with Eq. 2 — the
+        paper's point is exactly that this needs no coordination.
+        """
+        partitioner = ExplicitPartitioner(
+            num_partitions, lambda cid: cid % num_partitions,
+            tag=("eq2", num_partitions))
+
+        def generate(p_id):
+            for r_id, chunk in enumerate(partition_chunks(p_id)):
+                yield chunk_id(num_partitions, r_id, p_id), chunk
+
+        rdd = context.generate(num_partitions, generate,
+                               partitioner=partitioner).cache()
+        counts = rdd.map_partitions(
+            lambda part: [len(list(part))]).collect()
+        rows = rdd.map(lambda kv: kv[1].num_rows).fold(
+            0, lambda a, b: a + b)
+        return cls(rdd, num_features, num_partitions, counts, rows,
+                   context)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def cache(self) -> "DistributedSamples":
+        self.rdd.cache()
+        return self
+
+    def nnz(self) -> int:
+        return self.rdd.map(lambda kv: kv[1].nnz).fold(
+            0, lambda a, b: a + b)
+
+    def memory_bytes(self) -> int:
+        return self.rdd.map(lambda kv: kv[1].nbytes).fold(
+            0, lambda a, b: a + b)
+
+    def sampled_gradient(self, x: np.ndarray, step: int,
+                         chunks_per_step: int = 1, opt1: bool = True,
+                         hypothesis=None, seed: int = 0,
+                         error_fn=None):
+        """One parallel mini-batch gradient evaluation.
+
+        Every partition draws ``chunks_per_step`` of its own chunks
+        (Eq. 2 reversed — no shuffle), computes the partial gradient
+        against the broadcast ``x``, and the driver sums the partials.
+        Returns ``(gradient_row, num_samples)``.
+
+        ``error_fn(z, labels) -> per-row error`` defines the loss; the
+        default is the logistic loss (``sigmoid(z) − y``). The gradient
+        is then ``errorᵀ · X_batch`` whatever the loss.
+        """
+        num_features = self.num_features
+        num_partitions = self.num_partitions
+        if error_fn is None:
+            if hypothesis is None:
+                hypothesis = _sigmoid
+
+            def error_fn(z, labels):  # noqa: E306 - default loss
+                return hypothesis(z) - labels
+
+        def partial(index, part):
+            records = list(part)
+            if not records:
+                return [(np.zeros(num_features), 0)]
+            rng = random.Random(seed * 1_000_003 + step * 7919 + index)
+            grad = np.zeros(num_features)
+            count = 0
+            picks = min(chunks_per_step, len(records))
+            local = {row_chunk_of(cid, num_partitions): chunk
+                     for cid, chunk in records}
+            chosen_rids = rng.sample(sorted(local), picks)
+            for r_id in chosen_rids:
+                chunk = local[r_id]
+                z = chunk.dot(x)
+                error = error_fn(z, chunk.labels)
+                if opt1:
+                    grad += chunk.t_dot(error, num_features)
+                else:
+                    grad += chunk.t_dot_materialized(error, num_features)
+                count += chunk.num_rows
+            return [(grad, count)]
+
+        pieces = self.rdd.map_partitions_with_index(partial).collect()
+        grad = np.zeros(num_features)
+        total = 0
+        for piece_grad, piece_count in pieces:
+            grad += piece_grad
+            total += piece_count
+        return grad, total
+
+    def evaluate_accuracy(self, x: np.ndarray,
+                          hypothesis=None) -> float:
+        """Fraction of rows classified correctly under weights ``x``."""
+        if hypothesis is None:
+            hypothesis = _sigmoid
+
+        def count_correct(part):
+            correct = 0
+            total = 0
+            for _cid, chunk in part:
+                if chunk.num_rows == 0:
+                    continue
+                predicted = hypothesis(chunk.dot(x)) >= 0.5
+                correct += int((predicted == (chunk.labels >= 0.5)).sum())
+                total += chunk.num_rows
+            return [(correct, total)]
+
+        pieces = self.rdd.map_partitions(count_correct).collect()
+        correct = sum(piece[0] for piece in pieces)
+        total = sum(piece[1] for piece in pieces)
+        return correct / total if total else 0.0
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    ez = np.exp(z[~positive])
+    out[~positive] = ez / (1.0 + ez)
+    return out

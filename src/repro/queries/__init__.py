@@ -1,0 +1,5 @@
+"""Benchmark queries (Table I) over Spangle and the baseline systems."""
+
+from repro.queries.ssdb import SpangleRasterQueries, load_spangle_dataset
+
+__all__ = ["SpangleRasterQueries", "load_spangle_dataset"]

@@ -1,0 +1,193 @@
+"""The SS-DB-style raster benchmark queries of Table I, on Spangle.
+
+Five queries over a stack of images (dimensions x, y, image; one
+attribute per band):
+
+- **Q1** (aggregation): average of selected cells in a range —
+  background-noise estimation over raw imagery.
+- **Q2** (regridding): average of adjacent cells onto a coarser grid.
+- **Q3** (aggregation): cells in a range matching a condition, averaged.
+- **Q4** (polygons): count observations in a range satisfying a
+  condition after a filter.
+- **Q5** (density): group observations into spatial windows, find
+  windows with more than a given number of observations.
+
+Baseline implementations of the same queries live with their systems
+(:mod:`repro.baselines`); this module provides the Spangle side plus the
+shared dataset loader.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ArrayRDD, SpangleDataset
+from repro.core import mapper
+from repro.data.raster import sdss_stack
+from repro.errors import ArrayError
+
+
+def load_spangle_dataset(context, band_scenes: dict,
+                         chunk_shape=(128, 128, 1),
+                         num_partitions=None,
+                         use_mask_rdd: bool = True) -> SpangleDataset:
+    """Ingest ``{band: [2-D scenes]}`` into a 3-D multi-band dataset."""
+    attributes = {}
+    for band, scenes in band_scenes.items():
+        values, valid = sdss_stack(scenes)
+        attributes[band] = ArrayRDD.from_numpy(
+            context, values, chunk_shape, valid=valid,
+            num_partitions=num_partitions,
+            dim_names=("x", "y", "image"), attribute=band)
+    return SpangleDataset(attributes, use_mask_rdd=use_mask_rdd)
+
+
+def _window_partials(array: ArrayRDD, window: int):
+    """Per-window (sum, count) records keyed ``(image, wr, wc)``.
+
+    Windows tile the (x, y) plane; images stay separate. Windows that
+    straddle chunk boundaries are completed by the reduce.
+    """
+    if window <= 0:
+        raise ArrayError("window must be positive")
+    meta = array.meta
+    if meta.ndim != 3:
+        raise ArrayError("window queries expect an (x, y, image) array")
+    # when windows tile chunks exactly, no window spans two chunks:
+    # per-chunk results are final and the merge shuffle can be skipped
+    globally_aligned = (
+        meta.chunk_shape[0] % window == 0
+        and meta.chunk_shape[1] % window == 0
+        and meta.starts[0] % window == 0
+        and meta.starts[1] % window == 0
+    )
+
+    cx, cy, ci = meta.chunk_shape
+
+    def partials(part):
+        for chunk_id, chunk in part:
+            origin = mapper.chunk_origin(meta, chunk_id)
+            dense = chunk.to_dense(0.0).reshape((cx, cy, ci), order="F")
+            valid = chunk.valid_bools().reshape((cx, cy, ci), order="F")
+            if not valid.any():
+                continue
+            aligned = (
+                cx % window == 0 and cy % window == 0
+                and origin[0] % window == 0 and origin[1] % window == 0
+            )
+            if aligned:
+                # fast path: windows tile the chunk exactly — one
+                # reshape-reduce per chunk
+                wr0 = origin[0] // window
+                wc0 = origin[1] // window
+                nr = cx // window
+                nc = cy // window
+                filled = np.where(valid, dense, 0.0)
+                sums = filled.reshape(nr, window, nc, window, ci) \
+                             .sum(axis=(1, 3))
+                counts = valid.reshape(nr, window, nc, window, ci) \
+                              .sum(axis=(1, 3))
+                live = np.argwhere(counts > 0)
+                for wr, wc, t in live:
+                    yield ((origin[2] + int(t), wr0 + int(wr),
+                            wc0 + int(wc)),
+                           (float(sums[wr, wc, t]),
+                            int(counts[wr, wc, t])))
+                continue
+            # general path: label every cell with its window and group
+            rows = (origin[0] + np.arange(cx)) // window
+            cols = (origin[1] + np.arange(cy)) // window
+            imgs = origin[2] + np.arange(ci)
+            big = 1 << 20
+            keys = ((imgs[None, None, :] * big + rows[:, None, None])
+                    * big + cols[None, :, None]
+                    + np.zeros((cx, cy, ci), dtype=np.int64))
+            flat_keys = keys.ravel()
+            flat_vals = np.where(valid, dense, 0.0).ravel()
+            flat_valid = valid.ravel().astype(np.float64)
+            uniq, inverse = np.unique(flat_keys, return_inverse=True)
+            sums = np.bincount(inverse, weights=flat_vals,
+                               minlength=uniq.size)
+            counts = np.bincount(inverse, weights=flat_valid,
+                                 minlength=uniq.size)
+            for key, s, n in zip(uniq, sums, counts):
+                if n > 0:
+                    image = int(key) // (big * big)
+                    wr = (int(key) // big) % big
+                    wc = int(key) % big
+                    yield (image, wr, wc), (float(s), int(n))
+
+    mapped = array.rdd.map_partitions(partials)
+    if globally_aligned:
+        return mapped
+    return mapped.reduce_by_key(
+        lambda a, b: (a[0] + b[0], a[1] + b[1]))
+
+
+class SpangleRasterQueries:
+    """The five Table-I queries against a SpangleDataset."""
+
+    name = "Spangle"
+
+    def __init__(self, dataset: SpangleDataset):
+        self.dataset = dataset
+
+    def _restricted(self, band: str, box=None) -> ArrayRDD:
+        ds = self.dataset
+        if box is not None:
+            lo, hi = box
+            ds = ds.subarray(lo, hi)
+        return ds.evaluate(band)
+
+    # ------------------------------------------------------------------
+
+    def q1_aggregation(self, band: str, box=None) -> float:
+        """Average value of selected cells (optionally in a range)."""
+        return self._restricted(band, box).aggregate("avg")
+
+    def q2_regrid(self, band: str, grid: int, box=None) -> dict:
+        """Average of adjacent cells onto a grid of ``grid × grid``."""
+        array = self._restricted(band, box)
+        merged = _window_partials(array, grid).collect()
+        return {
+            key: s / n for key, (s, n) in merged
+        }
+
+    def q3_conditional_aggregation(self, band: str, predicate,
+                                   box=None) -> float:
+        """Average of cells in a range matching a condition."""
+        ds = self.dataset
+        if box is not None:
+            ds = ds.subarray(*box)
+        return ds.filter(band, predicate).evaluate(band).aggregate("avg")
+
+    def q4_polygons(self, band: str, filter_predicate,
+                    count_predicate, box=None) -> int:
+        """Filter, then count observations satisfying a condition."""
+        ds = self.dataset
+        if box is not None:
+            ds = ds.subarray(*box)
+        filtered = ds.filter(band, filter_predicate).evaluate(band)
+        return filtered.filter(count_predicate).count_valid()
+
+    def q5_density(self, band: str, window: int, min_count: int,
+                   box=None) -> int:
+        """Windows containing more than ``min_count`` observations.
+
+        Unlike Q2, Q5 counts observations across *all* attributes'
+        shared validity — this is the query Fig. 9b uses to measure the
+        MaskRDD's effect as attributes are added.
+        """
+        array = self._restricted(band, box)
+        merged = _window_partials(array, window).collect()
+        return sum(1 for _key, (_s, n) in merged if n > min_count)
+
+
+def reference_window_counts(valid: np.ndarray, window: int) -> dict:
+    """Dense-numpy oracle for window observation counts (tests)."""
+    counts = {}
+    xs, ys, imgs = np.nonzero(valid)
+    for x, y, img in zip(xs, ys, imgs):
+        key = (int(img), int(x) // window, int(y) // window)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

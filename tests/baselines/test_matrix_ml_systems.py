@@ -1,0 +1,185 @@
+"""Tests for the matrix/ML baselines: COO, MLlib, GraphX, Spark PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GraphXPageRank,
+    LogisticRegressionMLlib,
+    MLlibRowMatrix,
+    SparkCOOMatrix,
+    SparkPageRank,
+)
+from repro.engine import ClusterContext
+from repro.errors import OutOfMemoryError, ShapeMismatchError
+from repro.matrix.vector import SpangleVector
+from repro.ml import BitmaskGraph, pagerank
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def random_sparse(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.random(shape)
+    dense[rng.random(shape) >= density] = 0.0
+    return dense
+
+
+class TestSparkCOO:
+    def test_kernels(self, ctx):
+        a = random_sparse((30, 20), 0.2, seed=0)
+        r, c = np.nonzero(a)
+        m = SparkCOOMatrix.from_coo(ctx, r, c, a[r, c], a.shape)
+        assert m.nnz() == len(r)
+        v = SpangleVector(np.arange(20, dtype=np.float64))
+        assert np.allclose(m.dot_vector(v).data, a @ v.data)
+        w = SpangleVector(np.arange(30, dtype=np.float64), "row")
+        assert np.allclose(m.vector_dot(w).data, w.data @ a)
+
+    def test_multiply(self, ctx):
+        a = random_sparse((25, 18), 0.2, seed=1)
+        b = random_sparse((18, 12), 0.2, seed=2)
+        ra, ca = np.nonzero(a)
+        rb, cb = np.nonzero(b)
+        ma = SparkCOOMatrix.from_coo(ctx, ra, ca, a[ra, ca], a.shape)
+        mb = SparkCOOMatrix.from_coo(ctx, rb, cb, b[rb, cb], b.shape)
+        assert np.allclose(ma.multiply(mb).to_numpy(), a @ b)
+
+    def test_gram(self, ctx):
+        a = random_sparse((20, 10), 0.3, seed=3)
+        r, c = np.nonzero(a)
+        m = SparkCOOMatrix.from_coo(ctx, r, c, a[r, c], a.shape)
+        assert np.allclose(m.gram().to_numpy(), a.T @ a)
+
+    def test_density_wall(self, ctx):
+        """Denser input → intermediate explosion → OOM (the Mouse story)."""
+        a = random_sparse((60, 60), 0.5, seed=4)
+        r, c = np.nonzero(a)
+        m = SparkCOOMatrix.from_coo(ctx, r, c, a[r, c], a.shape)
+        with pytest.raises(OutOfMemoryError):
+            m.multiply(m, max_intermediate_records=1000)
+        with pytest.raises(OutOfMemoryError):
+            m.gram(max_intermediate_records=1000)
+
+    def test_hyper_sparse_survives_same_budget(self, ctx):
+        a = np.zeros((60, 60))
+        a[3, 4] = 1.0
+        a[50, 20] = 2.0
+        r, c = np.nonzero(a)
+        m = SparkCOOMatrix.from_coo(ctx, r, c, a[r, c], a.shape)
+        result = m.multiply(m, max_intermediate_records=1000)
+        assert np.allclose(result.to_numpy(), a @ a)
+
+    def test_dimension_check(self, ctx):
+        a = SparkCOOMatrix.from_coo(ctx, [0], [0], [1.0], (2, 3))
+        with pytest.raises(ShapeMismatchError):
+            a.multiply(a)
+
+
+class TestMLlibMatrix:
+    def test_kernels(self, ctx):
+        a = random_sparse((30, 15), 0.3, seed=5)
+        r, c = np.nonzero(a)
+        m = MLlibRowMatrix.from_coo(ctx, r, c, a[r, c], a.shape)
+        assert m.nnz() == len(r)
+        v = SpangleVector(np.arange(15, dtype=np.float64))
+        assert np.allclose(m.dot_vector(v).data, a @ v.data)
+        w = SpangleVector(np.arange(30, dtype=np.float64), "row")
+        assert np.allclose(m.vector_dot(w).data, w.data @ a)
+
+    def test_gram_matches(self, ctx):
+        a = random_sparse((25, 12), 0.4, seed=6)
+        r, c = np.nonzero(a)
+        m = MLlibRowMatrix.from_coo(ctx, r, c, a[r, c], a.shape)
+        assert np.allclose(m.gram(), a.T @ a)
+
+    def test_gram_driver_oom(self, ctx):
+        a = random_sparse((10, 100), 0.2, seed=7)
+        r, c = np.nonzero(a)
+        m = MLlibRowMatrix.from_coo(ctx, r, c, a[r, c], a.shape)
+        with pytest.raises(OutOfMemoryError):
+            m.gram(driver_memory_bytes=1000)
+
+
+class TestMLlibLogisticRegression:
+    def _dataset(self, ns=1500, nf=12, seed=8):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(ns, nf))
+        w = rng.normal(size=nf)
+        y = (X @ w > 0).astype(np.float64)
+        r, c = np.nonzero(X)
+        return r, c, X[r, c], y, nf
+
+    def test_learns(self, ctx):
+        r, c, v, y, nf = self._dataset()
+        lr = LogisticRegressionMLlib(max_iterations=100)
+        matrix, labels = lr.ingest(ctx, r, c, v, y, nf)
+        lr.fit(matrix, labels)
+        assert lr.accuracy(matrix, labels) > 0.9
+        assert len(lr.iteration_times_s) > 0
+
+    def test_driver_oom_on_wide_features(self, ctx):
+        r, c, v, y, _nf = self._dataset()
+        lr = LogisticRegressionMLlib(driver_memory_bytes=1000)
+        with pytest.raises(OutOfMemoryError):
+            lr.ingest(ctx, r, c, v, y, num_features=10_000)
+
+    def test_executor_oom_on_large_cache(self, ctx):
+        r, c, v, y, nf = self._dataset(ns=2000)
+        lr = LogisticRegressionMLlib(executor_memory_bytes=10_000)
+        with pytest.raises(OutOfMemoryError):
+            lr.ingest(ctx, r, c, v, y, nf)
+
+
+class TestPageRankBaselines:
+    def _graph(self, seed=9):
+        rng = np.random.default_rng(seed)
+        n = 80
+        edges = set()
+        for i in range(n):
+            edges.add((i, (i + 1) % n))  # strongly connected ring
+        while len(edges) < 400:
+            s, d = rng.integers(0, n, 2)
+            if s != d:
+                edges.add((int(s), int(d)))
+        return np.array(sorted(edges)), n
+
+    def test_graphx_matches_spangle(self, ctx):
+        edges, n = self._graph()
+        spangle = pagerank(
+            BitmaskGraph.from_edges(ctx, edges, n, block_size=32),
+            max_iterations=15)
+        graphx = GraphXPageRank(ctx).run(edges, n, max_iterations=15)
+        assert np.allclose(graphx.ranks, spangle.ranks, atol=1e-10)
+        assert len(graphx.iteration_times_s) == 15
+
+    def test_spark_matches_spangle(self, ctx):
+        edges, n = self._graph(seed=10)
+        spangle = pagerank(
+            BitmaskGraph.from_edges(ctx, edges, n, block_size=32),
+            max_iterations=15)
+        spark = SparkPageRank(ctx).run(edges, n, max_iterations=15)
+        assert np.allclose(spark.ranks, spangle.ranks, atol=1e-8)
+
+    def test_spark_shuffles_per_iteration(self, ctx):
+        edges, n = self._graph(seed=11)
+        before = ctx.metrics.snapshot()
+        SparkPageRank(ctx).run(edges, n, max_iterations=3)
+        three = (ctx.metrics.snapshot() - before).shuffle_bytes
+        before = ctx.metrics.snapshot()
+        SparkPageRank(ctx).run(edges, n, max_iterations=6)
+        six = (ctx.metrics.snapshot() - before).shuffle_bytes
+        assert six > three * 1.5
+
+    def test_spangle_shuffles_nothing_per_iteration(self, ctx):
+        edges, n = self._graph(seed=12)
+        graph = BitmaskGraph.from_edges(ctx, edges, n,
+                                        block_size=32).cache()
+        graph.num_edges()
+        before = ctx.metrics.snapshot()
+        pagerank(graph, max_iterations=5)
+        delta = ctx.metrics.snapshot() - before
+        assert delta.shuffle_bytes == 0

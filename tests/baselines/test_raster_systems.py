@@ -1,0 +1,267 @@
+"""Tests: the raster baselines compute the same answers as each other
+and as dense-numpy references, while exhibiting their architectural
+limits (dense loading, driver ingest, disk I/O)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RasterFramesSystem, SciDBSystem, SciSparkSystem
+from repro.baselines.scispark import UnsupportedOperation
+from repro.engine import ClusterContext
+from repro.errors import OutOfMemoryError
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+@pytest.fixture()
+def scenes():
+    rng = np.random.default_rng(0)
+    out = []
+    for _ in range(3):
+        img = rng.random((64, 64)) * 10
+        img[rng.random((64, 64)) < 0.7] = np.nan
+        out.append(img)
+    return out
+
+
+def reference_mean(scenes, lo=None, hi=None, predicate=None):
+    stack = np.stack(scenes)
+    if lo is not None:
+        stack = stack[:, lo[0]:hi[0] + 1, lo[1]:hi[1] + 1]
+    mask = ~np.isnan(stack)
+    if predicate is not None:
+        with np.errstate(invalid="ignore"):
+            mask &= predicate(stack)
+    return stack[mask].mean()
+
+
+class TestSciSpark:
+    def test_aggregate_mean(self, ctx, scenes):
+        system = SciSparkSystem(ctx)
+        tiles = system.load_scenes(scenes, (32, 32))
+        assert system.aggregate_mean(tiles) == pytest.approx(
+            reference_mean(scenes))
+
+    def test_select_range(self, ctx, scenes):
+        system = SciSparkSystem(ctx)
+        tiles = system.load_scenes(scenes, (32, 32))
+        sel = system.select_range(tiles, (5, 10), (50, 40))
+        assert system.aggregate_mean(sel) == pytest.approx(
+            reference_mean(scenes, (5, 10), (50, 40)))
+
+    def test_filter_then_mean(self, ctx, scenes):
+        system = SciSparkSystem(ctx)
+        tiles = system.load_scenes(scenes, (32, 32))
+        filtered = system.filter_cells(tiles, lambda t: t > 5.0)
+        assert system.aggregate_mean(filtered) == pytest.approx(
+            reference_mean(scenes, predicate=lambda s: s > 5.0))
+
+    def test_count_matching(self, ctx, scenes):
+        system = SciSparkSystem(ctx)
+        tiles = system.load_scenes(scenes, (32, 32))
+        stack = np.stack(scenes)
+        expected = int((~np.isnan(stack) & (stack > 5.0)).sum())
+        assert system.count_matching(tiles, lambda t: t > 5.0) == expected
+
+    def test_dense_ingest_oom(self, ctx, scenes):
+        system = SciSparkSystem(ctx, driver_memory_bytes=1000)
+        with pytest.raises(OutOfMemoryError):
+            system.load_scenes(scenes)
+
+    def test_dense_tiles_use_more_memory_than_sparse(self, ctx, scenes):
+        scispark = SciSparkSystem(ctx)
+        rasterframes = RasterFramesSystem(ctx)
+        dense_bytes = scispark.load_scenes(scenes, (32, 32)) \
+            .map(lambda kv: kv[1].nbytes).sum()
+        sparse_bytes = rasterframes.memory_bytes(
+            rasterframes.load_scenes(scenes, (32, 32)))
+        assert dense_bytes > sparse_bytes * 1.5
+
+    def test_no_distributed_matmul(self, ctx):
+        system = SciSparkSystem(ctx)
+        m = system.load_matrix(np.ones((8, 8)), (4, 4))
+        with pytest.raises(UnsupportedOperation):
+            m.multiply(m)
+        with pytest.raises(UnsupportedOperation):
+            m.gram()
+
+    def test_matrix_from_coo_densifies(self, ctx):
+        with pytest.raises(OutOfMemoryError):
+            SciSparkSystem(ctx).matrix_from_coo(
+                [0], [0], [1.0], (100_000, 100_000),
+                memory_budget_bytes=10_000)
+
+    def test_matvec(self, ctx):
+        from repro.matrix.vector import SpangleVector
+
+        rng = np.random.default_rng(1)
+        dense = rng.random((20, 15))
+        m = SciSparkSystem(ctx).load_matrix(dense, (8, 8))
+        v = SpangleVector(rng.random(15))
+        assert np.allclose(m.dot_vector(v).data, dense @ v.data)
+        w = SpangleVector(rng.random(20), "row")
+        assert np.allclose(m.vector_dot(w).data, w.data @ dense)
+
+
+class TestRasterFrames:
+    def test_aggregate_and_range(self, ctx, scenes):
+        system = RasterFramesSystem(ctx)
+        frame = system.load_scenes(scenes, (32, 32))
+        assert system.aggregate_mean(frame) == pytest.approx(
+            reference_mean(scenes))
+        sel = system.select_range(frame, (5, 10), (50, 40))
+        assert system.aggregate_mean(sel) == pytest.approx(
+            reference_mean(scenes, (5, 10), (50, 40)))
+
+    def test_filter(self, ctx, scenes):
+        system = RasterFramesSystem(ctx)
+        frame = system.load_scenes(scenes, (32, 32))
+        filtered = system.filter_cells(frame, lambda v: v > 5.0)
+        stack = np.stack(scenes)
+        expected = int((~np.isnan(stack) & (stack > 5.0)).sum())
+        assert system.count_cells(filtered) == expected
+
+    def test_driver_ingest_oom(self, ctx, scenes):
+        system = RasterFramesSystem(ctx, driver_memory_bytes=1000)
+        with pytest.raises(OutOfMemoryError):
+            system.load_scenes(scenes)
+
+    def test_regrid_tile_aligned(self, ctx, scenes):
+        system = RasterFramesSystem(ctx)
+        frame = system.load_scenes(scenes, (32, 32))
+        results = dict(
+            (key, means) for key, means
+            in system.regrid_mean(frame, 8).collect())
+        # spot-check one window against numpy
+        key = next(iter(results))
+        scene_id = key[0]
+        r0 = key[1] * 8
+        c0 = key[2] * 8
+        window = scenes[scene_id][r0:r0 + 8, c0:c0 + 8]
+        if not np.isnan(window).all():
+            assert results[key][0, 0] == pytest.approx(
+                np.nanmean(window))
+
+    def test_density(self, ctx, scenes):
+        system = RasterFramesSystem(ctx)
+        frame = system.load_scenes(scenes, (32, 32))
+        got = system.density_windows(frame, 8, 10)
+        stack = np.stack(scenes)
+        valid = ~np.isnan(stack)
+        expected = 0
+        for s in range(3):
+            counts = valid[s].reshape(8, 8, 8, 8).sum(axis=(1, 3))
+            expected += int((counts > 10).sum())
+        assert got == expected
+
+
+class TestSciDB:
+    def test_aggregate_and_pushdown(self, ctx, scenes):
+        with SciDBSystem(ctx) as db:
+            db.store_scenes("img", scenes, (32, 32))
+            assert db.aggregate_mean("img") == pytest.approx(
+                reference_mean(scenes))
+            before = ctx.metrics.snapshot()
+            db.aggregate_mean("img", (0, 0), (31, 31))
+            delta = ctx.metrics.snapshot() - before
+            # pushdown: only one chunk per scene read from disk
+            chunk_bytes = 32 * 32 * 8
+            assert delta.disk_read_bytes == 3 * chunk_bytes
+
+    def test_conditional_mean(self, ctx, scenes):
+        with SciDBSystem(ctx) as db:
+            db.store_scenes("img", scenes, (32, 32))
+            got = db.aggregate_mean("img",
+                                    predicate=lambda r: r > 5.0)
+            assert got == pytest.approx(
+                reference_mean(scenes, predicate=lambda s: s > 5.0))
+
+    def test_count_matching(self, ctx, scenes):
+        with SciDBSystem(ctx) as db:
+            db.store_scenes("img", scenes, (32, 32))
+            stack = np.stack(scenes)
+            expected = int((~np.isnan(stack) & (stack > 5.0)).sum())
+            assert db.count_matching(
+                "img", lambda r: r > 5.0) == expected
+
+    def test_every_query_pays_disk(self, ctx, scenes):
+        with SciDBSystem(ctx) as db:
+            db.store_scenes("img", scenes, (32, 32))
+            before = ctx.metrics.snapshot()
+            db.aggregate_mean("img")
+            first = (ctx.metrics.snapshot() - before).disk_read_bytes
+            before = ctx.metrics.snapshot()
+            db.aggregate_mean("img")
+            second = (ctx.metrics.snapshot() - before).disk_read_bytes
+            assert first == second > 0  # no in-memory caching
+
+    def test_matrix_roundtrip_and_multiply(self, ctx):
+        rng = np.random.default_rng(2)
+        a = rng.random((40, 30))
+        a[a < 0.5] = 0
+        b = rng.random((30, 20))
+        b[b < 0.5] = 0
+        with SciDBSystem(ctx) as db:
+            r, c = np.nonzero(a)
+            db.store_matrix("A", r, c, a[r, c], a.shape, block=16)
+            r, c = np.nonzero(b)
+            db.store_matrix("B", r, c, b[r, c], b.shape, block=16)
+            db.multiply("A", "B", "C")
+            assert np.allclose(db.matrix_to_numpy("C"), a @ b)
+
+    def test_matmul_temp_budget_timeout(self, ctx):
+        from repro.baselines.scidb import SciDBTimeout
+
+        rng = np.random.default_rng(3)
+        a = rng.random((64, 64))
+        with SciDBSystem(ctx) as db:
+            r, c = np.nonzero(a)
+            db.store_matrix("A", r, c, a[r, c], a.shape, block=16)
+            with pytest.raises(SciDBTimeout):
+                db.multiply("A", "A", "AA", max_temp_bytes=1000)
+
+    def test_regrid_and_density(self, ctx, scenes):
+        with SciDBSystem(ctx) as db:
+            db.store_scenes("img", scenes, (32, 32))
+            grid = db.regrid_mean("img", 8)
+            assert grid  # produces windows
+            stack = np.stack(scenes)
+            valid = ~np.isnan(stack)
+            expected = 0
+            for s in range(3):
+                counts = valid[s].reshape(8, 8, 8, 8).sum(axis=(1, 3))
+                expected += int((counts > 10).sum())
+            assert db.density_windows("img", 8, 10) == expected
+
+
+class TestSystemsAgree:
+    """All four systems must return the same answers on Table-I queries."""
+
+    def test_q1_mean_agrees(self, ctx, scenes):
+        expected = reference_mean(scenes)
+        scispark = SciSparkSystem(ctx)
+        rasterframes = RasterFramesSystem(ctx)
+        assert scispark.aggregate_mean(
+            scispark.load_scenes(scenes, (32, 32))) \
+            == pytest.approx(expected)
+        assert rasterframes.aggregate_mean(
+            rasterframes.load_scenes(scenes, (32, 32))) \
+            == pytest.approx(expected)
+        with SciDBSystem(ctx) as db:
+            db.store_scenes("img", scenes, (32, 32))
+            assert db.aggregate_mean("img") == pytest.approx(expected)
+
+    def test_q5_density_agrees(self, ctx, scenes):
+        scispark = SciSparkSystem(ctx)
+        rasterframes = RasterFramesSystem(ctx)
+        a = scispark.density_windows(
+            scispark.load_scenes(scenes, (32, 32)), 8, 10)
+        b = rasterframes.density_windows(
+            rasterframes.load_scenes(scenes, (32, 32)), 8, 10)
+        with SciDBSystem(ctx) as db:
+            db.store_scenes("img", scenes, (32, 32))
+            c = db.density_windows("img", 8, 10)
+        assert a == b == c

@@ -1,0 +1,112 @@
+"""Tests for the sequential cursor and the hierarchical bitmask."""
+
+import numpy as np
+import pytest
+
+from repro.bitmask import Bitmask, HierarchicalBitmask, SequentialCursor
+from repro.errors import ArrayError
+
+
+class TestSequentialCursor:
+    def test_rank_matches_bitmask(self):
+        rng = np.random.default_rng(2)
+        flags = rng.random(2000) < 0.4
+        mask = Bitmask.from_bools(flags)
+        cursor = SequentialCursor(mask)
+        for pos in [0, 1, 5, 63, 64, 100, 640, 1999, 2000]:
+            assert cursor.rank_at(pos) == int(flags[:pos].sum())
+
+    def test_backwards_raises(self):
+        cursor = SequentialCursor(Bitmask.zeros(100))
+        cursor.rank_at(50)
+        with pytest.raises(ArrayError):
+            cursor.rank_at(49)
+
+    def test_next_valid(self):
+        mask = Bitmask.from_indices(300, [5, 64, 128, 299])
+        cursor = SequentialCursor(mask)
+        assert cursor.next_valid(0) == 5
+        assert cursor.next_valid(5) == 5
+        assert cursor.next_valid(6) == 64
+        assert cursor.next_valid(129) == 299
+        assert cursor.next_valid(300) == -1
+
+    def test_next_valid_empty(self):
+        cursor = SequentialCursor(Bitmask.zeros(128))
+        assert cursor.next_valid(0) == -1
+
+    def test_iter_valid_yields_payload_slots(self):
+        mask = Bitmask.from_indices(200, [3, 70, 150])
+        pairs = list(SequentialCursor(mask).iter_valid())
+        assert pairs == [(3, 0), (70, 1), (150, 2)]
+
+    def test_iter_valid_dense(self):
+        mask = Bitmask.ones(130)
+        pairs = list(SequentialCursor(mask).iter_valid())
+        assert pairs == [(i, i) for i in range(130)]
+
+
+class TestHierarchicalBitmask:
+    def _random_mask(self, n, density, seed):
+        rng = np.random.default_rng(seed)
+        return Bitmask.from_bools(rng.random(n) < density)
+
+    def test_roundtrip(self):
+        flat = self._random_mask(5000, 0.001, seed=3)
+        hier = HierarchicalBitmask.from_bitmask(flat)
+        assert hier.to_bitmask() == flat
+
+    def test_get_matches_flat(self):
+        flat = self._random_mask(1000, 0.01, seed=4)
+        hier = HierarchicalBitmask.from_bitmask(flat)
+        for pos in range(0, 1000, 7):
+            assert hier.get(pos) == flat.get(pos)
+
+    def test_get_out_of_range(self):
+        hier = HierarchicalBitmask.from_bitmask(Bitmask.zeros(10))
+        with pytest.raises(ArrayError):
+            hier.get(10)
+
+    def test_count_matches(self):
+        flat = self._random_mask(8000, 0.002, seed=5)
+        hier = HierarchicalBitmask.from_bitmask(flat)
+        assert hier.count() == flat.count()
+
+    def test_rank_matches_flat(self):
+        flat = self._random_mask(4096, 0.005, seed=6)
+        hier = HierarchicalBitmask.from_bitmask(flat)
+        for pos in [0, 1, 64, 65, 100, 2048, 4095, 4096]:
+            assert hier.rank(pos) == flat.rank(pos)
+
+    def test_super_sparse_is_smaller(self):
+        # 64k cells, 5 valid: hierarchical must beat flat by a wide margin
+        flat = Bitmask.from_indices(65_536, [1, 10_000, 30_000, 50_000,
+                                             65_000])
+        hier = HierarchicalBitmask.from_bitmask(flat)
+        assert hier.nbytes < flat.nbytes / 10
+
+    def test_dense_mask_is_larger_hierarchically(self):
+        # when every word is non-zero the hierarchy only adds overhead —
+        # this is why dense/sparse chunks keep the flat form
+        flat = Bitmask.ones(65_536)
+        hier = HierarchicalBitmask.from_bitmask(flat)
+        assert hier.nbytes > flat.nbytes
+
+    def test_indices(self):
+        flat = Bitmask.from_indices(1000, [0, 500, 999])
+        hier = HierarchicalBitmask.from_bitmask(flat)
+        assert list(hier.indices()) == [0, 500, 999]
+
+    def test_empty(self):
+        hier = HierarchicalBitmask.from_bitmask(Bitmask.zeros(640))
+        assert hier.count() == 0
+        assert hier.nbytes < Bitmask.zeros(640).nbytes
+
+    def test_density(self):
+        hier = HierarchicalBitmask.from_bools([True] + [False] * 9)
+        assert hier.density() == pytest.approx(0.1)
+
+    def test_equality(self):
+        a = HierarchicalBitmask.from_bools([True, False, True])
+        b = HierarchicalBitmask.from_bools([True, False, True])
+        assert a == b

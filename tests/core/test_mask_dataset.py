@@ -1,0 +1,169 @@
+"""Tests for MaskRDD lazy evaluation and the multi-attribute dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRDD, MaskRDD, SpangleDataset
+from repro.engine import ClusterContext
+from repro.errors import AttributeMismatchError, ShapeMismatchError
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def make_attrs(ctx, num_attrs=3, shape=(32, 24), chunk=(8, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    base_valid = rng.random(shape) < 0.6
+    attrs, datas = {}, {}
+    for k in range(num_attrs):
+        data = rng.random(shape)
+        name = "ugriz"[k]
+        attrs[name] = ArrayRDD.from_numpy(ctx, data, chunk,
+                                          valid=base_valid,
+                                          attribute=name)
+        datas[name] = data
+    return attrs, datas, base_valid
+
+
+class TestMaskRDD:
+    def test_full_mask_counts_in_bounds_cells(self, ctx):
+        arr = ArrayRDD.from_numpy(ctx, np.ones((10, 10)), (4, 4))
+        mask = MaskRDD.full(ctx, arr.meta)
+        assert mask.count_valid() == 100  # padding cells excluded
+
+    def test_from_array_rdd(self, ctx):
+        rng = np.random.default_rng(1)
+        valid = rng.random((10, 10)) < 0.5
+        arr = ArrayRDD.from_numpy(ctx, rng.random((10, 10)), (5, 5),
+                                  valid=valid)
+        mask = MaskRDD.from_array_rdd(arr)
+        assert mask.count_valid() == int(valid.sum())
+
+    def test_subarray(self, ctx):
+        arr = ArrayRDD.from_numpy(ctx, np.ones((16, 16)), (8, 8))
+        mask = MaskRDD.full(ctx, arr.meta).subarray((0, 0), (3, 3))
+        assert mask.count_valid() == 16
+
+    def test_filter_on_then_apply(self, ctx):
+        rng = np.random.default_rng(2)
+        data = rng.random((16, 16))
+        arr = ArrayRDD.from_numpy(ctx, data, (8, 8))
+        mask = MaskRDD.full(ctx, arr.meta).filter_on(
+            arr, lambda xs: xs > 0.5)
+        restricted = mask.apply_to(arr)
+        _values, valid = restricted.collect_dense()
+        assert np.array_equal(valid, data > 0.5)
+
+    def test_and_or(self, ctx):
+        ones = ArrayRDD.from_numpy(ctx, np.ones((8, 8)), (4, 4))
+        left = MaskRDD.full(ctx, ones.meta).subarray((0, 0), (3, 7))
+        right = MaskRDD.full(ctx, ones.meta).subarray((2, 0), (7, 7))
+        assert left.and_(right).count_valid() == 2 * 8
+        assert left.or_(right).count_valid() == 8 * 8
+
+    def test_geometry_mismatch(self, ctx):
+        a = ArrayRDD.from_numpy(ctx, np.ones((8, 8)), (4, 4))
+        b = ArrayRDD.from_numpy(ctx, np.ones((8, 8)), (2, 2))
+        with pytest.raises(ShapeMismatchError):
+            MaskRDD.from_array_rdd(a).and_(MaskRDD.from_array_rdd(b))
+
+    def test_apply_drops_masked_out_chunks(self, ctx):
+        arr = ArrayRDD.from_numpy(ctx, np.ones((16, 16)), (8, 8))
+        corner = MaskRDD.full(ctx, arr.meta).subarray((0, 0), (7, 7))
+        restricted = corner.apply_to(arr)
+        assert restricted.num_chunks_materialized() == 1
+
+
+class TestDataset:
+    def test_lazy_filter_matches_eager(self, ctx):
+        attrs, datas, base_valid = make_attrs(ctx)
+        lazy = SpangleDataset(attrs, use_mask_rdd=True)
+        eager = SpangleDataset(attrs, use_mask_rdd=False)
+        pred = lambda xs: xs > 0.4  # noqa: E731
+
+        lazy_out = lazy.filter("u", pred).evaluate("g")
+        eager_out = eager.filter("u", pred).evaluate("g")
+        lv, lvalid = lazy_out.collect_dense()
+        ev, evalid = eager_out.collect_dense()
+        assert np.array_equal(lvalid, evalid)
+        assert np.allclose(np.nan_to_num(lv), np.nan_to_num(ev))
+
+    def test_chained_filters(self, ctx):
+        attrs, datas, base_valid = make_attrs(ctx, seed=3)
+        ds = SpangleDataset(attrs)
+        out = ds.filter("u", lambda xs: xs > 0.2) \
+                .filter("g", lambda xs: xs < 0.9) \
+                .evaluate("r")
+        _values, valid = out.collect_dense()
+        expected = (
+            base_valid
+            & (np.where(base_valid, datas["u"], 0) > 0.2)
+            & (np.where(base_valid, datas["g"], 1) < 0.9)
+        )
+        assert np.array_equal(valid, expected)
+
+    def test_subarray_then_filter(self, ctx):
+        attrs, datas, base_valid = make_attrs(ctx, seed=4)
+        ds = SpangleDataset(attrs).subarray((4, 4), (20, 20)) \
+                                  .filter("u", lambda xs: xs > 0.5)
+        _values, valid = ds.evaluate("u").collect_dense()
+        box = np.zeros_like(base_valid)
+        box[4:21, 4:21] = True
+        expected = base_valid & box \
+            & (np.where(base_valid, datas["u"], 0) > 0.5)
+        assert np.array_equal(valid, expected)
+
+    def test_lazy_filter_does_not_touch_attributes(self, ctx):
+        attrs, _datas, _bv = make_attrs(ctx, seed=5)
+        ds = SpangleDataset(attrs)
+        before = ctx.metrics.snapshot()
+        ds.filter("u", lambda xs: xs > 0.5)  # no evaluation triggered
+        delta = ctx.metrics.snapshot() - before
+        assert delta.jobs_run == 0
+
+    def test_join_and(self, ctx):
+        attrs_a, _da, valid_a = make_attrs(ctx, num_attrs=1, seed=6)
+        attrs_b, _db, valid_b = make_attrs(ctx, num_attrs=1, seed=7)
+        attrs_b = {"g2": attrs_b["u"]}
+        joined = SpangleDataset(attrs_a).join(SpangleDataset(attrs_b),
+                                              how="and")
+        assert set(joined.attribute_names) == {"u", "g2"}
+        _v, valid = joined.evaluate("u").collect_dense()
+        assert np.array_equal(valid, valid_a & valid_b)
+
+    def test_join_or_keeps_either(self, ctx):
+        attrs_a, _da, valid_a = make_attrs(ctx, num_attrs=1, seed=8)
+        attrs_b, _db, valid_b = make_attrs(ctx, num_attrs=1, seed=9)
+        attrs_b = {"w": attrs_b["u"]}
+        joined = SpangleDataset(attrs_a).join(SpangleDataset(attrs_b),
+                                              how="or")
+        # the or-join mask keeps a cell if either side had it; attribute
+        # u can still only produce values where u itself was valid
+        _v, valid = joined.evaluate("u").collect_dense()
+        assert np.array_equal(valid, valid_a)
+
+    def test_join_name_clash(self, ctx):
+        attrs, _d, _v = make_attrs(ctx, num_attrs=1, seed=10)
+        ds = SpangleDataset(attrs)
+        with pytest.raises(AttributeMismatchError):
+            ds.join(ds)
+
+    def test_unknown_attribute(self, ctx):
+        attrs, _d, _v = make_attrs(ctx, num_attrs=1, seed=11)
+        ds = SpangleDataset(attrs)
+        with pytest.raises(AttributeMismatchError):
+            ds.evaluate("nope")
+
+    def test_geometry_mismatch_rejected(self, ctx):
+        a = ArrayRDD.from_numpy(ctx, np.ones((8, 8)), (4, 4))
+        b = ArrayRDD.from_numpy(ctx, np.ones((8, 4)), (4, 4))
+        with pytest.raises(ShapeMismatchError):
+            SpangleDataset({"a": a, "b": b})
+
+    def test_aggregate(self, ctx):
+        attrs, datas, base_valid = make_attrs(ctx, num_attrs=1, seed=12)
+        ds = SpangleDataset(attrs)
+        expected = datas["u"][base_valid].mean()
+        assert ds.aggregate("u", "avg") == pytest.approx(expected)

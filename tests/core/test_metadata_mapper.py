@@ -1,0 +1,238 @@
+"""Tests for ArrayMetadata and the coordinate/chunk-ID mapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArrayMetadata
+from repro.core import mapper
+from repro.errors import CoordinateError, MetadataError
+
+
+class TestMetadata:
+    def test_basic_geometry(self):
+        meta = ArrayMetadata((100, 60), (32, 32))
+        assert meta.ndim == 2
+        assert meta.num_cells == 6000
+        assert meta.chunk_grid == (4, 2)
+        assert meta.num_chunks == 8
+        assert meta.cells_per_chunk == 1024
+        assert meta.ends == (100, 60)
+
+    def test_starts(self):
+        meta = ArrayMetadata((10, 10), (5, 5), starts=(100, -20))
+        assert meta.ends == (110, -10)
+        meta.check_coords((105, -15))
+        with pytest.raises(CoordinateError):
+            meta.check_coords((99, -15))
+
+    def test_dim_names(self):
+        meta = ArrayMetadata((4, 4, 4), (2, 2, 2),
+                             dim_names=("x", "y", "time"))
+        assert meta.dim_index("time") == 2
+        with pytest.raises(MetadataError):
+            meta.dim_index("z")
+
+    def test_default_dim_names(self):
+        meta = ArrayMetadata((4, 4), (2, 2))
+        assert meta.dim_names == ("dim0", "dim1")
+
+    def test_duplicate_dim_names_rejected(self):
+        with pytest.raises(MetadataError):
+            ArrayMetadata((4, 4), (2, 2), dim_names=("x", "x"))
+
+    def test_arity_mismatches_rejected(self):
+        with pytest.raises(MetadataError):
+            ArrayMetadata((4, 4), (2,))
+        with pytest.raises(MetadataError):
+            ArrayMetadata((4,), (2,), starts=(0, 0))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(MetadataError):
+            ArrayMetadata((0, 4), (2, 2))
+        with pytest.raises(MetadataError):
+            ArrayMetadata((4, 4), (2, 0))
+
+    def test_check_coords_arity(self):
+        meta = ArrayMetadata((4, 4), (2, 2))
+        with pytest.raises(CoordinateError):
+            meta.check_coords((1,))
+
+    def test_transposed_roundtrip(self):
+        meta = ArrayMetadata((3, 7), (2, 4), starts=(1, 2),
+                             dim_names=("r", "c"))
+        t = meta.transposed()
+        assert t.shape == (7, 3)
+        assert t.chunk_shape == (4, 2)
+        assert t.starts == (2, 1)
+        assert t.dim_names == ("c", "r")
+        assert t.transposed() == meta
+
+    def test_with_attribute_and_dtype(self):
+        meta = ArrayMetadata((4,), (2,))
+        assert meta.with_attribute("chl").attribute == "chl"
+        assert meta.with_dtype(np.int32).dtype == np.int32
+
+    def test_describe(self):
+        meta = ArrayMetadata((4, 4), (2, 2), attribute="chl")
+        assert "chl" in meta.describe()
+
+
+class TestAlgorithm1:
+    """Chunk-ID computation exactly as the paper's Algorithm 1."""
+
+    def test_paper_algorithm_reference(self):
+        # literal transcription of Algorithm 1, checked against ours
+        meta = ArrayMetadata((10, 7, 5), (3, 2, 4))
+
+        def reference(pos):
+            chunk_id = 0
+            length = 1
+            for i in range(meta.ndim):
+                chunk_id += (pos[i] // meta.chunk_shape[i]) * length
+                length *= -(-meta.shape[i] // meta.chunk_shape[i])
+            return chunk_id
+
+        for coords in [(0, 0, 0), (9, 6, 4), (3, 2, 4), (5, 5, 1)]:
+            assert mapper.chunk_id_for_coords(meta, coords) \
+                == reference(coords)
+
+    def test_dimension_zero_fastest(self):
+        meta = ArrayMetadata((4, 4), (2, 2))
+        assert mapper.chunk_id_for_coords(meta, (0, 0)) == 0
+        assert mapper.chunk_id_for_coords(meta, (2, 0)) == 1
+        assert mapper.chunk_id_for_coords(meta, (0, 2)) == 2
+        assert mapper.chunk_id_for_coords(meta, (2, 2)) == 3
+
+    def test_ids_are_dense_and_unique(self):
+        meta = ArrayMetadata((6, 5), (2, 3))
+        ids = {
+            mapper.chunk_id_for_coords(meta, (i, j))
+            for i in range(6) for j in range(5)
+        }
+        assert ids == set(range(meta.num_chunks))
+
+    def test_chunk_coords_inverse(self):
+        meta = ArrayMetadata((10, 7, 5), (3, 2, 4))
+        for chunk_id in range(meta.num_chunks):
+            grid = mapper.chunk_coords_from_id(meta, chunk_id)
+            assert mapper.chunk_id_from_chunk_coords(meta, grid) == chunk_id
+
+    def test_chunk_id_out_of_range(self):
+        meta = ArrayMetadata((4, 4), (2, 2))
+        with pytest.raises(CoordinateError):
+            mapper.chunk_coords_from_id(meta, 4)
+
+    def test_chunk_origin(self):
+        meta = ArrayMetadata((6, 6), (2, 3), starts=(10, 20))
+        assert mapper.chunk_origin(meta, 0) == (10, 20)
+        last = meta.num_chunks - 1
+        assert mapper.chunk_origin(meta, last) == (14, 23)
+
+    def test_nonzero_starts(self):
+        meta = ArrayMetadata((4, 4), (2, 2), starts=(100, 200))
+        assert mapper.chunk_id_for_coords(meta, (100, 200)) == 0
+        assert mapper.chunk_id_for_coords(meta, (103, 203)) == 3
+
+
+class TestLocalOffsets:
+    def test_offset_order_matches_chunk_id_order(self):
+        meta = ArrayMetadata((4, 4), (2, 2))
+        # dimension 0 fastest within a chunk too
+        assert mapper.local_offset(meta, (0, 0)) == 0
+        assert mapper.local_offset(meta, (1, 0)) == 1
+        assert mapper.local_offset(meta, (0, 1)) == 2
+        assert mapper.local_offset(meta, (1, 1)) == 3
+
+    def test_coords_for_offset_inverse(self):
+        meta = ArrayMetadata((5, 7), (2, 3), starts=(3, -2))
+        for i in range(3, 8):
+            for j in range(-2, 5):
+                cid = mapper.chunk_id_for_coords(meta, (i, j))
+                off = mapper.local_offset(meta, (i, j))
+                assert mapper.coords_for_offset(meta, cid, off) == (i, j)
+
+    def test_vectorized_matches_scalar(self):
+        meta = ArrayMetadata((9, 11, 4), (4, 3, 2), starts=(1, 0, -1))
+        rng = np.random.default_rng(0)
+        coords = np.stack([
+            rng.integers(1, 10, 200),
+            rng.integers(0, 11, 200),
+            rng.integers(-1, 3, 200),
+        ], axis=1)
+        ids = mapper.chunk_ids_for_coords_array(meta, coords)
+        offs = mapper.local_offsets_for_coords_array(meta, coords)
+        for k in range(coords.shape[0]):
+            c = tuple(coords[k])
+            assert ids[k] == mapper.chunk_id_for_coords(meta, c)
+            assert offs[k] == mapper.local_offset(meta, c)
+
+    def test_coords_for_offsets_array(self):
+        meta = ArrayMetadata((5, 5), (2, 2))
+        offsets = np.arange(4)
+        coords = mapper.coords_for_offsets_array(meta, 3, offsets)
+        for k, off in enumerate(offsets):
+            assert tuple(coords[k]) == mapper.coords_for_offset(
+                meta, 3, int(off))
+
+    def test_bad_matrix_shape(self):
+        meta = ArrayMetadata((4, 4), (2, 2))
+        with pytest.raises(CoordinateError):
+            mapper.chunk_ids_for_coords_array(meta, np.zeros((3, 3)))
+
+
+class TestRangeQueries:
+    def test_chunk_ids_in_range_full(self):
+        meta = ArrayMetadata((8, 8), (4, 4))
+        assert mapper.chunk_ids_in_range(meta, (0, 0), (7, 7)) == [0, 1, 2, 3]
+
+    def test_chunk_ids_in_range_single(self):
+        meta = ArrayMetadata((8, 8), (4, 4))
+        assert mapper.chunk_ids_in_range(meta, (5, 1), (6, 2)) == [1]
+
+    def test_chunk_ids_in_range_clips(self):
+        meta = ArrayMetadata((8, 8), (4, 4))
+        assert mapper.chunk_ids_in_range(meta, (-5, -5), (100, 2)) == [0, 1]
+
+    def test_chunk_ids_empty_outside(self):
+        meta = ArrayMetadata((8, 8), (4, 4))
+        assert mapper.chunk_ids_in_range(meta, (100, 100), (200, 200)) == []
+
+    def test_inverted_range_rejected(self):
+        meta = ArrayMetadata((8, 8), (4, 4))
+        with pytest.raises(CoordinateError):
+            mapper.chunk_ids_in_range(meta, (5, 5), (1, 1))
+
+    def test_range_mask_for_chunk(self):
+        meta = ArrayMetadata((4, 4), (2, 2))
+        mask = mapper.range_mask_for_chunk(meta, 0, (1, 1), (3, 3))
+        # chunk 0 covers (0..1, 0..1); only (1,1) is inside the range
+        expected = np.zeros(4, dtype=bool)
+        expected[mapper.local_offset(meta, (1, 1))] = True
+        assert np.array_equal(mask, expected)
+
+    def test_in_bounds_mask_for_edge_chunk(self):
+        meta = ArrayMetadata((3, 3), (2, 2))
+        # last chunk covers (2..3, 2..3) logically but only (2,2) exists
+        mask = mapper.in_bounds_mask_for_chunk(meta, meta.num_chunks - 1)
+        assert mask.sum() == 1
+        assert mask[0]
+
+
+@settings(max_examples=60)
+@given(
+    shape=st.tuples(st.integers(1, 12), st.integers(1, 12)),
+    chunk=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    data=st.data(),
+)
+def test_mapper_bijection_property(shape, chunk, data):
+    """(chunk_id, offset) identifies each in-bounds cell uniquely."""
+    meta = ArrayMetadata(shape, chunk)
+    i = data.draw(st.integers(0, shape[0] - 1))
+    j = data.draw(st.integers(0, shape[1] - 1))
+    cid = mapper.chunk_id_for_coords(meta, (i, j))
+    off = mapper.local_offset(meta, (i, j))
+    assert 0 <= cid < meta.num_chunks
+    assert 0 <= off < meta.cells_per_chunk
+    assert mapper.coords_for_offset(meta, cid, off) == (i, j)

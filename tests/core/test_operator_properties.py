@@ -1,0 +1,115 @@
+"""Property-based tests for operator-level invariants of ArrayRDD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArrayRDD
+from repro.core.accumulate import accumulate_axis
+from repro.core.reshape import permute_axes, rechunk
+from repro.core.windows import window_aggregate
+from repro.engine import ClusterContext
+
+
+arrays = st.tuples(
+    st.integers(3, 18),           # rows
+    st.integers(3, 18),           # cols
+    st.integers(2, 7),            # chunk rows
+    st.integers(2, 7),            # chunk cols
+    st.floats(0.1, 1.0),          # density
+    st.integers(0, 500),          # seed
+)
+
+
+def build(ctx, spec):
+    rows, cols, cr, cc, density, seed = spec
+    rng = np.random.default_rng(seed)
+    data = rng.random((rows, cols))
+    valid = rng.random((rows, cols)) < density
+    if not valid.any():
+        valid[0, 0] = True
+    return ArrayRDD.from_numpy(ctx, data, (cr, cc), valid=valid), \
+        data, valid
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=arrays)
+def test_window_sums_partition_the_total(spec):
+    """Window sums over any tiling must add up to the global sum."""
+    ctx = ClusterContext(2, default_parallelism=2)
+    arr, data, valid = build(ctx, spec)
+    windows = window_aggregate(arr, (4, 4), "sum")
+    total = windows.aggregate("sum")
+    assert total == pytest.approx(data[valid].sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=arrays)
+def test_subarray_filter_commute(spec):
+    """filter(subarray(x)) == subarray(filter(x)) cell-for-cell."""
+    ctx = ClusterContext(2, default_parallelism=2)
+    arr, _data, _valid = build(ctx, spec)
+    rows, cols = arr.meta.shape
+    box = ((0, 0), (rows // 2, cols // 2))
+    pred = lambda xs: xs > 0.5  # noqa: E731
+    a = arr.subarray(*box).filter(pred).collect_dense(0.0)
+    b = arr.filter(pred).subarray(*box).collect_dense(0.0)
+    assert np.array_equal(a[1], b[1])
+    assert np.allclose(a[0][a[1]], b[0][b[1]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=arrays)
+def test_rechunk_invariant_under_aggregation(spec):
+    """Any aggregate is invariant under re-chunking."""
+    ctx = ClusterContext(2, default_parallelism=2)
+    arr, data, valid = build(ctx, spec)
+    rechunked = rechunk(arr, (max(1, spec[2] * 2), max(1, spec[3] - 1)))
+    assert rechunked.aggregate("sum") == pytest.approx(
+        arr.aggregate("sum"))
+    assert rechunked.count_valid() == arr.count_valid()
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=arrays)
+def test_transpose_involution(spec):
+    ctx = ClusterContext(2, default_parallelism=2)
+    arr, data, valid = build(ctx, spec)
+    back = permute_axes(permute_axes(arr, (1, 0)), (1, 0))
+    values, got_valid = back.collect_dense(0.0)
+    assert np.array_equal(got_valid, valid)
+    assert np.allclose(values[valid], data[valid])
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=arrays)
+def test_accumulate_last_equals_aggregate(spec):
+    """The final slice of a running sum is the per-line total."""
+    ctx = ClusterContext(2, default_parallelism=2)
+    arr, data, valid = build(ctx, spec)
+    running = accumulate_axis(arr, 1, "sum", mode="async")
+    values, got_valid = running.collect_dense(0.0)
+    filled = np.where(valid, data, 0.0)
+    expected_last = filled.cumsum(axis=1)[:, -1]
+    # check rows whose final cell is valid (others carry no value there)
+    last_col = valid[:, -1]
+    assert np.allclose(values[last_col, -1], expected_last[last_col])
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=arrays, spec_b=arrays)
+def test_or_join_count_inclusion_exclusion(spec, spec_b):
+    ctx = ClusterContext(2, default_parallelism=2)
+    arr_a, _da, va = build(ctx, spec)
+    rows, cols = arr_a.meta.shape
+    cr, cc = arr_a.meta.chunk_shape
+    rng = np.random.default_rng(spec_b[5] + 1)
+    db = rng.random((rows, cols))
+    vb = rng.random((rows, cols)) < spec_b[4]
+    arr_b = ArrayRDD.from_numpy(ctx, db, (cr, cc), valid=vb)
+    union = arr_a.combine(arr_b, np.add, how="or").count_valid()
+    intersection = arr_a.combine(arr_b, np.add,
+                                 how="and").count_valid()
+    assert union + intersection \
+        == arr_a.count_valid() + arr_b.count_valid()

@@ -1,0 +1,212 @@
+"""Tests for rechunk, axis permutation, and window aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArrayRDD
+from repro.core.reshape import permute_axes, rechunk
+from repro.core.windows import regrid, window_aggregate, window_counts
+from repro.engine import ClusterContext
+from repro.errors import ArrayError, MetadataError
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def random_array(ctx, shape=(30, 40), chunk=(8, 16), density=0.5,
+                 seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.random(shape)
+    valid = rng.random(shape) < density
+    return ArrayRDD.from_numpy(ctx, data, chunk, valid=valid), data, valid
+
+
+class TestRechunk:
+    def test_preserves_contents(self, ctx):
+        arr, data, valid = random_array(ctx)
+        out = rechunk(arr, (16, 8))
+        values, got_valid = out.collect_dense()
+        assert np.array_equal(got_valid, valid)
+        assert np.allclose(values[valid], data[valid])
+        assert out.meta.chunk_shape == (16, 8)
+
+    def test_same_shape_is_noop(self, ctx):
+        arr, _d, _v = random_array(ctx)
+        assert rechunk(arr, arr.meta.chunk_shape) is arr
+
+    def test_changes_chunk_count(self, ctx):
+        arr, _d, _v = random_array(ctx, shape=(64, 64), chunk=(8, 8),
+                                   density=1.0)
+        assert arr.meta.num_chunks == 64
+        big = rechunk(arr, (32, 32))
+        assert big.meta.num_chunks == 4
+        assert big.num_chunks_materialized() == 4
+
+    def test_arity_check(self, ctx):
+        arr, _d, _v = random_array(ctx)
+        with pytest.raises(MetadataError):
+            rechunk(arr, (8,))
+
+    def test_memory_tracks_mode_change(self, ctx):
+        # hyper-sparse data: many small chunks (per-chunk mask overhead)
+        # vs few large sparse chunks
+        arr, _d, _v = random_array(ctx, shape=(128, 128), chunk=(8, 8),
+                                   density=0.002, seed=3)
+        coarse = rechunk(arr, (64, 64))
+        assert coarse.count_valid() == arr.count_valid()
+
+    def test_preserves_starts_and_names(self, ctx):
+        rng = np.random.default_rng(1)
+        arr = ArrayRDD.from_numpy(ctx, rng.random((12, 12)), (4, 4),
+                                  starts=(100, 200),
+                                  dim_names=("lat", "lon"))
+        out = rechunk(arr, (6, 6))
+        assert out.meta.starts == (100, 200)
+        assert out.meta.dim_names == ("lat", "lon")
+        assert out.get((101, 203)) == pytest.approx(arr.get((101, 203)))
+
+
+class TestPermuteAxes:
+    def test_transpose_2d(self, ctx):
+        arr, data, valid = random_array(ctx, seed=2)
+        out = permute_axes(arr, (1, 0))
+        values, got_valid = out.collect_dense()
+        assert out.meta.shape == (40, 30)
+        assert np.array_equal(got_valid, valid.T)
+        assert np.allclose(values[valid.T], data.T[valid.T])
+
+    def test_permutation_3d(self, ctx):
+        rng = np.random.default_rng(3)
+        data = rng.random((6, 8, 10))
+        arr = ArrayRDD.from_numpy(ctx, data, (3, 4, 5),
+                                  dim_names=("a", "b", "c"))
+        out = permute_axes(arr, (2, 0, 1))
+        values, got_valid = out.collect_dense()
+        assert out.meta.shape == (10, 6, 8)
+        assert out.meta.dim_names == ("c", "a", "b")
+        assert got_valid.all()
+        assert np.allclose(values, np.transpose(data, (2, 0, 1)))
+
+    def test_double_transpose_roundtrip(self, ctx):
+        arr, data, valid = random_array(ctx, seed=4)
+        back = permute_axes(permute_axes(arr, (1, 0)), (1, 0))
+        values, got_valid = back.collect_dense()
+        assert np.array_equal(got_valid, valid)
+        assert np.allclose(values[valid], data[valid])
+
+    def test_invalid_permutation(self, ctx):
+        arr, _d, _v = random_array(ctx)
+        with pytest.raises(ArrayError):
+            permute_axes(arr, (0, 0))
+        with pytest.raises(ArrayError):
+            permute_axes(arr, (0, 1, 2))
+
+
+class TestWindowAggregate:
+    def test_regrid_matches_numpy(self, ctx):
+        rng = np.random.default_rng(5)
+        data = rng.random((24, 36))
+        arr = ArrayRDD.from_numpy(ctx, data, (8, 12))
+        out = regrid(arr, (4, 6))
+        values, valid = out.collect_dense()
+        assert out.meta.shape == (6, 6)
+        assert valid.all()
+        reference = data.reshape(6, 4, 6, 6).mean(axis=(1, 3))
+        assert np.allclose(values, reference)
+
+    def test_counts(self, ctx):
+        arr, _data, valid = random_array(ctx, shape=(32, 32),
+                                         chunk=(8, 8), density=0.3,
+                                         seed=6)
+        out = window_counts(arr, (16, 16))
+        values, got_valid = out.collect_dense()
+        for wr in range(2):
+            for wc in range(2):
+                expected = int(valid[wr * 16:(wr + 1) * 16,
+                                     wc * 16:(wc + 1) * 16].sum())
+                if expected:
+                    assert values[wr, wc] == expected
+                else:
+                    assert not got_valid[wr, wc]
+
+    def test_windows_straddling_chunks(self, ctx):
+        # window 12 over chunk 8: every window spans chunk boundaries
+        rng = np.random.default_rng(7)
+        data = rng.random((24, 24))
+        arr = ArrayRDD.from_numpy(ctx, data, (8, 8))
+        out = regrid(arr, (12, 12))
+        values, _valid = out.collect_dense()
+        reference = data.reshape(2, 12, 2, 12).mean(axis=(1, 3))
+        assert np.allclose(values, reference)
+
+    def test_partial_edge_windows(self, ctx):
+        data = np.arange(25.0).reshape(5, 5)
+        arr = ArrayRDD.from_numpy(ctx, data, (5, 5))
+        out = window_aggregate(arr, (4, 4), "sum")
+        values, valid = out.collect_dense()
+        assert out.meta.shape == (2, 2)
+        assert valid.all()
+        assert values[0, 0] == data[:4, :4].sum()
+        assert values[1, 1] == data[4:, 4:].sum()
+
+    def test_pass_through_axis(self, ctx):
+        rng = np.random.default_rng(8)
+        data = rng.random((8, 6))
+        arr = ArrayRDD.from_numpy(ctx, data, (4, 3))
+        out = window_aggregate(arr, (8, 1), "max")
+        values, valid = out.collect_dense()
+        assert out.meta.shape == (1, 6)
+        assert np.allclose(values[0], data.max(axis=0))
+
+    def test_respects_validity(self, ctx):
+        data = np.ones((4, 4))
+        valid = np.zeros((4, 4), dtype=bool)
+        valid[0, 0] = True
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2), valid=valid)
+        out = window_counts(arr, (2, 2))
+        values, got_valid = out.collect_dense()
+        assert got_valid.sum() == 1
+        assert values[0, 0] == 1
+
+    def test_validation(self, ctx):
+        arr, _d, _v = random_array(ctx)
+        with pytest.raises(ArrayError):
+            window_aggregate(arr, (4,), "avg")
+        with pytest.raises(ArrayError):
+            window_aggregate(arr, (0, 4), "avg")
+
+    def test_min_aggregator(self, ctx):
+        rng = np.random.default_rng(9)
+        data = rng.random((16, 16)) + 1
+        arr = ArrayRDD.from_numpy(ctx, data, (4, 4))
+        out = window_aggregate(arr, (8, 8), "min")
+        values, _valid = out.collect_dense()
+        reference = data.reshape(2, 8, 2, 8).min(axis=(1, 3))
+        assert np.allclose(values, reference)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(4, 20),
+    cols=st.integers(4, 20),
+    chunk_r=st.integers(2, 6),
+    chunk_c=st.integers(2, 6),
+    new_r=st.integers(2, 9),
+    new_c=st.integers(2, 9),
+    seed=st.integers(0, 100),
+)
+def test_rechunk_roundtrip_property(rows, cols, chunk_r, chunk_c,
+                                    new_r, new_c, seed):
+    ctx = ClusterContext(num_executors=2, default_parallelism=2)
+    rng = np.random.default_rng(seed)
+    data = rng.random((rows, cols))
+    valid = rng.random((rows, cols)) < 0.5
+    arr = ArrayRDD.from_numpy(ctx, data, (chunk_r, chunk_c), valid=valid)
+    out = rechunk(arr, (new_r, new_c))
+    values, got_valid = out.collect_dense()
+    assert np.array_equal(got_valid, valid)
+    assert np.allclose(values[valid], data[valid])

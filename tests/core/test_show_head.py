@@ -1,0 +1,56 @@
+"""Tests for the ArrayRDD head/show conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRDD
+from repro.engine import ClusterContext
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+class TestHead:
+    def test_returns_valid_cells(self, ctx):
+        data = np.arange(36.0).reshape(6, 6)
+        valid = data % 2 == 0
+        arr = ArrayRDD.from_numpy(ctx, data, (3, 3), valid=valid)
+        cells = arr.head(5)
+        assert len(cells) == 5
+        for coords, value in cells:
+            assert valid[coords]
+            assert value == data[coords]
+
+    def test_fewer_cells_than_requested(self, ctx):
+        data = np.zeros((4, 4))
+        valid = np.zeros((4, 4), dtype=bool)
+        valid[1, 1] = True
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2), valid=valid)
+        assert arr.head(10) == [((1, 1), 0.0)]
+
+    def test_stops_early(self, ctx):
+        arr = ArrayRDD.from_numpy(ctx, np.ones((64, 64)), (8, 8))
+        before = ctx.metrics.snapshot()
+        arr.head(3)
+        delta = ctx.metrics.snapshot() - before
+        assert delta.tasks_launched <= 2
+
+
+class TestShow:
+    def test_prints_table(self, ctx, capsys):
+        data = np.arange(16.0).reshape(4, 4)
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2),
+                                  dim_names=("row", "col"),
+                                  attribute="flux")
+        arr.show(3)
+        out = capsys.readouterr().out
+        assert "row" in out and "col" in out and "flux" in out
+        assert "more valid cells" in out
+
+    def test_show_all_when_small(self, ctx, capsys):
+        arr = ArrayRDD.from_numpy(ctx, np.ones((2, 2)), (2, 2))
+        arr.show(10)
+        out = capsys.readouterr().out
+        assert "more valid cells" not in out

@@ -1,0 +1,133 @@
+"""Tests for distributed statistics (describe/histogram/quantiles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArrayRDD
+from repro.core.stats import approx_quantiles, describe, histogram
+from repro.engine import ClusterContext
+from repro.errors import ArrayError
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def random_array(ctx, shape=(40, 30), density=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(loc=5.0, scale=2.0, size=shape)
+    valid = rng.random(shape) < density
+    return ArrayRDD.from_numpy(ctx, data, (16, 16), valid=valid), \
+        data[valid]
+
+
+class TestDescribe:
+    def test_matches_numpy(self, ctx):
+        arr, values = random_array(ctx)
+        summary = describe(arr)
+        assert summary.count == values.size
+        assert summary.mean == pytest.approx(values.mean())
+        assert summary.std == pytest.approx(values.std())
+        assert summary.minimum == pytest.approx(values.min())
+        assert summary.maximum == pytest.approx(values.max())
+
+    def test_empty(self, ctx):
+        arr = ArrayRDD.from_numpy(
+            ctx, np.zeros((4, 4)), (2, 2),
+            valid=np.zeros((4, 4), dtype=bool))
+        summary = describe(arr)
+        assert summary.count == 0
+        assert np.isnan(summary.mean)
+
+    def test_single_cell(self, ctx):
+        valid = np.zeros((4, 4), dtype=bool)
+        valid[1, 2] = True
+        data = np.full((4, 4), 7.5)
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2), valid=valid)
+        summary = describe(arr)
+        assert summary.count == 1
+        assert summary.mean == 7.5
+        assert summary.std == 0.0
+
+    def test_as_dict(self, ctx):
+        arr, _values = random_array(ctx, seed=1)
+        d = describe(arr).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "max"}
+
+
+class TestHistogram:
+    def test_matches_numpy(self, ctx):
+        arr, values = random_array(ctx, seed=2)
+        counts, edges = histogram(arr, bins=12)
+        reference, ref_edges = np.histogram(values, bins=12)
+        assert np.array_equal(counts, reference)
+        assert np.allclose(edges, ref_edges)
+
+    def test_explicit_range(self, ctx):
+        arr, values = random_array(ctx, seed=3)
+        counts, edges = histogram(arr, bins=5, value_range=(0.0, 10.0))
+        reference, _ = np.histogram(values, bins=5, range=(0.0, 10.0))
+        assert np.array_equal(counts, reference)
+
+    def test_bins_validation(self, ctx):
+        arr, _values = random_array(ctx)
+        with pytest.raises(ArrayError):
+            histogram(arr, bins=0)
+
+    def test_empty_array(self, ctx):
+        arr = ArrayRDD.from_numpy(
+            ctx, np.zeros((4, 4)), (2, 2),
+            valid=np.zeros((4, 4), dtype=bool))
+        counts, edges = histogram(arr, bins=4)
+        assert counts.sum() == 0
+        assert edges.size == 5
+
+
+class TestQuantiles:
+    def test_exact_with_full_sample(self, ctx):
+        arr, values = random_array(ctx, seed=4)
+        got = approx_quantiles(arr, [0.0, 0.5, 1.0],
+                               sample_fraction=1.0)
+        assert np.allclose(got, np.quantile(values, [0.0, 0.5, 1.0]))
+
+    def test_approximate_close(self, ctx):
+        arr, values = random_array(ctx, shape=(100, 100), seed=5)
+        got = approx_quantiles(arr, 0.5, sample_fraction=0.3, seed=1)
+        assert got[0] == pytest.approx(np.median(values), abs=0.3)
+
+    def test_validation(self, ctx):
+        arr, _values = random_array(ctx)
+        with pytest.raises(ArrayError):
+            approx_quantiles(arr, [1.5])
+        with pytest.raises(ArrayError):
+            approx_quantiles(arr, [0.5], sample_fraction=0.0)
+
+    def test_empty_returns_nan(self, ctx):
+        arr = ArrayRDD.from_numpy(
+            ctx, np.zeros((4, 4)), (2, 2),
+            valid=np.zeros((4, 4), dtype=bool))
+        got = approx_quantiles(arr, [0.5], sample_fraction=1.0)
+        assert np.isnan(got).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    density=st.floats(0.05, 1.0),
+)
+def test_describe_property(seed, density):
+    ctx = ClusterContext(num_executors=2, default_parallelism=2)
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(20, 20))
+    valid = rng.random((20, 20)) < density
+    if not valid.any():
+        valid[0, 0] = True
+    arr = ArrayRDD.from_numpy(ctx, data, (7, 7), valid=valid)
+    summary = describe(arr)
+    reference = data[valid]
+    assert summary.count == reference.size
+    assert summary.mean == pytest.approx(reference.mean(), abs=1e-9)
+    assert summary.std == pytest.approx(reference.std(), abs=1e-9)

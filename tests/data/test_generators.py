@@ -1,0 +1,176 @@
+"""Tests for the synthetic dataset generators (Table II substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GRAPH_SPECS,
+    LR_SPECS,
+    MATRIX_SPECS,
+    chl_like,
+    scaled_graph,
+    scaled_lr_dataset,
+    scaled_matrix,
+    sdss_like,
+)
+from repro.data.raster import chl_slice, sdss_stack
+
+
+class TestSDSS:
+    def test_bands_share_object_positions(self):
+        bands = sdss_like(2, shape=(64, 64), seed=0)
+        assert set(bands) == {"u", "g", "r", "i", "z"}
+        u_valid = ~np.isnan(bands["u"][0])
+        z_valid = ~np.isnan(bands["z"][0])
+        assert np.array_equal(u_valid, z_valid)
+
+    def test_images_mostly_empty(self):
+        bands = sdss_like(3, shape=(128, 128), seed=1)
+        for scene in bands["u"]:
+            assert np.isnan(scene).mean() > 0.5
+
+    def test_determinism(self):
+        a = sdss_like(1, shape=(32, 32), seed=7)
+        b = sdss_like(1, shape=(32, 32), seed=7)
+        assert np.array_equal(a["u"][0], b["u"][0], equal_nan=True)
+
+    def test_stack(self):
+        bands = sdss_like(3, shape=(32, 32), seed=2)
+        values, valid = sdss_stack(bands["g"])
+        assert values.shape == (32, 32, 3)
+        assert not np.isnan(values).any()
+        assert valid.sum() > 0
+
+
+class TestCHL:
+    def test_validity_fraction(self):
+        _values, valid = chl_like((120, 160, 2), ocean_fraction=0.34,
+                                  seed=0)
+        # ocean fraction minus cloud dropouts
+        assert 0.25 < valid.mean() < 0.40
+
+    def test_land_mask_is_persistent(self):
+        _values, valid = chl_like((60, 60, 3), seed=1)
+        # a cell that is land at t=0 is land at every t (clouds only
+        # remove ocean cells)
+        land = ~valid.any(axis=2)
+        assert land.mean() > 0.5
+
+    def test_values_positive_where_valid(self):
+        values, valid = chl_like((40, 40, 1), seed=2)
+        assert (values[valid] > 0).all()
+
+    def test_spatial_correlation(self):
+        # a random mask has ~50% neighbour agreement; ours must be high
+        _values, valid = chl_slice((100, 100), seed=3)
+        agree = (valid[:-1, :] == valid[1:, :]).mean()
+        assert agree > 0.8
+
+
+class TestGraphs:
+    def test_specs_preserve_edge_vertex_ratio(self):
+        for name, spec in GRAPH_SPECS.items():
+            scaled_ratio = spec.edges / spec.vertices
+            assert scaled_ratio == pytest.approx(
+                spec.edge_vertex_ratio, rel=0.01), name
+
+    def test_twitter_has_highest_ratio(self):
+        ratios = {
+            name: spec.edge_vertex_ratio
+            for name, spec in GRAPH_SPECS.items()
+        }
+        assert max(ratios, key=ratios.get) == "twitter"
+
+    def test_generation_matches_spec(self):
+        edges, n = scaled_graph("enron", seed=0)
+        spec = GRAPH_SPECS["enron"]
+        assert n == spec.vertices
+        assert len(edges) == spec.edges
+        assert len(np.unique(edges, axis=0)) == len(edges)
+        assert (edges[:, 0] != edges[:, 1]).all()  # no self-loops
+
+    def test_in_degree_skew(self):
+        edges, n = scaled_graph("epinions", seed=1)
+        in_degrees = np.bincount(edges[:, 1], minlength=n)
+        # power-law-ish: the top 1% of vertices absorb >10% of edges
+        top = np.sort(in_degrees)[::-1][:max(n // 100, 1)]
+        assert top.sum() > 0.1 * len(edges)
+
+    def test_determinism(self):
+        a, _ = scaled_graph("enron", seed=5)
+        b, _ = scaled_graph("enron", seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestMatrices:
+    def test_density_preserving_specs(self):
+        for name in ("covtype", "mouse"):
+            spec = MATRIX_SPECS[name]
+            assert spec.density == pytest.approx(spec.paper_density,
+                                                 rel=0.01), name
+
+    def test_per_row_preserving_specs(self):
+        for name in ("hardesty", "mawi"):
+            spec = MATRIX_SPECS[name]
+            per_row = spec.nnz / spec.shape[0]
+            assert per_row == pytest.approx(spec.paper_nnz_per_row,
+                                            rel=0.05), name
+
+    def test_density_ordering_matches_paper(self):
+        densities = [MATRIX_SPECS[n].density
+                     for n in ("covtype", "mouse", "hardesty", "mawi")]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_generation(self):
+        rows, cols, values, shape = scaled_matrix("mouse", seed=0)
+        spec = MATRIX_SPECS["mouse"]
+        assert shape == spec.shape
+        assert len(values) == spec.nnz
+        assert (values > 0).all()
+        assert rows.max() < shape[0] and cols.max() < shape[1]
+        # no duplicate positions
+        assert len(set(zip(rows.tolist(), cols.tolist()))) == len(rows)
+
+    def test_covtype_keeps_narrow_feature_dim(self):
+        assert MATRIX_SPECS["covtype"].shape[1] == 54
+
+
+class TestLRDatasets:
+    def test_spec_scaling(self):
+        for name, spec in LR_SPECS.items():
+            assert spec.train_rows >= 256
+            assert spec.features >= 64
+            assert spec.train_rows < spec.paper_train_rows
+
+    def test_size_ordering_matches_paper(self):
+        sizes = [LR_SPECS[n].train_rows * LR_SPECS[n].nnz_per_row
+                 for n in ("url", "kddcup2010", "kddcup2012")]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_generation_structure(self):
+        data = scaled_lr_dataset("url", seed=0)
+        spec = data["spec"]
+        train = data["train"]
+        assert train["labels"].size == spec.train_rows
+        assert set(np.unique(train["labels"])) <= {0.0, 1.0}
+        assert train["rows"].size == spec.train_rows * spec.nnz_per_row
+        assert data["test"]["labels"].size == spec.test_rows
+
+    def test_labels_balanced(self):
+        data = scaled_lr_dataset("url", seed=1)
+        mean = data["train"]["labels"].mean()
+        assert 0.3 < mean < 0.7
+
+    def test_separator_is_learnable(self):
+        from repro.engine import ClusterContext
+        from repro.ml import DistributedSamples, LogisticRegression
+
+        ctx = ClusterContext(4)
+        data = scaled_lr_dataset("url", seed=2)
+        train = data["train"]
+        samples = DistributedSamples.from_coo(
+            ctx, train["rows"], train["cols"], train["values"],
+            train["labels"], data["spec"].features, chunk_rows=256)
+        lr = LogisticRegression(max_iterations=150, chunks_per_step=3)
+        lr.fit(samples)
+        assert lr.accuracy(samples) > 0.8

@@ -1,0 +1,65 @@
+"""Tests for take_ordered/top/zip."""
+
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import EngineError, TaskFailure
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+class TestOrdering:
+    def test_take_ordered(self, ctx):
+        data = [9, 1, 7, 3, 8, 2, 6, 4, 5]
+        rdd = ctx.parallelize(data, 3)
+        assert rdd.take_ordered(4) == [1, 2, 3, 4]
+
+    def test_take_ordered_with_key(self, ctx):
+        rdd = ctx.parallelize([(1, "b"), (3, "a"), (2, "c")], 2)
+        assert rdd.take_ordered(2, key=lambda kv: kv[1]) \
+            == [(3, "a"), (1, "b")]
+
+    def test_top(self, ctx):
+        rdd = ctx.parallelize(range(100), 5)
+        assert rdd.top(3) == [99, 98, 97]
+
+    def test_top_with_key(self, ctx):
+        rdd = ctx.parallelize(["aa", "b", "cccc", "ddd"], 2)
+        assert rdd.top(2, key=len) == ["cccc", "ddd"]
+
+    def test_n_larger_than_data(self, ctx):
+        rdd = ctx.parallelize([2, 1], 2)
+        assert rdd.take_ordered(10) == [1, 2]
+        assert rdd.top(10) == [2, 1]
+
+    def test_empty(self, ctx):
+        assert ctx.parallelize([], 2).take_ordered(3) == []
+        assert ctx.parallelize([], 2).top(3) == []
+
+
+class TestZip:
+    def test_positional_pairs(self, ctx):
+        a = ctx.parallelize([1, 2, 3, 4], 2)
+        b = ctx.parallelize("wxyz", 2)
+        assert a.zip(b).collect() == [(1, "w"), (2, "x"), (3, "y"),
+                                      (4, "z")]
+
+    def test_partition_count_mismatch(self, ctx):
+        a = ctx.parallelize(range(4), 2)
+        b = ctx.parallelize(range(4), 4)
+        with pytest.raises(EngineError):
+            a.zip(b)
+
+    def test_partition_size_mismatch(self, ctx):
+        a = ctx.parallelize(range(4), 2)
+        b = ctx.parallelize(range(6), 2)
+        with pytest.raises(TaskFailure) as excinfo:
+            a.zip(b).collect()
+        assert isinstance(excinfo.value.cause, EngineError)
+
+    def test_zip_with_self(self, ctx):
+        a = ctx.parallelize(range(6), 3)
+        assert a.zip(a).collect() == [(i, i) for i in range(6)]

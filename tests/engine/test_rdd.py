@@ -1,0 +1,215 @@
+"""Unit tests for the core RDD API: transformations and actions."""
+
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import EngineError, TaskFailure
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+class TestCreation:
+    def test_parallelize_roundtrip(self, ctx):
+        data = list(range(37))
+        assert ctx.parallelize(data, 5).collect() == data
+
+    def test_parallelize_preserves_order_across_partitions(self, ctx):
+        data = [9, 1, 8, 2, 7, 3]
+        assert ctx.parallelize(data, 3).collect() == data
+
+    def test_parallelize_clamps_partitions_to_data(self, ctx):
+        rdd = ctx.parallelize([1, 2], 16)
+        assert rdd.num_partitions == 2
+        assert rdd.collect() == [1, 2]
+
+    def test_parallelize_empty(self, ctx):
+        rdd = ctx.parallelize([], 4)
+        assert rdd.collect() == []
+        assert rdd.count() == 0
+
+    def test_generate_runs_per_partition(self, ctx):
+        rdd = ctx.generate(3, lambda i: range(i * 10, i * 10 + 2))
+        assert rdd.collect() == [0, 1, 10, 11, 20, 21]
+
+    def test_empty_rdd(self, ctx):
+        assert ctx.empty_rdd().is_empty()
+
+
+class TestTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3], 2).map(lambda x: x * x).collect() \
+            == [1, 4, 9]
+
+    def test_filter(self, ctx):
+        rdd = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        rdd = ctx.parallelize([1, 2], 2).flat_map(lambda x: [x] * x)
+        assert rdd.collect() == [1, 2, 2]
+
+    def test_map_partitions_with_index(self, ctx):
+        rdd = ctx.parallelize(range(8), 4).map_partitions_with_index(
+            lambda i, part: [(i, sum(part))]
+        )
+        assert rdd.collect() == [(0, 1), (1, 5), (2, 9), (3, 13)]
+
+    def test_glom_exposes_partitions(self, ctx):
+        parts = ctx.parallelize(range(6), 3).glom().collect()
+        assert parts == [[0, 1], [2, 3], [4, 5]]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        b = ctx.parallelize([3, 4], 2)
+        u = a.union(b)
+        assert u.num_partitions == 4
+        assert u.collect() == [1, 2, 3, 4]
+
+    def test_zip_partitions(self, ctx):
+        a = ctx.parallelize([1, 2, 3, 4], 2)
+        b = ctx.parallelize([10, 20, 30, 40], 2)
+        z = a.zip_partitions(b, lambda xs, ys: [sum(xs) + sum(ys)])
+        assert z.collect() == [33, 77]
+
+    def test_zip_partitions_rejects_mismatched_counts(self, ctx):
+        a = ctx.parallelize(range(4), 2)
+        b = ctx.parallelize(range(4), 4)
+        with pytest.raises(EngineError):
+            a.zip_partitions(b, lambda xs, ys: [])
+
+    def test_distinct(self, ctx):
+        rdd = ctx.parallelize([3, 1, 3, 2, 1, 3], 3)
+        assert sorted(rdd.distinct().collect()) == [1, 2, 3]
+
+    def test_coalesce(self, ctx):
+        rdd = ctx.parallelize(range(10), 5).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_sample_is_deterministic(self, ctx):
+        rdd = ctx.parallelize(range(1000), 4)
+        first = rdd.sample(0.1, seed=7).collect()
+        second = rdd.sample(0.1, seed=7).collect()
+        assert first == second
+        assert 50 < len(first) < 200
+
+    def test_zip_with_index(self, ctx):
+        rdd = ctx.parallelize("abcde", 3).zip_with_index()
+        assert rdd.collect() == [
+            ("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)
+        ]
+
+    def test_key_by(self, ctx):
+        rdd = ctx.parallelize([10, 25], 1).key_by(lambda x: x % 10)
+        assert rdd.collect() == [(0, 10), (5, 25)]
+
+    def test_laziness_no_work_before_action(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize([1, 2, 3], 1).map(spy)
+        assert calls == []
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(101), 7).count() == 101
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(1, 11), 3).reduce(
+            lambda a, b: a + b
+        ) == 55
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            ctx.parallelize([], 2).reduce(lambda a, b: a + b)
+
+    def test_reduce_skips_empty_partitions(self, ctx):
+        rdd = ctx.parallelize([5], 1).union(ctx.parallelize([], 1))
+        assert rdd.reduce(lambda a, b: a + b) == 5
+
+    def test_fold(self, ctx):
+        assert ctx.parallelize(range(5), 2).fold(0, lambda a, b: a + b) == 10
+
+    def test_aggregate(self, ctx):
+        total, count = ctx.parallelize(range(10), 3).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert (total, count) == (45, 10)
+
+    def test_sum_min_max(self, ctx):
+        rdd = ctx.parallelize([4, -1, 7, 2], 2)
+        assert rdd.sum() == 12
+        assert rdd.min() == -1
+        assert rdd.max() == 7
+
+    def test_take_stops_early(self, ctx):
+        computed = []
+
+        def spy(i, part):
+            computed.append(i)
+            return part
+
+        rdd = ctx.parallelize(range(100), 10) \
+                 .map_partitions_with_index(spy)
+        assert rdd.take(3) == [0, 1, 2]
+        assert computed == [0]
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([42, 1], 2).first() == 42
+
+    def test_first_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            ctx.parallelize([], 1).first()
+
+    def test_foreach(self, ctx):
+        seen = []
+        ctx.parallelize([1, 2, 3], 2).foreach(seen.append)
+        assert sorted(seen) == [1, 2, 3]
+
+    def test_count_by_value(self, ctx):
+        counts = ctx.parallelize(list("abca"), 2).count_by_value()
+        assert counts == {"a": 2, "b": 1, "c": 1}
+
+    def test_task_failure_carries_partition(self, ctx):
+        def boom(x):
+            raise ValueError("bad record")
+
+        with pytest.raises(TaskFailure) as excinfo:
+            ctx.parallelize([1], 1).map(boom).collect()
+        assert excinfo.value.partition_index == 0
+        assert isinstance(excinfo.value.cause, ValueError)
+
+
+class TestThreadedExecution:
+    def test_threaded_matches_serial(self):
+        serial = ClusterContext(num_executors=4)
+        threaded = ClusterContext(num_executors=4, use_threads=True)
+        data = list(range(500))
+        expected = serial.parallelize(data, 8).map(lambda x: x * 3).sum()
+        actual = threaded.parallelize(data, 8).map(lambda x: x * 3).sum()
+        assert actual == expected
+
+
+class TestLineageStrings:
+    def test_lineage_tree(self, ctx):
+        rdd = ctx.parallelize([1], 1).map(lambda x: x).filter(bool)
+        info = rdd.lineage()
+        assert info["op"] == "filter"
+        assert info["parents"][0]["op"] == "map"
+        assert info["parents"][0]["parents"][0]["op"] == "parallelize"
+
+    def test_lineage_string_contains_ids(self, ctx):
+        rdd = ctx.parallelize([1], 1).map(lambda x: x)
+        text = rdd.lineage_string()
+        assert "map" in text and "parallelize" in text

@@ -1,0 +1,130 @@
+"""Caching, eviction, lineage recomputation, and fault injection."""
+
+import pytest
+
+from repro.engine import ClusterContext, StorageLevel
+from repro.engine.lineage import (
+    FaultInjector,
+    collect_rdds,
+    count_shuffle_boundaries,
+    lineage_depth,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, ctx):
+        calls = []
+        rdd = ctx.parallelize(range(8), 4).map(
+            lambda x: calls.append(x) or x
+        ).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 8
+
+    def test_uncached_recomputes(self, ctx):
+        calls = []
+        rdd = ctx.parallelize(range(4), 2).map(
+            lambda x: calls.append(x) or x
+        )
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 8
+
+    def test_unpersist_frees_blocks(self, ctx):
+        rdd = ctx.parallelize(range(8), 4).cache()
+        rdd.collect()
+        assert ctx.cache.block_count() == 4
+        rdd.unpersist()
+        assert ctx.cache.block_count() == 0
+
+    def test_cache_hit_metrics(self, ctx):
+        rdd = ctx.parallelize(range(8), 4).cache()
+        rdd.collect()
+        before = ctx.metrics.snapshot()
+        rdd.collect()
+        delta = ctx.metrics.snapshot() - before
+        assert delta.cache_hits == 4
+        assert delta.cache_misses == 0
+
+
+class TestEviction:
+    def test_budget_evicts_lru(self):
+        ctx = ClusterContext(num_executors=2, cache_budget_bytes=2000)
+        first = ctx.parallelize([bytes(500)] * 2, 2).cache()
+        second = ctx.parallelize([bytes(500)] * 4, 2).cache()
+        first.collect()
+        second.collect()
+        assert ctx.metrics.cache_evictions > 0
+
+    def test_memory_and_disk_spills(self):
+        ctx = ClusterContext(num_executors=2, cache_budget_bytes=1500)
+        rdd = ctx.parallelize([bytes(600)] * 4, 4) \
+                 .persist(StorageLevel.MEMORY_AND_DISK)
+        rdd.collect()
+        assert ctx.metrics.disk_write_bytes > 0
+        # spilled blocks still serve reads (counted as disk reads)
+        assert rdd.count() == 4
+        assert ctx.metrics.disk_read_bytes > 0
+
+    def test_memory_only_eviction_drops_data_but_recomputes(self):
+        ctx = ClusterContext(num_executors=2, cache_budget_bytes=1200)
+        rdd = ctx.parallelize([bytes(600)] * 4, 4) \
+                 .persist(StorageLevel.MEMORY)
+        assert rdd.count() == 4
+        assert rdd.count() == 4
+        assert ctx.metrics.disk_write_bytes == 0
+
+
+class TestFaultTolerance:
+    def test_lost_partition_recomputed(self, ctx):
+        rdd = ctx.parallelize(range(16), 4).map(lambda x: x * 2).cache()
+        expected = rdd.collect()
+        assert ctx.fail_partition(rdd, 2)
+        assert rdd.collect() == expected
+        assert ctx.metrics.recomputations == 1
+
+    def test_fail_unknown_partition_returns_false(self, ctx):
+        rdd = ctx.parallelize(range(4), 2).cache()
+        assert not ctx.fail_partition(rdd, 0)  # never computed yet
+
+    def test_fault_injector_strike_preserves_results(self, ctx):
+        base = ctx.parallelize([(i % 5, i) for i in range(50)], 4)
+        summed = base.reduce_by_key(lambda a, b: a + b).cache()
+        expected = sorted(summed.collect())
+        injector = FaultInjector(ctx, seed=1)
+        lost = injector.strike(summed, kill_fraction=1.0)
+        assert lost > 0
+        assert sorted(summed.collect()) == expected
+
+    def test_repeated_strikes(self, ctx):
+        rdd = ctx.parallelize(range(100), 5).map(lambda x: x + 1).cache()
+        expected = rdd.sum()
+        injector = FaultInjector(ctx, seed=3)
+        for _round in range(3):
+            injector.strike(rdd, kill_fraction=0.7)
+            assert rdd.sum() == expected
+
+
+class TestLineageAnalysis:
+    def test_lineage_depth(self, ctx):
+        rdd = ctx.parallelize([1], 1)
+        assert lineage_depth(rdd) == 1
+        assert lineage_depth(rdd.map(lambda x: x).filter(bool)) == 3
+
+    def test_count_shuffle_boundaries(self, ctx):
+        pairs = ctx.parallelize([(1, 1)], 1)
+        assert count_shuffle_boundaries(pairs) == 0
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        assert count_shuffle_boundaries(reduced) == 1
+
+    def test_collect_rdds_topological(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = a.map(lambda x: x)
+        c = b.filter(bool)
+        nodes = collect_rdds(c)
+        assert [n.rdd_id for n in nodes] == [a.rdd_id, b.rdd_id, c.rdd_id]

@@ -1,0 +1,68 @@
+"""Tests for task retry (Spark's spark.task.maxFailures behaviour)."""
+
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import EngineError, TaskFailure
+
+
+class Flaky:
+    """Fails the first ``failures`` calls per record, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.attempts = {}
+
+    def __call__(self, x):
+        seen = self.attempts.get(x, 0)
+        self.attempts[x] = seen + 1
+        if seen < self.failures:
+            raise IOError(f"transient failure for {x}")
+        return x * 2
+
+
+class TestTaskRetries:
+    def test_transient_failure_recovers(self):
+        ctx = ClusterContext(num_executors=2, task_retries=3)
+        flaky = Flaky(failures=1)
+        got = ctx.parallelize([1, 2, 3], 1).map(flaky).collect()
+        assert got == [2, 4, 6]
+        # each record trips the task once (pipelined lazily, a retry
+        # re-runs the whole partition and reaches one record further)
+        assert ctx.metrics.task_retries == 3
+
+    def test_exhausted_retries_surface_last_error(self):
+        ctx = ClusterContext(num_executors=2, task_retries=2)
+        flaky = Flaky(failures=99)
+        with pytest.raises(TaskFailure) as excinfo:
+            ctx.parallelize([7], 1).map(flaky).collect()
+        assert isinstance(excinfo.value.cause, IOError)
+        # 1 original attempt + 2 retries
+        assert flaky.attempts[7] == 3
+        assert ctx.metrics.task_retries == 2
+
+    def test_zero_retries_fails_fast(self):
+        ctx = ClusterContext(num_executors=2, task_retries=0)
+        flaky = Flaky(failures=1)
+        with pytest.raises(TaskFailure):
+            ctx.parallelize([1], 1).map(flaky).collect()
+        assert flaky.attempts[1] == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(EngineError):
+            ClusterContext(task_retries=-1)
+
+    def test_no_retries_recorded_on_success(self):
+        ctx = ClusterContext(num_executors=2, task_retries=3)
+        ctx.parallelize(range(10), 2).map(lambda x: x).collect()
+        assert ctx.metrics.task_retries == 0
+
+    def test_retry_with_shuffle_downstream(self):
+        ctx = ClusterContext(num_executors=2, task_retries=2)
+        flaky = Flaky(failures=1)
+        pairs = ctx.parallelize([(1, 2), (1, 3)], 1) \
+                   .map(lambda kv: (kv[0], flaky(kv[1])))
+        # the flaky map sits under a shuffle map stage: Flaky fails the
+        # first access to each record value; the stage must still finish
+        got = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert got == {1: 10}

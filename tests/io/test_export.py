@@ -1,0 +1,167 @@
+"""Tests for the export paths: ArrayRDD/dataset → SNF and CSV."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRDD, SpangleDataset
+from repro.engine import ClusterContext
+from repro.io.export import (
+    array_rdd_to_csv,
+    array_rdd_to_snf,
+    csv_to_array_rdd,
+    dataset_to_snf,
+)
+from repro.io.snf import load_snf_as_dataset, read_snf
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def random_array(ctx, shape=(20, 24), chunk=(8, 8), density=0.4,
+                 seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    data = rng.random(shape)
+    valid = rng.random(shape) < density
+    return ArrayRDD.from_numpy(ctx, data, chunk, valid=valid,
+                               **kwargs), data, valid
+
+
+class TestSNFExport:
+    def test_array_roundtrip(self, ctx, tmp_path):
+        arr, data, valid = random_array(ctx, attribute="chl",
+                                        dim_names=("lat", "lon"))
+        path = tmp_path / "out.snf"
+        array_rdd_to_snf(arr, path)
+        dims, attrs = read_snf(path)
+        assert dims == {"lat": 20, "lon": 24}
+        values, got_valid = attrs["chl"]
+        assert np.array_equal(got_valid, valid)
+        assert np.allclose(values[valid], data[valid])
+
+    def test_dataset_roundtrip(self, ctx, tmp_path):
+        a, data_a, valid = random_array(ctx, seed=1, attribute="a")
+        b = ArrayRDD.from_numpy(ctx, data_a * 2, (8, 8), valid=valid,
+                                attribute="b")
+        ds = SpangleDataset({"a": a, "b": b})
+        path = tmp_path / "ds.snf"
+        dataset_to_snf(ds, path)
+        back = load_snf_as_dataset(ctx, path, (8, 8))
+        assert set(back.attribute_names) == {"a", "b"}
+        assert back.count_valid("a") == int(valid.sum())
+
+    def test_dataset_export_applies_pending_mask(self, ctx, tmp_path):
+        arr, data, valid = random_array(ctx, density=0.8, seed=2)
+        ds = SpangleDataset({"v": arr}).filter("v", lambda xs: xs > 0.5)
+        path = tmp_path / "filtered.snf"
+        dataset_to_snf(ds, path)
+        _dims, attrs = read_snf(path)
+        _values, got_valid = attrs["v"]
+        expected = valid & (np.where(valid, data, 0) > 0.5)
+        assert np.array_equal(got_valid, expected)
+
+
+class TestCSVExport:
+    def test_roundtrip(self, ctx, tmp_path):
+        arr, data, valid = random_array(ctx, seed=3)
+        path = tmp_path / "cells.csv"
+        count = array_rdd_to_csv(arr, path)
+        assert count == int(valid.sum())
+        back = csv_to_array_rdd(ctx, path, (8, 8))
+        assert back.count_valid() == count
+        i, j = map(int, np.argwhere(valid)[0])
+        assert back.get((i, j)) == pytest.approx(data[i, j])
+
+    def test_csv_infers_starts(self, ctx, tmp_path):
+        data = np.arange(12.0).reshape(3, 4)
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2), starts=(50, 60))
+        path = tmp_path / "cells.csv"
+        array_rdd_to_csv(arr, path)
+        back = csv_to_array_rdd(ctx, path, (2, 2))
+        assert back.meta.starts == (50, 60)
+        assert back.get((50, 60)) == 0.0
+        assert back.get((52, 63)) == 11.0
+
+    def test_empty_csv_rejected(self, ctx, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# dims: x | attrs: v\n")
+        with pytest.raises(ValueError):
+            csv_to_array_rdd(ctx, path, (2,))
+
+
+class TestArrayArithmetic:
+    def test_scalar_ops(self, ctx):
+        arr, data, valid = random_array(ctx, seed=4)
+        out = (arr * 2 + 1).collect_dense()[0]
+        assert np.allclose(out[valid], data[valid] * 2 + 1)
+        out = (1 - arr).collect_dense()[0]
+        assert np.allclose(out[valid], 1 - data[valid])
+        out = (-arr).collect_dense()[0]
+        assert np.allclose(out[valid], -data[valid])
+        out = abs(arr - 1).collect_dense()[0]
+        assert np.allclose(out[valid], np.abs(data[valid] - 1))
+
+    def test_array_ops_use_null_propagation(self, ctx):
+        a, da, va = random_array(ctx, seed=5)
+        b, db, vb = random_array(ctx, seed=6)
+        total = a + b
+        _values, valid = total.collect_dense()
+        # 1 + null = null (Section II-B): only both-valid cells survive
+        assert np.array_equal(valid, va & vb)
+
+    def test_division(self, ctx):
+        a, da, va = random_array(ctx, seed=7)
+        out = (a / 2).collect_dense()[0]
+        assert np.allclose(out[va], da[va] / 2)
+
+
+class TestDatasetAttributes:
+    def test_with_attribute(self, ctx):
+        arr, data, valid = random_array(ctx, seed=8)
+        extra = ArrayRDD.from_numpy(ctx, data + 5, (8, 8), valid=valid)
+        ds = SpangleDataset({"a": arr}).with_attribute("b", extra)
+        assert set(ds.attribute_names) == {"a", "b"}
+        assert ds.count_valid("b") == int(valid.sum())
+
+    def test_with_attribute_under_filter(self, ctx):
+        arr, data, valid = random_array(ctx, density=0.9, seed=9)
+        extra = ArrayRDD.from_numpy(ctx, data, (8, 8), valid=valid)
+        ds = SpangleDataset({"a": arr}).filter("a", lambda xs: xs > 0.5)
+        ds = ds.with_attribute("b", extra)
+        _v, got_valid = ds.evaluate("b").collect_dense()
+        expected = valid & (np.where(valid, data, 0) > 0.5)
+        assert np.array_equal(got_valid, expected)
+
+    def test_duplicate_and_geometry_rejected(self, ctx):
+        from repro.errors import AttributeMismatchError, ShapeMismatchError
+
+        arr, _d, _v = random_array(ctx, seed=10)
+        ds = SpangleDataset({"a": arr})
+        with pytest.raises(AttributeMismatchError):
+            ds.with_attribute("a", arr)
+        other = ArrayRDD.from_numpy(ctx, np.ones((4, 4)), (2, 2))
+        with pytest.raises(ShapeMismatchError):
+            ds.with_attribute("b", other)
+
+    def test_drop_attribute(self, ctx):
+        from repro.errors import AttributeMismatchError
+
+        arr, _d, _v = random_array(ctx, seed=11)
+        extra, _d2, _v2 = random_array(ctx, seed=12)
+        ds = SpangleDataset({"a": arr, "b": extra})
+        dropped = ds.drop_attribute("b")
+        assert dropped.attribute_names == ["a"]
+        with pytest.raises(AttributeMismatchError):
+            dropped.drop_attribute("a")
+        with pytest.raises(AttributeMismatchError):
+            dropped.drop_attribute("zzz")
+
+    def test_derive(self, ctx):
+        arr, data, valid = random_array(ctx, seed=13)
+        ds = SpangleDataset({"raw": arr}).derive(
+            "log", "raw", lambda xs: np.log1p(xs))
+        values, got_valid = ds.evaluate("log").collect_dense()
+        assert np.array_equal(got_valid, valid)
+        assert np.allclose(values[valid], np.log1p(data[valid]))
+        assert ds.attribute("log").meta.attribute == "log"

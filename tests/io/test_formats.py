@@ -1,0 +1,151 @@
+"""Tests for the CSV cell format and the SNF binary container."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import IngestError
+from repro.io import read_csv_cells, read_snf, write_csv_cells, write_snf
+from repro.io.snf import MAGIC, load_snf_as_dataset
+
+
+class TestCSV:
+    def test_roundtrip_single_attribute(self, tmp_path):
+        path = tmp_path / "cells.csv"
+        records = [((i, j), float(i * 10 + j))
+                   for i in range(5) for j in range(4)]
+        count = write_csv_cells(path, ("x", "y"), ("v",), records)
+        assert count == 20
+        dims, attrs, back = read_csv_cells(path)
+        assert dims == ("x", "y")
+        assert attrs == ("v",)
+        assert [(c, v[0]) for c, v in back] == records
+
+    def test_roundtrip_multi_attribute(self, tmp_path):
+        path = tmp_path / "cells.csv"
+        records = [((0, 0), (1.5, -2.5)), ((1, 2), (3.0, 4.0))]
+        write_csv_cells(path, ("x", "y"), ("a", "b"), records)
+        _dims, attrs, back = read_csv_cells(path)
+        assert attrs == ("a", "b")
+        assert back[0] == ((0, 0), (1.5, -2.5))
+
+    def test_value_arity_check_on_write(self, tmp_path):
+        with pytest.raises(IngestError):
+            write_csv_cells(tmp_path / "x.csv", ("x",), ("a", "b"),
+                            [((0,), (1.0,))])
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(IngestError):
+            read_csv_cells(path)
+
+    def test_field_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# dims: x, y | attrs: v\n1,2\n")
+        with pytest.raises(IngestError) as excinfo:
+            read_csv_cells(path)
+        assert ":2:" in str(excinfo.value)  # line number in message
+
+    def test_non_numeric_field(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# dims: x | attrs: v\noops,1.0\n")
+        with pytest.raises(IngestError):
+            read_csv_cells(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "cells.csv"
+        path.write_text("# dims: x | attrs: v\n\n1,2.0\n\n")
+        _d, _a, back = read_csv_cells(path)
+        assert back == [((1,), (2.0,))]
+
+    def test_ingest_into_array(self, tmp_path):
+        from repro.core.ingest import array_rdd_from_records
+        from repro.core.metadata import ArrayMetadata
+
+        path = tmp_path / "cells.csv"
+        records = [((i, j), float(i + j))
+                   for i in range(4) for j in range(4) if i != j]
+        write_csv_cells(path, ("x", "y"), ("v",), records)
+        _dims, _attrs, back = read_csv_cells(path)
+        ctx = ClusterContext(2)
+        arr = array_rdd_from_records(
+            ctx, [(c, v[0]) for c, v in back],
+            ArrayMetadata((4, 4), (2, 2)))
+        assert arr.count_valid() == len(records)
+        assert arr.get((0, 1)) == 1.0
+        assert arr.get((1, 1)) is None
+
+
+class TestSNF:
+    def _sample(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((10, 8, 3))
+        valid = rng.random((10, 8, 3)) < 0.5
+        return values, valid
+
+    def test_roundtrip(self, tmp_path):
+        values, valid = self._sample()
+        path = tmp_path / "grid.snf"
+        write_snf(path, {"lat": 10, "lon": 8, "time": 3},
+                  {"chl": values}, valid)
+        dims, attrs = read_snf(path)
+        assert dims == {"lat": 10, "lon": 8, "time": 3}
+        got_values, got_valid = attrs["chl"]
+        assert np.array_equal(got_valid, valid)
+        assert np.allclose(got_values[valid], values[valid])
+
+    def test_multiple_attributes(self, tmp_path):
+        values, valid = self._sample()
+        path = tmp_path / "grid.snf"
+        write_snf(path, {"lat": 10, "lon": 8, "time": 3},
+                  {"a": values, "b": values * 2}, valid)
+        _dims, attrs = read_snf(path)
+        assert set(attrs) == {"a", "b"}
+        assert np.allclose(attrs["b"][0][valid], values[valid] * 2)
+
+    def test_default_validity_all_true(self, tmp_path):
+        path = tmp_path / "grid.snf"
+        write_snf(path, {"x": 4}, {"v": np.arange(4.0)})
+        _dims, attrs = read_snf(path)
+        assert attrs["v"][1].all()
+
+    def test_nan_invalid_on_read(self, tmp_path):
+        path = tmp_path / "grid.snf"
+        data = np.array([1.0, np.nan, 3.0])
+        write_snf(path, {"x": 3}, {"v": data})
+        _dims, attrs = read_snf(path)
+        assert list(attrs["v"][1]) == [True, False, True]
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(IngestError):
+            write_snf(tmp_path / "x.snf", {"x": 4},
+                      {"v": np.zeros(5)})
+        with pytest.raises(IngestError):
+            write_snf(tmp_path / "x.snf", {"x": 4},
+                      {"v": np.zeros(4)}, valid=np.ones(5, dtype=bool))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.snf"
+        path.write_bytes(b"NOTSNF00" + b"\x00" * 64)
+        with pytest.raises(IngestError):
+            read_snf(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "trunc.snf"
+        write_snf(path, {"x": 100}, {"v": np.zeros(100)})
+        data = path.read_bytes()
+        path.write_bytes(data[:len(MAGIC) + 8 + 50])
+        with pytest.raises(IngestError):
+            read_snf(path)
+
+    def test_load_as_dataset(self, tmp_path):
+        values, valid = self._sample()
+        path = tmp_path / "grid.snf"
+        write_snf(path, {"lat": 10, "lon": 8, "time": 3},
+                  {"a": values, "b": values + 1}, valid)
+        ctx = ClusterContext(2)
+        ds = load_snf_as_dataset(ctx, path, (5, 4, 1))
+        assert set(ds.attribute_names) == {"a", "b"}
+        assert ds.count_valid("a") == int(valid.sum())
+        assert ds.meta.dim_names == ("lat", "lon", "time")

@@ -1,0 +1,134 @@
+"""Tests for the ChunkStore (chunk-granular persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRDD
+from repro.engine import ClusterContext
+from repro.errors import IngestError
+from repro.io.store import load_array, load_manifest, save_array
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def random_array(ctx, shape=(40, 40), chunk=(16, 16), density=0.3,
+                 seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.random(shape)
+    valid = rng.random(shape) < density
+    return ArrayRDD.from_numpy(
+        ctx, data, chunk, valid=valid, starts=(10, 20),
+        dim_names=("lat", "lon"), attribute="chl"), data, valid
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, ctx, tmp_path):
+        arr, data, valid = random_array(ctx)
+        written = save_array(arr, tmp_path / "store")
+        assert written == arr.num_chunks_materialized()
+        back = load_array(ctx, tmp_path / "store")
+        assert back.meta.shape == arr.meta.shape
+        assert back.meta.starts == (10, 20)
+        assert back.meta.dim_names == ("lat", "lon")
+        assert back.meta.attribute == "chl"
+        values, got_valid = back.collect_dense()
+        assert np.array_equal(got_valid, valid)
+        assert np.allclose(values[valid], data[valid])
+
+    def test_never_densifies(self, ctx, tmp_path):
+        # a hyper-sparse huge-logical array must store ~nnz bytes
+        data = np.zeros((2000, 2000))
+        valid = np.zeros((2000, 2000), dtype=bool)
+        for i in range(0, 2000, 400):
+            valid[i, i] = True
+            data[i, i] = float(i)
+        arr = ArrayRDD.from_numpy(ctx, data, (500, 500), valid=valid)
+        save_array(arr, tmp_path / "sparse")
+        stored = sum(p.stat().st_size
+                     for p in (tmp_path / "sparse").glob("*.npz"))
+        assert stored < 10_000  # nowhere near the 32 MB dense size
+
+    def test_region_pruning(self, ctx, tmp_path):
+        arr, data, valid = random_array(ctx, density=1.0, seed=1)
+        save_array(arr, tmp_path / "store")
+        before = ctx.metrics.snapshot()
+        window = load_array(ctx, tmp_path / "store",
+                            region=((10, 20), (25, 35)))
+        count = window.count_valid()
+        delta = ctx.metrics.snapshot() - before
+        assert count == 16 * 16
+        # only one 16x16 chunk file was read from disk
+        single_chunk_bytes = next(
+            (tmp_path / "store").glob("chunk_*.npz")).stat().st_size
+        assert delta.disk_read_bytes <= single_chunk_bytes * 1.5
+
+    def test_save_overwrites_stale_chunks(self, ctx, tmp_path):
+        arr, _d, _v = random_array(ctx, density=1.0, seed=2)
+        save_array(arr, tmp_path / "store")
+        smaller = arr.subarray((10, 20), (20, 30))
+        written = save_array(smaller, tmp_path / "store")
+        files = list((tmp_path / "store").glob("chunk_*.npz"))
+        assert len(files) == written
+        back = load_array(ctx, tmp_path / "store")
+        assert back.count_valid() == smaller.count_valid()
+
+    def test_disk_io_metered(self, ctx, tmp_path):
+        arr, _d, _v = random_array(ctx, seed=3)
+        before = ctx.metrics.snapshot()
+        save_array(arr, tmp_path / "store")
+        delta = ctx.metrics.snapshot() - before
+        assert delta.disk_write_bytes > 0
+        before = ctx.metrics.snapshot()
+        load_array(ctx, tmp_path / "store").count_valid()
+        delta = ctx.metrics.snapshot() - before
+        assert delta.disk_read_bytes > 0
+
+    def test_lazy_read_in_tasks(self, ctx, tmp_path):
+        arr, _d, _v = random_array(ctx, seed=4)
+        save_array(arr, tmp_path / "store")
+        before = ctx.metrics.snapshot()
+        loaded = load_array(ctx, tmp_path / "store")
+        # building the RDD reads nothing; the action does
+        assert (ctx.metrics.snapshot() - before).disk_read_bytes == 0
+        loaded.count_valid()
+        assert (ctx.metrics.snapshot() - before).disk_read_bytes > 0
+
+
+class TestManifest:
+    def test_missing_manifest(self, ctx, tmp_path):
+        with pytest.raises(IngestError):
+            load_array(ctx, tmp_path)
+
+    def test_corrupt_manifest(self, ctx, tmp_path):
+        (tmp_path / "manifest.json").write_text("{nope")
+        with pytest.raises(IngestError):
+            load_array(ctx, tmp_path)
+
+    def test_version_check(self, ctx, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format_version": 99}))
+        with pytest.raises(IngestError):
+            load_array(ctx, tmp_path)
+
+    def test_missing_chunk_file(self, ctx, tmp_path):
+        arr, _d, _v = random_array(ctx, seed=5)
+        save_array(arr, tmp_path / "store")
+        victim = next((tmp_path / "store").glob("chunk_*.npz"))
+        victim.unlink()
+        from repro.errors import TaskFailure
+
+        with pytest.raises(TaskFailure) as excinfo:
+            load_array(ctx, tmp_path / "store").count_valid()
+        assert isinstance(excinfo.value.cause, IngestError)
+
+    def test_manifest_contents(self, ctx, tmp_path):
+        arr, _d, _v = random_array(ctx, seed=6)
+        save_array(arr, tmp_path / "store")
+        manifest = load_manifest(tmp_path / "store")
+        assert manifest["attribute"] == "chl"
+        assert manifest["chunks"] == sorted(manifest["chunks"])

@@ -1,0 +1,92 @@
+"""Tests for matrix factories and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import ShapeMismatchError
+from repro.matrix import SpangleMatrix, SpangleVector
+from repro.matrix.creation import (
+    col_sums,
+    diagonal,
+    frobenius_norm,
+    from_diagonal,
+    identity,
+    random_sparse,
+    row_sums,
+    trace,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+class TestFactories:
+    def test_identity(self, ctx):
+        eye = identity(ctx, 20, block=8)
+        assert np.allclose(eye.to_numpy(), np.eye(20))
+        assert eye.nnz() == 20
+
+    def test_identity_is_multiplicative_unit(self, ctx):
+        rng = np.random.default_rng(0)
+        a = rng.random((20, 20))
+        a[a < 0.5] = 0
+        m = SpangleMatrix.from_numpy(ctx, a, (8, 8))
+        eye = identity(ctx, 20, block=8)
+        assert np.allclose(m.multiply(eye).to_numpy(), a)
+        assert np.allclose(eye.multiply(m).to_numpy(), a)
+
+    def test_from_diagonal(self, ctx):
+        diag = np.array([1.0, 0.0, 3.0, -2.0])
+        m = from_diagonal(ctx, diag, block=2)
+        assert np.allclose(m.to_numpy(), np.diag(diag))
+        assert m.nnz() == 3  # the explicit zero is not stored
+
+    def test_random_sparse(self, ctx):
+        m = random_sparse(ctx, (100, 80), density=0.05, seed=1)
+        assert m.shape == (100, 80)
+        assert m.nnz() == int(100 * 80 * 0.05)
+        assert (m.array.rdd.map(
+            lambda kv: float(kv[1].values().min())).min()) > 0
+
+
+class TestReductions:
+    def _matrix(self, ctx, seed=2, shape=(30, 22)):
+        rng = np.random.default_rng(seed)
+        dense = rng.random(shape)
+        dense[rng.random(shape) > 0.3] = 0
+        return SpangleMatrix.from_numpy(ctx, dense, (8, 8)), dense
+
+    def test_row_sums(self, ctx):
+        m, dense = self._matrix(ctx)
+        sums = row_sums(m)
+        assert sums.orientation == "col"
+        assert np.allclose(sums.data, dense.sum(axis=1))
+
+    def test_col_sums(self, ctx):
+        m, dense = self._matrix(ctx, seed=3)
+        sums = col_sums(m)
+        assert sums.orientation == "row"
+        assert np.allclose(sums.data, dense.sum(axis=0))
+
+    def test_diagonal_and_trace(self, ctx):
+        m, dense = self._matrix(ctx, seed=4, shape=(25, 25))
+        assert np.allclose(diagonal(m), np.diag(dense))
+        assert trace(m) == pytest.approx(np.trace(dense))
+
+    def test_diagonal_requires_square(self, ctx):
+        m, _dense = self._matrix(ctx)
+        with pytest.raises(ShapeMismatchError):
+            diagonal(m)
+
+    def test_frobenius_norm(self, ctx):
+        m, dense = self._matrix(ctx, seed=5)
+        assert frobenius_norm(m) == pytest.approx(
+            np.linalg.norm(dense, "fro"))
+
+    def test_row_sums_consistent_with_matvec(self, ctx):
+        m, dense = self._matrix(ctx, seed=6)
+        ones = SpangleVector(np.ones(m.shape[1]), "col")
+        assert np.allclose(row_sums(m).data, m.dot_vector(ones).data)

@@ -1,0 +1,137 @@
+"""Tests for SpangleVector (opt2 transpose) and the offset-array encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunk import Chunk
+from repro.engine import ClusterContext
+from repro.errors import ArrayError, ShapeMismatchError
+from repro.matrix import OffsetArrayChunk, SpangleVector, encode_static
+from repro.matrix.offsets import (
+    bitmask_bytes,
+    offset_array_bytes,
+    should_use_offsets,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=2, default_parallelism=2)
+
+
+class TestSpangleVector:
+    def test_shapes(self):
+        v = SpangleVector([1.0, 2.0, 3.0])
+        assert v.orientation == "col"
+        assert v.shape == (3, 1)
+        assert v.T.shape == (1, 3)
+
+    def test_bad_orientation(self):
+        with pytest.raises(ShapeMismatchError):
+            SpangleVector([1.0], "diagonal")
+
+    def test_transpose_is_metadata_only(self):
+        v = SpangleVector(np.arange(5.0))
+        t = v.transpose()
+        assert t.data is v.data  # zero copy: the whole point of opt2
+        assert t.orientation == "row"
+        assert t.T.orientation == "col"
+
+    def test_transpose_physical_matches(self, ctx):
+        v = SpangleVector(np.arange(100.0), "col")
+        physical = v.transpose_physical(ctx, chunk=16)
+        assert physical.orientation == "row"
+        assert np.allclose(physical.data, v.data)
+
+    def test_transpose_physical_row_to_col(self, ctx):
+        v = SpangleVector(np.arange(10.0), "row")
+        assert v.transpose_physical(ctx).orientation == "col"
+
+    def test_arithmetic(self):
+        a = SpangleVector([1.0, 2.0])
+        b = SpangleVector([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+        assert np.allclose((a - b).data, [-2.0, -2.0])
+        assert np.allclose((2 * a).data, [2.0, 4.0])
+        assert np.allclose((a + 1.0).data, [2.0, 3.0])
+        assert a.hadamard(b).data.tolist() == [3.0, 8.0]
+        assert a.dot(b) == 11.0
+
+    def test_orientation_mismatch(self):
+        a = SpangleVector([1.0], "col")
+        b = SpangleVector([1.0], "row")
+        with pytest.raises(ShapeMismatchError):
+            a + b
+        with pytest.raises(ShapeMismatchError):
+            a.hadamard(b)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            SpangleVector([1.0]) + SpangleVector([1.0, 2.0])
+
+    def test_norm_diff_and_map(self):
+        a = SpangleVector([1.0, -2.0])
+        b = SpangleVector([0.0, 0.0])
+        assert a.norm_diff(b) == 3.0
+        assert np.allclose(a.map(np.abs).data, [1.0, 2.0])
+
+    def test_constructors(self):
+        assert SpangleVector.zeros(4).data.sum() == 0.0
+        assert SpangleVector.full(3, 2.0).data.tolist() == [2.0] * 3
+
+    def test_equality(self):
+        assert SpangleVector([1.0]) == SpangleVector([1.0])
+        assert SpangleVector([1.0]) != SpangleVector([1.0], "row")
+
+
+class TestOffsetArray:
+    def test_roundtrip(self):
+        chunk = Chunk.from_sparse(1000, [5, 600, 999], [1.0, 2.0, 3.0])
+        enc = OffsetArrayChunk.from_chunk(chunk)
+        assert enc.valid_count == 3
+        assert list(enc.indices()) == [5, 600, 999]
+        assert enc.to_chunk() == chunk
+
+    def test_get(self):
+        enc = OffsetArrayChunk(10, np.array([2, 7]), np.array([5.0, 9.0]))
+        assert enc.get(2) == 5.0
+        assert enc.get(3) is None
+        with pytest.raises(ArrayError):
+            enc.get(10)
+
+    def test_to_dense(self):
+        enc = OffsetArrayChunk(4, np.array([1]), np.array([7.0]))
+        assert enc.to_dense(0).tolist() == [0.0, 7.0, 0.0, 0.0]
+
+    def test_sorts_input(self):
+        enc = OffsetArrayChunk(10, np.array([7, 2]), np.array([9.0, 5.0]))
+        assert list(enc.indices()) == [2, 7]
+        assert list(enc.values()) == [5.0, 9.0]
+
+    def test_validation(self):
+        with pytest.raises(ArrayError):
+            OffsetArrayChunk(10, np.array([1, 2]), np.array([1.0]))
+        with pytest.raises(ArrayError):
+            OffsetArrayChunk(10, np.array([10]), np.array([1.0]))
+
+    def test_conversion_rule(self):
+        # 64k cells: flat bitmask = 8 KiB; offsets win below 1024 nnz
+        assert bitmask_bytes(65_536) == 8192
+        assert offset_array_bytes(1000) < bitmask_bytes(65_536)
+        sparse_chunk = Chunk.from_sparse(
+            65_536, np.arange(100), np.ones(100))
+        assert should_use_offsets(sparse_chunk)
+        dense_chunk = Chunk.from_dense(np.ones(65_536))
+        assert not should_use_offsets(dense_chunk)
+
+    def test_encode_static(self):
+        tiny = Chunk.from_sparse(65_536, [1, 2], [1.0, 2.0])
+        assert isinstance(encode_static(tiny), OffsetArrayChunk)
+        dense = Chunk.from_dense(np.ones(64))
+        assert encode_static(dense) is dense
+        already = OffsetArrayChunk.from_chunk(tiny)
+        assert encode_static(already) is already
+
+    def test_encode_static_shrinks(self):
+        tiny = Chunk.from_sparse(65_536, [1, 2, 3], np.ones(3))
+        assert encode_static(tiny).nbytes < tiny.nbytes

@@ -1,0 +1,109 @@
+"""Tests for distributed k-means."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import ArrayError
+from repro.matrix import SpangleMatrix
+from repro.ml.kmeans import kmeans
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def blobs(n_per=80, f=5, separation=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=separation, size=(3, f))
+    rows = np.concatenate([
+        center + rng.normal(size=(n_per, f)) for center in centers])
+    labels = np.repeat(np.arange(3), n_per)
+    shuffle = rng.permutation(rows.shape[0])
+    return rows[shuffle], labels[shuffle], centers
+
+
+def as_matrix(ctx, rows, block_rows=64):
+    return SpangleMatrix.from_numpy(
+        ctx, rows, (block_rows, rows.shape[1]), sparse_zeros=False)
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, ctx):
+        rows, labels, true_centers = blobs(seed=1)
+        model = kmeans(as_matrix(ctx, rows), 3, seed=2)
+        predicted = model.predict(rows)
+        # every true cluster maps to exactly one predicted cluster
+        for true_label in range(3):
+            got = predicted[labels == true_label]
+            values, counts = np.unique(got, return_counts=True)
+            assert counts.max() / counts.sum() > 0.98
+        # learned centers close to the planted ones (any order)
+        for center in true_centers:
+            nearest = np.linalg.norm(model.centers - center,
+                                     axis=1).min()
+            assert nearest < 1.0
+
+    def test_inertia_monotone_nonincreasing(self, ctx):
+        rows, _labels, _centers = blobs(seed=3)
+        model = kmeans(as_matrix(ctx, rows), 3, seed=4)
+        history = np.array(model.inertia_history)
+        assert (np.diff(history) <= 1e-6).all()
+
+    def test_converges_quickly_on_separated_data(self, ctx):
+        rows, _labels, _centers = blobs(separation=50.0, seed=5)
+        model = kmeans(as_matrix(ctx, rows), 3, seed=6)
+        assert model.iterations < 15
+
+    def test_k_equals_one(self, ctx):
+        rows, _labels, _centers = blobs(seed=7)
+        model = kmeans(as_matrix(ctx, rows), 1, seed=8)
+        assert np.allclose(model.centers[0], rows.mean(axis=0),
+                           atol=1e-8)
+
+    def test_predict_shapes(self, ctx):
+        rows, _labels, _centers = blobs(seed=9)
+        model = kmeans(as_matrix(ctx, rows), 3, seed=10)
+        single = model.predict(rows[0])
+        assert single.shape == (1,)
+        many = model.predict(rows[:17])
+        assert many.shape == (17,)
+        assert set(np.unique(many)) <= {0, 1, 2}
+
+    def test_validation(self, ctx):
+        rows, _labels, _centers = blobs(seed=11)
+        matrix = as_matrix(ctx, rows)
+        with pytest.raises(ArrayError):
+            kmeans(matrix, 0)
+        with pytest.raises(ArrayError):
+            kmeans(matrix, rows.shape[0] + 1)
+        narrow = SpangleMatrix.from_numpy(ctx, rows, (64, 2),
+                                          sparse_zeros=False)
+        with pytest.raises(ArrayError):
+            kmeans(narrow, 3)
+
+    def test_deterministic_given_seed(self, ctx):
+        rows, _labels, _centers = blobs(seed=12)
+        a = kmeans(as_matrix(ctx, rows), 3, seed=13)
+        b = kmeans(as_matrix(ctx, rows), 3, seed=13)
+        assert np.allclose(a.centers, b.centers)
+        assert a.inertia == b.inertia
+
+    def test_matches_reference_inertia(self, ctx):
+        """Our converged inertia is as good as a plain numpy Lloyd's."""
+        rows, _labels, _centers = blobs(seed=14)
+        model = kmeans(as_matrix(ctx, rows), 3, seed=15)
+
+        # reference Lloyd's from the same initialization policy
+        rng = np.random.default_rng(15)
+        centers = rows[rng.choice(rows.shape[0], 3, replace=False)]
+        for _ in range(50):
+            distances = ((rows[:, None, :]
+                          - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = distances.argmin(axis=1)
+            for k in range(3):
+                if (labels == k).any():
+                    centers[k] = rows[labels == k].mean(axis=0)
+        reference = ((rows - centers[labels]) ** 2).sum()
+        assert model.inertia == pytest.approx(reference, rel=0.05)

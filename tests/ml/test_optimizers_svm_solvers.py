@@ -1,0 +1,232 @@
+"""Tests for optimizers (incl. Adagrad — the paper's stated future
+work), the linear SVM, and the CG / ridge-regression solvers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import ConvergenceError, ShapeMismatchError, SpangleError
+from repro.matrix import SpangleMatrix, SpangleVector
+from repro.ml import (
+    AdagradOptimizer,
+    DistributedSamples,
+    LinearSVM,
+    LogisticRegression,
+    MomentumOptimizer,
+    SGDOptimizer,
+    conjugate_gradient,
+    ridge_regression,
+)
+from repro.ml.optimizers import resolve_optimizer
+from repro.ml.solvers import normal_equation_operator
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def separable_samples(ctx, ns=2000, nf=16, seed=0, noise=0.03):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(ns, nf))
+    w = rng.normal(size=nf)
+    y = (X @ w > 0).astype(np.float64)
+    flips = rng.random(ns) < noise
+    y[flips] = 1.0 - y[flips]
+    rows, cols = np.nonzero(X)
+    return DistributedSamples.from_coo(
+        ctx, rows, cols, X[rows, cols], y, nf, chunk_rows=128), X, y
+
+
+class TestOptimizers:
+    def test_sgd_update(self):
+        opt = SGDOptimizer(0.5)
+        x = np.array([1.0, 2.0])
+        g = np.array([0.2, -0.4])
+        assert np.allclose(opt.update(x, g), [0.9, 2.2])
+
+    def test_adagrad_scales_per_coordinate(self):
+        opt = AdagradOptimizer(1.0, epsilon=1e-12)
+        x = np.zeros(2)
+        g = np.array([4.0, 0.01])
+        out = opt.update(x, g)
+        # both coordinates take ~unit steps despite 400x gradient gap
+        assert out[0] == pytest.approx(-1.0, rel=1e-3)
+        assert out[1] == pytest.approx(-1.0, rel=1e-3)
+
+    def test_adagrad_steps_shrink(self):
+        opt = AdagradOptimizer(1.0)
+        x = np.zeros(1)
+        g = np.ones(1)
+        first = opt.update(x, g)
+        second = opt.update(first, g)
+        assert abs(second[0] - first[0]) < abs(first[0])
+
+    def test_momentum_accumulates(self):
+        opt = MomentumOptimizer(0.1, momentum=0.9)
+        x = np.zeros(1)
+        g = np.ones(1)
+        x1 = opt.update(x, g)
+        x2 = opt.update(x1, g)
+        assert (x1[0] - 0) == pytest.approx(-0.1)
+        assert (x2[0] - x1[0]) == pytest.approx(-0.19)
+
+    def test_resolve(self):
+        assert isinstance(resolve_optimizer(None, 0.5), SGDOptimizer)
+        assert isinstance(resolve_optimizer("adagrad", 0.5),
+                          AdagradOptimizer)
+        inst = MomentumOptimizer(0.2)
+        assert resolve_optimizer(inst, 0.5) is inst
+        with pytest.raises(SpangleError):
+            resolve_optimizer("adam", 0.5)
+        with pytest.raises(SpangleError):
+            resolve_optimizer(42, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(SpangleError):
+            SGDOptimizer(0)
+        with pytest.raises(SpangleError):
+            AdagradOptimizer(epsilon=0)
+        with pytest.raises(SpangleError):
+            MomentumOptimizer(momentum=1.0)
+
+    def test_logistic_with_adagrad_learns(self, ctx):
+        samples, _X, _y = separable_samples(ctx, seed=1)
+        model = LogisticRegression(max_iterations=120,
+                                   chunks_per_step=2,
+                                   optimizer="adagrad")
+        model.fit(samples)
+        assert model.accuracy(samples) > 0.9
+
+    def test_adagrad_state_resets_between_fits(self, ctx):
+        samples, _X, _y = separable_samples(ctx, ns=600, seed=2)
+        model = LogisticRegression(max_iterations=40,
+                                   chunks_per_step=2, seed=9,
+                                   optimizer="adagrad")
+        model.fit(samples)
+        first = model.weights.data.copy()
+        model.fit(samples)
+        assert np.allclose(model.weights.data, first)
+
+
+class TestLinearSVM:
+    def test_learns_separable_data(self, ctx):
+        samples, X, y = separable_samples(ctx, seed=3)
+        svm = LinearSVM(max_iterations=200, chunks_per_step=2)
+        svm.fit(samples)
+        assert svm.accuracy(samples) > 0.9
+
+    def test_predict_api(self, ctx):
+        samples, X, y = separable_samples(ctx, seed=4)
+        svm = LinearSVM(max_iterations=150, chunks_per_step=2)
+        svm.fit(samples)
+        predictions = svm.predict(X[:50])
+        assert set(np.unique(predictions)) <= {0, 1}
+        assert (predictions == y[:50]).mean() > 0.85
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ConvergenceError):
+            LinearSVM().predict(np.zeros((1, 3)))
+
+    def test_regularization_shrinks_weights(self, ctx):
+        samples, _X, _y = separable_samples(ctx, ns=800, seed=5)
+        loose = LinearSVM(max_iterations=100, regularization=0.0,
+                          chunks_per_step=2, seed=7)
+        loose.fit(samples)
+        tight = LinearSVM(max_iterations=100, regularization=0.5,
+                          chunks_per_step=2, seed=7)
+        tight.fit(samples)
+        assert np.linalg.norm(tight.weights.data) \
+            < np.linalg.norm(loose.weights.data)
+
+    def test_with_adagrad(self, ctx):
+        samples, _X, _y = separable_samples(ctx, seed=6)
+        svm = LinearSVM(max_iterations=150, chunks_per_step=2,
+                        optimizer="adagrad")
+        svm.fit(samples)
+        assert svm.accuracy(samples) > 0.88
+
+    def test_opt1_paths_agree(self, ctx):
+        samples, _X, _y = separable_samples(ctx, ns=600, seed=7)
+        fast = LinearSVM(max_iterations=30, opt1=True, seed=4)
+        fast.fit(samples)
+        slow = LinearSVM(max_iterations=30, opt1=False, seed=4)
+        slow.fit(samples)
+        assert np.allclose(fast.weights.data, slow.weights.data)
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self):
+        rng = np.random.default_rng(0)
+        basis = rng.normal(size=(12, 12))
+        A = basis @ basis.T + 12 * np.eye(12)
+        b = rng.normal(size=12)
+        result = conjugate_gradient(lambda v: A @ v, b,
+                                    tolerance=1e-12)
+        assert np.allclose(result.solution.data,
+                           np.linalg.solve(A, b), atol=1e-8)
+        assert result.residual_norm < 1e-12
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_identity_converges_immediately(self):
+        b = np.array([1.0, 2.0, 3.0])
+        result = conjugate_gradient(lambda v: v, b)
+        assert result.iterations <= 2
+        assert np.allclose(result.solution.data, b)
+
+    def test_non_spd_rejected(self):
+        A = np.array([[1.0, 0.0], [0.0, -1.0]])
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(lambda v: A @ v, np.array([0.0, 1.0]))
+
+    def test_divergence_flag(self):
+        rng = np.random.default_rng(1)
+        basis = rng.normal(size=(30, 30))
+        A = basis @ basis.T + 1e-9 * np.eye(30)  # ill-conditioned
+        b = rng.normal(size=30)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(lambda v: A @ v, b, tolerance=1e-14,
+                               max_iterations=2,
+                               raise_on_divergence=True)
+
+
+class TestRidgeRegression:
+    def test_matches_lstsq(self, ctx):
+        rng = np.random.default_rng(2)
+        A = rng.random((80, 20))
+        A[A < 0.4] = 0
+        b = rng.normal(size=80)
+        m = SpangleMatrix.from_numpy(ctx, A, (16, 16))
+        result = ridge_regression(m, b, regularization=1e-12,
+                                  tolerance=1e-12)
+        reference = np.linalg.lstsq(A, b, rcond=None)[0]
+        assert np.allclose(result.solution.data, reference, atol=1e-6)
+
+    def test_regularization_matches_closed_form(self, ctx):
+        rng = np.random.default_rng(3)
+        A = rng.random((50, 12))
+        b = rng.normal(size=50)
+        lam = 0.8
+        m = SpangleMatrix.from_numpy(ctx, A, (16, 8),
+                                     sparse_zeros=False)
+        result = ridge_regression(m, b, regularization=lam,
+                                  tolerance=1e-12)
+        closed = np.linalg.solve(A.T @ A + lam * np.eye(12), A.T @ b)
+        assert np.allclose(result.solution.data, closed, atol=1e-8)
+
+    def test_operator_never_builds_gram(self, ctx):
+        rng = np.random.default_rng(4)
+        A = rng.random((40, 10))
+        m = SpangleMatrix.from_numpy(ctx, A, (16, 8),
+                                     sparse_zeros=False)
+        apply_op = normal_equation_operator(m, 0.5)
+        v = rng.normal(size=10)
+        assert np.allclose(apply_op(v), A.T @ (A @ v) + 0.5 * v)
+
+    def test_target_length_checked(self, ctx):
+        m = SpangleMatrix.from_numpy(ctx, np.ones((4, 3)), (2, 2),
+                                     sparse_zeros=False)
+        with pytest.raises(ShapeMismatchError):
+            ridge_regression(m, np.ones(5))
+        with pytest.raises(ShapeMismatchError):
+            ridge_regression(m, np.ones(4), regularization=-1)

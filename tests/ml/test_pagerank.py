@@ -1,0 +1,144 @@
+"""Tests for BitmaskGraph and the decomposed PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import ArrayError, ShapeMismatchError
+from repro.ml import BitmaskGraph, pagerank
+from repro.ml.pagerank import pagerank_reference
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def random_edges(n, m, seed=0):
+    rng = np.random.default_rng(seed)
+    edges = np.stack([rng.integers(0, n, m), rng.integers(0, n, m)],
+                     axis=1)
+    return np.unique(edges, axis=0)
+
+
+class TestBitmaskGraph:
+    def test_edges_roundtrip(self, ctx):
+        edges = random_edges(120, 700, seed=1)
+        g = BitmaskGraph.from_edges(ctx, edges, 120, block_size=32)
+        assert g.num_edges() == len(edges)
+        dense = g.to_dense()
+        for src, dst in edges:
+            assert dense[dst, src]
+        assert dense.sum() == len(edges)
+
+    def test_duplicate_edges_collapse(self, ctx):
+        edges = [(0, 1), (0, 1), (1, 2)]
+        g = BitmaskGraph.from_edges(ctx, edges, 3, block_size=4)
+        assert g.num_edges() == 2
+        # out-degree counts the raw edge list (weights), as the paper's
+        # transition construction does
+        assert g.out_degrees[0] == 2.0
+
+    def test_vertex_range_validation(self, ctx):
+        with pytest.raises(ArrayError):
+            BitmaskGraph.from_edges(ctx, [(0, 5)], 3)
+
+    def test_edge_shape_validation(self, ctx):
+        with pytest.raises(ShapeMismatchError):
+            BitmaskGraph.from_edges(ctx, np.zeros((3, 3)), 10)
+
+    def test_bad_mode(self, ctx):
+        with pytest.raises(ArrayError):
+            BitmaskGraph.from_edges(ctx, [(0, 1)], 2, mode="dense")
+
+    def test_spmv_matches_dense(self, ctx):
+        edges = random_edges(90, 400, seed=2)
+        g = BitmaskGraph.from_edges(ctx, edges, 90, block_size=32)
+        dense = g.to_dense().astype(np.float64)
+        x = np.random.default_rng(3).random(90)
+        assert np.allclose(g.spmv(x), dense @ x)
+
+    def test_spmv_length_check(self, ctx):
+        g = BitmaskGraph.from_edges(ctx, [(0, 1)], 4)
+        with pytest.raises(ShapeMismatchError):
+            g.spmv(np.ones(5))
+
+    def test_modes_agree(self, ctx):
+        edges = random_edges(100, 300, seed=4)
+        x = np.random.default_rng(5).random(100)
+        results = []
+        for mode in ("auto", "sparse", "super_sparse"):
+            g = BitmaskGraph.from_edges(ctx, edges, 100, block_size=32,
+                                        mode=mode)
+            results.append(g.spmv(x))
+        assert np.allclose(results[0], results[1])
+        assert np.allclose(results[0], results[2])
+
+    def test_one_bit_per_edge_memory(self, ctx):
+        # dense-ish block: bitmask storage ~ cells/8 bytes, far below
+        # 8 bytes per edge
+        n = 256
+        edges = [(i, j) for i in range(n) for j in range(0, n, 2)]
+        g = BitmaskGraph.from_edges(ctx, edges, n, block_size=256,
+                                    mode="sparse")
+        assert g.memory_bytes() == n * n // 8
+        assert g.memory_bytes() < len(edges) * 8
+
+    def test_super_sparse_smaller_when_few_edges(self, ctx):
+        edges = [(0, 1), (500, 900)]
+        sparse = BitmaskGraph.from_edges(ctx, edges, 1000,
+                                         block_size=1000, mode="sparse")
+        hyper = BitmaskGraph.from_edges(ctx, edges, 1000,
+                                        block_size=1000,
+                                        mode="super_sparse")
+        assert hyper.memory_bytes() < sparse.memory_bytes()
+
+
+class TestPageRank:
+    def test_matches_reference(self, ctx):
+        edges = random_edges(150, 900, seed=6)
+        g = BitmaskGraph.from_edges(ctx, edges, 150, block_size=64)
+        result = pagerank(g, max_iterations=20)
+        reference = pagerank_reference(edges, 150, max_iterations=20)
+        assert np.allclose(result.ranks, reference, atol=1e-12)
+        assert result.iterations == 20
+        assert len(result.iteration_times_s) == 20
+
+    def test_ranks_sum_reasonable(self, ctx):
+        edges = random_edges(100, 500, seed=7)
+        g = BitmaskGraph.from_edges(ctx, edges, 100)
+        ranks = pagerank(g, max_iterations=30).ranks
+        # with dangling mass leaking, sum is <= 1 but bounded below
+        assert 0.1 < ranks.sum() <= 1.0 + 1e-9
+        assert (ranks > 0).all()
+
+    def test_hub_ranks_higher(self, ctx):
+        # star graph: everything points at vertex 0
+        edges = [(i, 0) for i in range(1, 50)]
+        g = BitmaskGraph.from_edges(ctx, edges, 50)
+        ranks = pagerank(g, max_iterations=20).ranks
+        assert ranks[0] == ranks.max()
+        assert ranks[0] > 10 * ranks[1]
+
+    def test_early_stop_with_tolerance(self, ctx):
+        edges = [(i, (i + 1) % 20) for i in range(20)]
+        g = BitmaskGraph.from_edges(ctx, edges, 20)
+        result = pagerank(g, max_iterations=100, tolerance=1e-10)
+        assert result.iterations < 100
+        assert result.residual < 1e-10
+
+    def test_top_k(self, ctx):
+        edges = [(i, 0) for i in range(1, 10)]
+        g = BitmaskGraph.from_edges(ctx, edges, 10)
+        result = pagerank(g, max_iterations=10)
+        top = result.top_k(3)
+        assert top[0][0] == 0
+        assert len(top) == 3
+
+    def test_dangling_vertices_handled(self, ctx):
+        # vertex 2 has no out-edges: w_2 = 0 and nothing propagates
+        edges = [(0, 1), (1, 2)]
+        g = BitmaskGraph.from_edges(ctx, edges, 3)
+        ranks = pagerank(g, max_iterations=10).ranks
+        reference = pagerank_reference(edges, 3, max_iterations=10)
+        assert np.allclose(ranks, reference)

@@ -1,0 +1,117 @@
+"""Tests for distributed PCA (built on the MᵀM kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import ArrayError, ShapeMismatchError
+from repro.matrix import SpangleMatrix
+from repro.ml.pca import pca
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def correlated_data(n=400, f=8, seed=0):
+    """Rows with two dominant directions of variance."""
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 2)) * np.array([5.0, 2.0])
+    mixing = rng.normal(size=(2, f))
+    return latent @ mixing + rng.normal(scale=0.1, size=(n, f)) + 3.0
+
+
+def reference_pca(data, k):
+    centered = data - data.mean(axis=0)
+    _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    variance = s ** 2 / (data.shape[0] - 1)
+    return vt[:k], variance[:k]
+
+
+class TestPCA:
+    def test_components_match_svd(self, ctx):
+        data = correlated_data()
+        m = SpangleMatrix.from_numpy(ctx, data, (64, 8),
+                                     sparse_zeros=False)
+        model = pca(m, 2)
+        ref_components, ref_variance = reference_pca(data, 2)
+        for got, expected in zip(model.components, ref_components):
+            # eigenvectors are sign-ambiguous
+            assert (np.allclose(got, expected, atol=1e-6)
+                    or np.allclose(got, -expected, atol=1e-6))
+        assert np.allclose(model.explained_variance, ref_variance,
+                           rtol=1e-6)
+
+    def test_variance_ratio_ordering(self, ctx):
+        data = correlated_data(seed=1)
+        m = SpangleMatrix.from_numpy(ctx, data, (64, 8),
+                                     sparse_zeros=False)
+        model = pca(m, 4)
+        ratios = model.explained_variance_ratio
+        assert (np.diff(ratios) <= 1e-12).all()
+        # two planted directions dominate
+        assert ratios[:2].sum() > 0.95
+        assert ratios.sum() <= 1.0 + 1e-9
+
+    def test_transform_matches_reference(self, ctx):
+        data = correlated_data(seed=2)
+        m = SpangleMatrix.from_numpy(ctx, data, (64, 8),
+                                     sparse_zeros=False)
+        model = pca(m, 2)
+        got = model.transform(data[:5])
+        centered = data[:5] - data.mean(axis=0)
+        expected = centered @ model.components.T
+        assert np.allclose(got, expected)
+
+    def test_distributed_transform_agrees(self, ctx):
+        data = correlated_data(seed=3)
+        m = SpangleMatrix.from_numpy(ctx, data, (64, 8),
+                                     sparse_zeros=False)
+        model = pca(m, 3)
+        local = model.transform(data)
+        distributed = model.transform_distributed(m)
+        assert np.allclose(local, distributed, atol=1e-8)
+
+    def test_reconstruction_quality(self, ctx):
+        data = correlated_data(seed=4)
+        m = SpangleMatrix.from_numpy(ctx, data, (64, 8),
+                                     sparse_zeros=False)
+        model = pca(m, 2)
+        projected = model.transform(data)
+        reconstructed = projected @ model.components + model.mean
+        relative_error = (np.linalg.norm(data - reconstructed)
+                          / np.linalg.norm(data - data.mean(axis=0)))
+        assert relative_error < 0.1  # two components capture the data
+
+    def test_sparse_input(self, ctx):
+        rng = np.random.default_rng(5)
+        data = rng.random((200, 10))
+        data[data < 0.7] = 0.0
+        m = SpangleMatrix.from_numpy(ctx, data, (64, 10))
+        model = pca(m, 3)
+        ref_components, ref_variance = reference_pca(data, 3)
+        assert np.allclose(model.explained_variance, ref_variance,
+                           rtol=1e-6)
+
+    def test_validation(self, ctx):
+        data = correlated_data(n=50)
+        m = SpangleMatrix.from_numpy(ctx, data, (16, 8),
+                                     sparse_zeros=False)
+        with pytest.raises(ArrayError):
+            pca(m, 0)
+        with pytest.raises(ArrayError):
+            pca(m, 9)
+        model = pca(m, 2)
+        with pytest.raises(ShapeMismatchError):
+            model.transform(np.zeros((1, 5)))
+
+    def test_deterministic_orientation(self, ctx):
+        data = correlated_data(seed=6)
+        m = SpangleMatrix.from_numpy(ctx, data, (64, 8),
+                                     sparse_zeros=False)
+        a = pca(m, 2)
+        b = pca(m, 2)
+        assert np.allclose(a.components, b.components)
+        for row in a.components:
+            assert row[np.argmax(np.abs(row))] > 0

@@ -1,0 +1,227 @@
+"""Tests for Eq.-2 chunking, parallel SGD sampling, logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.errors import ArrayError, ConvergenceError, ShapeMismatchError
+from repro.ml import DistributedSamples, LogisticRegression, SampleChunk
+from repro.ml.sgd import chunk_id, partition_of, row_chunk_of
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def separable_dataset(ns=2000, nf=16, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(ns, nf))
+    true_w = rng.normal(size=nf)
+    labels = (X @ true_w > 0).astype(np.float64)
+    flips = rng.random(ns) < noise
+    labels[flips] = 1.0 - labels[flips]
+    rows, cols = np.nonzero(X)
+    return rows, cols, X[rows, cols], labels, X
+
+
+class TestEquation2:
+    def test_chunk_ids_unique(self):
+        seen = set()
+        for p in range(8):
+            for r in range(100):
+                cid = chunk_id(8, r, p)
+                assert cid not in seen
+                seen.add(cid)
+
+    def test_reversal(self):
+        for p in range(8):
+            for r in range(50):
+                cid = chunk_id(8, r, p)
+                assert partition_of(cid, 8) == p
+                assert row_chunk_of(cid, 8) == r
+
+    def test_chunks_land_on_their_partitions(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(seed=1)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=100,
+            num_partitions=4)
+        for index, records in enumerate(
+                samples.rdd.glom().collect()):
+            for cid, _chunk in records:
+                assert partition_of(cid, 4) == index
+
+    def test_every_row_stored_once(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(ns=777, seed=2)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=64)
+        total = samples.rdd.map(lambda kv: kv[1].num_rows).sum()
+        assert total == 777
+        assert samples.total_rows == 777
+        assert samples.nnz() == len(vals)
+
+
+class TestSampleChunk:
+    def _chunk(self, seed=3):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(20, 8))
+        rows, cols = np.nonzero(X)
+        labels = rng.integers(0, 2, 20).astype(np.float64)
+        return SampleChunk(rows, cols, X[rows, cols], labels, 20), X
+
+    def test_dot(self):
+        chunk, X = self._chunk()
+        x = np.arange(8, dtype=np.float64)
+        assert np.allclose(chunk.dot(x), X @ x)
+
+    def test_t_dot_opt1_equals_materialized(self):
+        chunk, X = self._chunk(seed=4)
+        e = np.random.default_rng(5).random(20)
+        fast = chunk.t_dot(e, 8)
+        slow = chunk.t_dot_materialized(e, 8)
+        assert np.allclose(fast, X.T @ e)
+        assert np.allclose(slow, X.T @ e)
+
+    def test_validation(self):
+        with pytest.raises(ShapeMismatchError):
+            SampleChunk([0], [0, 1], [1.0], [1.0], 1)
+        with pytest.raises(ShapeMismatchError):
+            SampleChunk([0], [0], [1.0], [1.0, 0.0], 1)
+
+    def test_chunk_rows_validation(self, ctx):
+        with pytest.raises(ArrayError):
+            DistributedSamples.from_coo(ctx, [0], [0], [1.0], [1.0], 4,
+                                        chunk_rows=0)
+
+
+class TestSampling:
+    def test_gradient_is_deterministic_per_seed(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(seed=6)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=128)
+        x = np.zeros(16)
+        g1, n1 = samples.sampled_gradient(x, step=3, seed=11)
+        g2, n2 = samples.sampled_gradient(x, step=3, seed=11)
+        assert np.allclose(g1, g2) and n1 == n2
+
+    def test_different_steps_sample_differently(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(seed=7)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=64)
+        x = np.random.default_rng(8).random(16)
+        g1, _ = samples.sampled_gradient(x, step=0)
+        g2, _ = samples.sampled_gradient(x, step=1)
+        assert not np.allclose(g1, g2)
+
+    def test_sampling_shuffles_nothing(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(seed=9)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=64).cache()
+        samples.nnz()
+        before = ctx.metrics.snapshot()
+        samples.sampled_gradient(np.zeros(16), step=0)
+        delta = ctx.metrics.snapshot() - before
+        assert delta.shuffle_bytes == 0
+        assert delta.shuffles_performed == 0
+
+    def test_opt1_matches_non_opt1(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(seed=10)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=64)
+        x = np.random.default_rng(11).random(16)
+        fast, _ = samples.sampled_gradient(x, step=2, opt1=True)
+        slow, _ = samples.sampled_gradient(x, step=2, opt1=False)
+        assert np.allclose(fast, slow)
+
+    def test_from_generator(self, ctx):
+        def gen(p_id):
+            rng = np.random.default_rng(p_id)
+            for _ in range(3):
+                X = rng.normal(size=(10, 6))
+                r, c = np.nonzero(X)
+                labels = rng.integers(0, 2, 10).astype(float)
+                yield SampleChunk(r, c, X[r, c], labels, 10)
+
+        samples = DistributedSamples.from_generator(ctx, 4, gen, 6)
+        assert samples.total_rows == 120
+        assert samples.chunks_per_partition == [3, 3, 3, 3]
+        grad, count = samples.sampled_gradient(np.zeros(6), step=0)
+        assert count == 40  # one chunk per partition
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self, ctx):
+        rows, cols, vals, labels, X = separable_dataset(seed=12)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=128)
+        lr = LogisticRegression(max_iterations=200, chunks_per_step=2)
+        lr.fit(samples)
+        assert lr.accuracy(samples) > 0.9
+        assert lr.history.iterations > 0
+        assert lr.history.total_time_s > 0
+
+    @pytest.mark.parametrize("opt1,opt2", [(True, True), (False, True),
+                                           (True, False), (False, False)])
+    def test_all_optimization_variants_learn(self, ctx, opt1, opt2):
+        rows, cols, vals, labels, _X = separable_dataset(ns=1200,
+                                                         seed=13)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=128)
+        lr = LogisticRegression(max_iterations=80, opt1=opt1, opt2=opt2,
+                                chunks_per_step=2, seed=5)
+        lr.fit(samples)
+        assert lr.accuracy(samples) > 0.85
+
+    def test_variants_agree_exactly(self, ctx):
+        """opt1/opt2 are performance knobs — results must be identical."""
+        rows, cols, vals, labels, _X = separable_dataset(ns=800, seed=14)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=128)
+        weights = []
+        for opt1, opt2 in [(True, True), (False, False)]:
+            lr = LogisticRegression(max_iterations=30, opt1=opt1,
+                                    opt2=opt2, seed=7)
+            lr.fit(samples)
+            weights.append(lr.weights.data)
+        assert np.allclose(weights[0], weights[1])
+
+    def test_tolerance_stops_early(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(ns=600, seed=15)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=600)
+        lr = LogisticRegression(step_size=1e-6, tolerance=1e-3,
+                                max_iterations=500)
+        lr.fit(samples)
+        assert lr.history.iterations < 500
+
+    def test_predict_api(self, ctx):
+        rows, cols, vals, labels, X = separable_dataset(seed=16)
+        samples = DistributedSamples.from_coo(
+            ctx, rows, cols, vals, labels, 16, chunk_rows=128)
+        lr = LogisticRegression(max_iterations=100, chunks_per_step=2)
+        lr.fit(samples)
+        probs = lr.predict_proba(X[:10])
+        assert ((probs >= 0) & (probs <= 1)).all()
+        preds = lr.predict(X[:10])
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_unfitted_raises(self):
+        lr = LogisticRegression()
+        with pytest.raises(ConvergenceError):
+            lr.predict(np.zeros((1, 4)))
+
+    def test_train_test_generalization(self, ctx):
+        rows, cols, vals, labels, _X = separable_dataset(ns=3000,
+                                                         seed=17)
+        # 80/20 row split, like the paper's datasets
+        cut = 2400
+        train_sel = rows < cut
+        train = DistributedSamples.from_coo(
+            ctx, rows[train_sel], cols[train_sel], vals[train_sel],
+            labels[:cut], 16, chunk_rows=128)
+        test = DistributedSamples.from_coo(
+            ctx, rows[~train_sel] - cut, cols[~train_sel],
+            vals[~train_sel], labels[cut:], 16, chunk_rows=128)
+        lr = LogisticRegression(max_iterations=150, chunks_per_step=2)
+        lr.fit(train)
+        assert lr.accuracy(test) > 0.85

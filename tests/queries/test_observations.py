@@ -1,0 +1,177 @@
+"""Tests for distributed source extraction, with scipy as the oracle."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.core import ArrayRDD
+from repro.engine import ClusterContext
+from repro.errors import ArrayError
+from repro.queries.observations import (
+    Observation,
+    _label_components,
+    brightest,
+    extract_observations,
+    flux_histogram,
+    observations_per_image,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def scene_with_objects(shape, centers, radius=2, brightness=10.0):
+    """A NaN background with square bright objects at given centers."""
+    scene = np.full(shape, np.nan)
+    for r, c in centers:
+        scene[max(0, r - radius):r + radius + 1,
+              max(0, c - radius):c + radius + 1] = brightness
+    return scene
+
+
+def as_array(ctx, scenes, chunk=(16, 16, 1)):
+    cube = np.stack(scenes, axis=2)
+    valid = ~np.isnan(cube)
+    return ArrayRDD.from_numpy(ctx, np.where(valid, cube, 0.0), chunk,
+                               valid=valid,
+                               dim_names=("x", "y", "image"))
+
+
+class TestLabeling:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((40, 40)) < 0.2
+        labels = _label_components(mask, max_rounds=100)
+        reference, n_ref = ndimage.label(
+            mask, structure=[[0, 1, 0], [1, 1, 1], [0, 1, 0]])
+        # same partition of pixels into components
+        ours = {}
+        for r, c in zip(*np.nonzero(mask)):
+            ours.setdefault(labels[r, c], set()).add((r, c))
+        theirs = {}
+        for r, c in zip(*np.nonzero(mask)):
+            theirs.setdefault(reference[r, c], set()).add((r, c))
+        assert sorted(map(frozenset, ours.values())) \
+            == sorted(map(frozenset, theirs.values()))
+        assert len(ours) == n_ref
+
+    def test_background_is_minus_one(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = True
+        labels = _label_components(mask, 10)
+        assert labels[0, 0] == -1
+        assert labels[1, 1] == 5  # flattened index
+
+
+class TestExtraction:
+    def test_counts_objects_across_chunks(self, ctx):
+        # objects deliberately straddling the 16-pixel chunk boundary
+        centers = [(5, 5), (16, 16), (15, 40), (40, 15), (50, 50)]
+        scenes = [scene_with_objects((64, 64), centers)]
+        arr = as_array(ctx, scenes)
+        observations = extract_observations(arr, threshold=1.0,
+                                            max_radius=4)
+        assert observations.count() == len(centers)
+
+    def test_each_object_emitted_once(self, ctx):
+        centers = [(16, 16)]  # dead on the chunk corner
+        scenes = [scene_with_objects((32, 32), centers)]
+        arr = as_array(ctx, scenes)
+        got = extract_observations(arr, 1.0, max_radius=4).collect()
+        assert len(got) == 1
+
+    def test_centroid_and_flux(self, ctx):
+        scenes = [scene_with_objects((32, 32), [(10, 12)], radius=1,
+                                     brightness=4.0)]
+        arr = as_array(ctx, scenes)
+        obs = extract_observations(arr, 1.0, max_radius=3).collect()[0]
+        assert obs.centroid_x == pytest.approx(10.0)
+        assert obs.centroid_y == pytest.approx(12.0)
+        assert obs.num_pixels == 9
+        assert obs.flux == pytest.approx(36.0)
+        assert obs.peak == 4.0
+        assert obs.image == 0
+
+    def test_threshold_excludes_faint(self, ctx):
+        scene = scene_with_objects((32, 32), [(8, 8)], brightness=0.5)
+        scene[20:23, 20:23] = 10.0
+        arr = as_array(ctx, [scene])
+        got = extract_observations(arr, threshold=1.0,
+                                   max_radius=3).collect()
+        assert len(got) == 1
+        assert got[0].peak == 10.0
+
+    def test_min_pixels(self, ctx):
+        scene = np.full((32, 32), np.nan)
+        scene[3, 3] = 9.0                      # single-pixel source
+        scene[20:23, 20:23] = 9.0              # 9-pixel source
+        arr = as_array(ctx, [scene])
+        all_obs = extract_observations(arr, 1.0, max_radius=3,
+                                       min_pixels=1).collect()
+        big_only = extract_observations(arr, 1.0, max_radius=3,
+                                        min_pixels=5).collect()
+        assert len(all_obs) == 2
+        assert len(big_only) == 1
+
+    def test_multiple_images(self, ctx):
+        scenes = [
+            scene_with_objects((32, 32), [(8, 8)]),
+            scene_with_objects((32, 32), [(8, 8), (20, 20)]),
+        ]
+        arr = as_array(ctx, scenes)
+        observations = extract_observations(arr, 1.0, max_radius=3)
+        per_image = observations_per_image(observations)
+        assert per_image == {0: 1, 1: 2}
+
+    def test_validation(self, ctx):
+        arr2d = ArrayRDD.from_numpy(ctx, np.ones((8, 8)), (4, 4))
+        with pytest.raises(ArrayError):
+            extract_observations(arr2d, 1.0)
+        arr3d = as_array(ctx, [np.ones((16, 16))])
+        with pytest.raises(ArrayError):
+            extract_observations(arr3d, 1.0, max_radius=0)
+
+    def test_matches_scipy_on_random_field(self, ctx):
+        rng = np.random.default_rng(1)
+        scene = np.full((48, 48), np.nan)
+        # scatter small sources
+        for _ in range(12):
+            r, c = rng.integers(2, 46, 2)
+            scene[r - 1:r + 2, c - 1:c + 2] = rng.random() + 1.0
+        arr = as_array(ctx, [scene])
+        got = extract_observations(arr, 0.5, max_radius=4).collect()
+        mask = ~np.isnan(scene)
+        _labels, n_reference = ndimage.label(
+            mask, structure=[[0, 1, 0], [1, 1, 1], [0, 1, 0]])
+        assert len(got) == n_reference
+
+
+class TestObservationQueries:
+    def _observations(self, ctx):
+        scenes = [scene_with_objects(
+            (48, 48), [(8, 8), (24, 24), (40, 40)],
+            brightness=b) for b in (2.0, 5.0, 9.0)]
+        arr = as_array(ctx, scenes)
+        return extract_observations(arr, 1.0, max_radius=3)
+
+    def test_brightest(self, ctx):
+        observations = self._observations(ctx)
+        top = brightest(observations, k=3)
+        assert len(top) == 3
+        assert all(isinstance(o, Observation) for o in top)
+        assert top[0].flux >= top[1].flux >= top[2].flux
+        assert top[0].image == 2  # the brightest scene
+
+    def test_flux_histogram(self, ctx):
+        observations = self._observations(ctx)
+        counts, edges = flux_histogram(observations, bins=4)
+        assert counts.sum() == 9
+        assert edges.size == 5
+
+    def test_flux_histogram_empty(self, ctx):
+        arr = as_array(ctx, [np.full((16, 16), np.nan)])
+        observations = extract_observations(arr, 1.0, max_radius=3)
+        counts, _edges = flux_histogram(observations)
+        assert counts.sum() == 0

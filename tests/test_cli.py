@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Spangle" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestInfo:
+    def test_lists_packages(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.engine" in out
+        assert "repro.ml" in out
+        assert "ICDE 2021" in out
+
+
+class TestDemo:
+    def test_runs_end_to_end(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "chunks:" in out
+        assert "accuracy:" in out
+        assert "shuffle bytes" in out
+
+
+class TestBench:
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["bench", "--figure", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err

@@ -1,0 +1,214 @@
+"""Cross-cutting edge cases: dtypes, dimensionalities, tiny/degenerate
+arrays, threaded execution, memory pressure."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRDD, ChunkMode
+from repro.core.chunk import Chunk
+from repro.engine import ClusterContext, StorageLevel
+from repro.matrix import SpangleMatrix, SpangleVector
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+class TestDtypes:
+    def test_integer_array_roundtrip(self, ctx):
+        data = np.arange(64, dtype=np.int32).reshape(8, 8)
+        arr = ArrayRDD.from_numpy(ctx, data, (4, 4))
+        values, valid = arr.collect_dense(fill=0)
+        assert valid.all()
+        assert np.array_equal(values.astype(np.int64),
+                              data.astype(np.int64))
+        assert arr.meta.dtype == np.int32
+
+    def test_integer_chunk_access(self):
+        chunk = Chunk.from_dense(np.array([5, 0, 7], dtype=np.int64),
+                                 np.array([True, False, True]))
+        assert chunk.get(0) == 5
+        assert chunk.get(1) is None
+        assert chunk.values().dtype == np.int64
+
+    def test_integer_aggregation(self, ctx):
+        data = np.arange(16, dtype=np.int64).reshape(4, 4)
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2))
+        assert arr.sum() == 120
+
+    def test_negative_values_are_valid_matrix_cells(self, ctx):
+        dense = np.array([[0.0, -3.0], [2.0, 0.0]])
+        m = SpangleMatrix.from_numpy(ctx, dense, (2, 2))
+        assert m.nnz() == 2
+        assert np.allclose(m.to_numpy(), dense)
+
+    def test_float32(self, ctx):
+        data = np.ones((4, 4), dtype=np.float32)
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2))
+        assert arr.count_valid() == 16
+
+
+class TestDimensionalities:
+    def test_1d_array(self, ctx):
+        data = np.arange(100.0)
+        arr = ArrayRDD.from_numpy(ctx, data, (16,))
+        assert arr.count_valid() == 100
+        assert arr.get((42,)) == 42.0
+        sub = arr.subarray((10,), (19,))
+        assert sub.count_valid() == 10
+        assert sub.aggregate("sum") == sum(range(10, 20))
+
+    def test_4d_array(self, ctx):
+        rng = np.random.default_rng(0)
+        data = rng.random((4, 5, 6, 3))
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 3, 3, 2))
+        values, valid = arr.collect_dense()
+        assert valid.all()
+        assert np.allclose(values, data)
+        assert arr.get((3, 4, 5, 2)) == pytest.approx(data[3, 4, 5, 2])
+
+    def test_4d_aggregate_by(self, ctx):
+        rng = np.random.default_rng(1)
+        data = rng.random((4, 4, 4, 4))
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2, 2, 2))
+        by_last = arr.aggregate_by([3], "sum")
+        values, _valid = by_last.collect_dense()
+        assert np.allclose(values, data.sum(axis=(0, 1, 2)))
+
+    def test_single_cell_array(self, ctx):
+        arr = ArrayRDD.from_numpy(ctx, np.array([[7.0]]), (1, 1))
+        assert arr.count_valid() == 1
+        assert arr.get((0, 0)) == 7.0
+        assert arr.aggregate("avg") == 7.0
+
+    def test_single_chunk_covers_array(self, ctx):
+        rng = np.random.default_rng(2)
+        data = rng.random((10, 10))
+        arr = ArrayRDD.from_numpy(ctx, data, (100, 100))
+        assert arr.meta.num_chunks == 1
+        assert np.allclose(arr.collect_dense()[0], data)
+
+
+class TestDegenerateShapes:
+    def test_row_vector_matrix(self, ctx):
+        dense = np.arange(1.0, 9.0).reshape(1, 8)
+        m = SpangleMatrix.from_numpy(ctx, dense, (1, 4))
+        v = SpangleVector(np.ones(8))
+        assert np.allclose(m.dot_vector(v).data, dense @ np.ones(8))
+
+    def test_column_vector_matrix_multiply(self, ctx):
+        col = SpangleMatrix.from_numpy(ctx, np.arange(1.0, 5.0)
+                                       .reshape(4, 1), (2, 1))
+        row = SpangleMatrix.from_numpy(ctx, np.arange(1.0, 4.0)
+                                       .reshape(1, 3), (1, 3))
+        outer = col.multiply(row)
+        assert np.allclose(outer.to_numpy(),
+                           np.outer(np.arange(1.0, 5.0),
+                                    np.arange(1.0, 4.0)))
+
+    def test_1x1_matmul(self, ctx):
+        a = SpangleMatrix.from_numpy(ctx, np.array([[3.0]]), (1, 1))
+        b = SpangleMatrix.from_numpy(ctx, np.array([[4.0]]), (1, 1))
+        assert a.multiply(b).to_numpy()[0, 0] == 12.0
+
+    def test_rectangular_blocks(self, ctx):
+        rng = np.random.default_rng(3)
+        a = rng.random((24, 18))
+        b = rng.random((18, 30))
+        ma = SpangleMatrix.from_numpy(ctx, a, (7, 5),
+                                      sparse_zeros=False)
+        mb = SpangleMatrix.from_numpy(ctx, b, (5, 11),
+                                      sparse_zeros=False)
+        assert np.allclose(ma.multiply(mb).to_numpy(), a @ b)
+
+
+class TestSuperSparseAccess:
+    def test_get_at_word_boundaries(self):
+        # positions straddling 64-bit word edges in the hierarchy
+        positions = [0, 63, 64, 127, 128, 4095]
+        chunk = Chunk.from_sparse(
+            4096, positions, np.arange(1.0, 7.0),
+            mode=ChunkMode.SUPER_SPARSE)
+        for expected, position in zip(np.arange(1.0, 7.0), positions):
+            assert chunk.get(position) == expected
+        assert chunk.get(1) is None
+        assert chunk.get(65) is None
+
+    def test_last_cell_of_chunk(self):
+        chunk = Chunk.from_sparse(1000, [999], [1.5],
+                                  mode=ChunkMode.SUPER_SPARSE)
+        assert chunk.get(999) == 1.5
+        assert chunk.get(998) is None
+
+
+class TestThreadedExecution:
+    def test_array_pipeline_threaded(self):
+        serial = ClusterContext(num_executors=4)
+        threaded = ClusterContext(num_executors=4, use_threads=True)
+        rng = np.random.default_rng(4)
+        data = rng.random((64, 64))
+        valid = rng.random((64, 64)) < 0.4
+        results = []
+        for context in (serial, threaded):
+            arr = ArrayRDD.from_numpy(context, data, (16, 16),
+                                      valid=valid)
+            results.append(
+                arr.filter(lambda xs: xs > 0.5).aggregate("sum"))
+        assert results[0] == pytest.approx(results[1])
+
+    def test_shuffle_threaded(self):
+        threaded = ClusterContext(num_executors=4, use_threads=True)
+        pairs = threaded.parallelize(
+            [(i % 5, i) for i in range(200)], 8)
+        got = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        expected = {}
+        for i in range(200):
+            expected[i % 5] = expected.get(i % 5, 0) + i
+        assert got == expected
+
+
+class TestMemoryPressure:
+    def test_array_workload_under_tight_cache(self):
+        ctx = ClusterContext(num_executors=2,
+                             cache_budget_bytes=40_000)
+        rng = np.random.default_rng(5)
+        data = rng.random((128, 128))
+        arr = ArrayRDD.from_numpy(ctx, data, (32, 32))
+        arr.rdd.persist(StorageLevel.MEMORY_AND_DISK)
+        first = arr.aggregate("sum")
+        second = arr.aggregate("sum")
+        assert first == pytest.approx(second)
+        assert first == pytest.approx(data.sum())
+        # pressure was real: something was evicted or spilled
+        assert (ctx.metrics.cache_evictions > 0
+                or ctx.metrics.disk_write_bytes > 0)
+
+    def test_results_survive_eviction_without_spill(self):
+        ctx = ClusterContext(num_executors=2,
+                             cache_budget_bytes=20_000)
+        rng = np.random.default_rng(6)
+        data = rng.random((128, 128))
+        arr = ArrayRDD.from_numpy(ctx, data, (16, 16)).materialize()
+        assert arr.aggregate("sum") == pytest.approx(data.sum())
+
+
+class TestNonZeroStarts:
+    def test_negative_coordinates(self, ctx):
+        data = np.arange(16.0).reshape(4, 4)
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2), starts=(-2, -2))
+        assert arr.get((-2, -2)) == 0.0
+        assert arr.get((1, 1)) == 15.0
+        sub = arr.subarray((-1, -1), (0, 0))
+        assert sub.count_valid() == 4
+
+    def test_csv_roundtrip_negative_coords(self, ctx, tmp_path):
+        from repro.io.export import array_rdd_to_csv, csv_to_array_rdd
+
+        data = np.ones((3, 3))
+        arr = ArrayRDD.from_numpy(ctx, data, (2, 2), starts=(-5, -5))
+        path = tmp_path / "neg.csv"
+        array_rdd_to_csv(arr, path)
+        back = csv_to_array_rdd(ctx, path, (2, 2))
+        assert back.meta.starts == (-5, -5)
+        assert back.count_valid() == 9

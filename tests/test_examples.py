@@ -1,0 +1,27 @@
+"""Regression test: every shipped example runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()  # examples narrate their work
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "chlorophyll_analysis", "pagerank_webgraph",
+            "logistic_regression", "sky_survey_pipeline",
+            "interactive_analysis"} <= names

@@ -1,0 +1,96 @@
+"""Tests for the benchmark harness helpers."""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    Measured,
+    fresh_context,
+    print_table,
+    run_measured,
+    timed,
+)
+from repro.errors import OutOfMemoryError
+
+
+class TestRunMeasured:
+    def test_success_captures_value_and_costs(self):
+        ctx = fresh_context(2)
+        result = run_measured(
+            ctx, lambda: ctx.parallelize(range(10), 2).sum())
+        assert result.value == 45
+        assert result.failed is None
+        assert result.wall_s >= 0
+        assert result.modeled_s >= result.wall_s
+        assert result.scheduling_s > 0
+
+    def test_expected_failure_becomes_x_cell(self):
+        ctx = fresh_context(2)
+
+        def blow_up():
+            raise OutOfMemoryError("driver", 100, 10)
+
+        result = run_measured(ctx, blow_up)
+        assert result.failed == "OutOfMemoryError"
+        assert result.value is None
+        assert result.cell().startswith("x (")
+
+    def test_unexpected_failure_propagates(self):
+        ctx = fresh_context(2)
+
+        def broken():
+            raise ValueError("genuine bug")
+
+        with pytest.raises(ValueError):
+            run_measured(ctx, broken)
+
+    def test_expected_failure_inside_task(self):
+        ctx = fresh_context(2)
+
+        def job():
+            def boom(_x):
+                raise OutOfMemoryError("executor", 100, 10)
+
+            ctx.parallelize([1], 1).map(boom).collect()
+
+        result = run_measured(ctx, job)
+        assert result.failed == "OutOfMemoryError"
+
+
+class TestMeasured:
+    def test_cell_format(self):
+        ok = Measured(value=1, wall_s=0.5, modeled_s=1.25)
+        assert ok.cell() == "0.500s / 1.250s"
+
+    def test_modeled_with_parallelism(self):
+        cell = Measured(value=None, wall_s=8.0, modeled_s=99.0,
+                        network_s=1.0, scheduling_s=0.5, disk_s=0.25)
+        assert cell.modeled_with_parallelism(4) == pytest.approx(
+            8.0 / 4 + 1.0 + 0.5 + 0.25)
+        # parallelism never divides the overhead terms
+        assert cell.modeled_with_parallelism(1000) \
+            > 1.0 + 0.5 + 0.25 - 1e-9
+
+    def test_zero_ways_clamped(self):
+        cell = Measured(value=None, wall_s=1.0, modeled_s=1.0)
+        assert cell.modeled_with_parallelism(0) == pytest.approx(1.0)
+
+
+class TestPrintTable:
+    def test_alignment_and_content(self, capsys):
+        print_table("demo", ["name", "value"],
+                    [["short", 1], ["a-much-longer-name", 22]])
+        out = capsys.readouterr().out
+        assert "=== demo ===" in out
+        lines = [line for line in out.splitlines() if "|" in line]
+        # all rows share the same column boundary
+        pipes = {line.index("|") for line in lines}
+        assert len(pipes) == 1
+        assert "a-much-longer-name" in out
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        value, seconds = timed(lambda x: x * 2, 21)
+        assert value == 42
+        assert seconds >= 0
