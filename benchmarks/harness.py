@@ -28,6 +28,8 @@ class Measured:
     network_s: float = 0.0
     scheduling_s: float = 0.0
     disk_s: float = 0.0
+    stage_timings: list = None
+    utilization: float = 0.0
 
     def cell(self) -> str:
         if self.failed:
@@ -75,7 +77,18 @@ def run_measured(ctx: ClusterContext, fn, *args, **kwargs) -> Measured:
                     failed=failed,
                     network_s=measurement.report.network_s,
                     scheduling_s=measurement.report.scheduling_s,
-                    disk_s=measurement.report.disk_s)
+                    disk_s=measurement.report.disk_s,
+                    stage_timings=list(measurement.stage_timings),
+                    utilization=measurement.utilization)
+
+
+def print_stage_breakdown(title: str, measured: Measured) -> None:
+    """Print the per-stage wall times captured by a measured run."""
+    from repro.engine.explain import stage_breakdown
+
+    print(f"\n--- {title} "
+          f"(executor utilization {measured.utilization * 100:.0f}%) ---")
+    print(stage_breakdown(measured.stage_timings or []))
 
 
 def print_table(title: str, headers, rows) -> None:

@@ -21,20 +21,24 @@ slice of Spark that Spangle needs, in pure Python:
 
 from repro.engine.context import ClusterContext
 from repro.engine.costmodel import ClusterCostModel, CostReport
-from repro.engine.metrics import MetricsRegistry, MetricsSnapshot
+from repro.engine.metrics import MetricsRegistry, MetricsSnapshot, StageTiming
 from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.engine.rdd import RDD
+from repro.engine.scheduler import ExecutorPool, StageScheduler
 from repro.engine.storage import StorageLevel
 
 __all__ = [
     "ClusterContext",
     "ClusterCostModel",
     "CostReport",
+    "ExecutorPool",
     "HashPartitioner",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Partitioner",
     "RangePartitioner",
     "RDD",
+    "StageScheduler",
+    "StageTiming",
     "StorageLevel",
 ]

@@ -9,15 +9,14 @@ pool for workloads dominated by numpy kernels.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 
 from repro.engine.costmodel import ClusterCostModel
 from repro.engine.metrics import MetricsRegistry
-from repro.engine.sizing import estimate_size
 from repro.engine.rdd import GeneratedRDD, ParallelCollectionRDD, RDD
+from repro.engine.scheduler import ExecutorPool, StageScheduler
 from repro.engine.storage import CacheManager
-from repro.errors import EngineError, TaskFailure
+from repro.errors import EngineError
 
 
 class ClusterContext:
@@ -54,6 +53,11 @@ class ClusterContext:
         self.cost_model = cost_model or ClusterCostModel()
         self.task_retries = task_retries
         self._rdd_counter = 0
+        # the executor pool is persistent: created lazily on the first
+        # parallel job and reused by every job after it (Spark keeps
+        # executors alive across jobs; so do we)
+        self.executor_pool = ExecutorPool(num_executors)
+        self.scheduler = StageScheduler(self)
 
     def _next_rdd_id(self) -> int:
         self._rdd_counter += 1
@@ -113,35 +117,30 @@ class ClusterContext:
     def run_job(self, rdd: RDD, partition_func) -> list:
         """Apply ``partition_func`` to every partition; return the results.
 
-        Records one job, one result stage, and one task per partition
-        (shuffle map stages record themselves as they materialize).
+        Delegates to the stage scheduler: pending shuffle map stages
+        beneath ``rdd`` materialize first (tasks in parallel when
+        ``use_threads`` is on), then the result stage runs over the
+        persistent executor pool. Records one job, one result stage,
+        and one task per partition; shuffle map stages record
+        themselves as they materialize.
+        """
+        return self.scheduler.run_job(rdd, partition_func)
+
+    def run_take(self, rdd: RDD, n: int) -> list:
+        """Incrementally probe partitions until ``n`` records are found.
+
+        One job and one stage however many partitions end up probed —
+        per-partition probes are tasks of the same job, as in Spark.
         """
         self.metrics.record_job()
         self.metrics.record_stage()
-        indices = range(rdd.num_partitions)
-
-        def run_one(index):
-            # a task gets 1 + task_retries attempts, as Spark's
-            # spark.task.maxFailures does; deterministic failures
-            # exhaust the attempts and surface as a TaskFailure
-            last_error = None
-            for attempt in range(1 + self.task_retries):
-                self.metrics.record_task()
-                if attempt > 0:
-                    self.metrics.record_task_retry()
-                try:
-                    result = partition_func(rdd.iterator(index))
-                except Exception as exc:  # noqa: BLE001 - retried
-                    last_error = exc
-                    continue
-                self.metrics.record_result(estimate_size(result))
-                return result
-            raise TaskFailure(index, last_error) from last_error
-
-        if self.use_threads and rdd.num_partitions > 1:
-            with ThreadPoolExecutor(max_workers=self.num_executors) as pool:
-                return list(pool.map(run_one, indices))
-        return [run_one(index) for index in indices]
+        taken = []
+        for index in range(rdd.num_partitions):
+            if len(taken) >= n:
+                break
+            self.metrics.record_task()
+            taken.extend(rdd.iterator(index))
+        return taken[:n]
 
     def run_partition(self, rdd: RDD, index: int) -> list:
         """Compute a single partition (used by ``take``/``lookup``)."""
@@ -153,6 +152,21 @@ class ClusterContext:
         self.metrics.record_stage()
         self.metrics.record_task()
         return rdd.iterator(index)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the executor pool. The context remains usable: the next
+        parallel job lazily restarts the pool."""
+        self.executor_pool.shutdown()
+
+    def __enter__(self) -> "ClusterContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     # ------------------------------------------------------------------
     # fault injection and measurement helpers
@@ -171,11 +185,18 @@ class ClusterContext:
         """Measure wall time and metric deltas for a code block.
 
         Yields a mutable holder; on exit the holder carries ``wall_s``,
-        ``delta`` (a :class:`MetricsSnapshot`) and ``report`` (the modeled
-        :class:`CostReport`).
+        ``delta`` (a :class:`MetricsSnapshot`), ``report`` (the modeled
+        :class:`CostReport`), plus the scheduler's wall-clock view of
+        the block: ``stage_timings`` (per-stage wall time and task
+        count), ``task_times`` (per-task durations, histogram via
+        ``MetricsRegistry.task_time_histogram``), ``busy_task_s``, and
+        ``utilization`` (busy executor time over ``wall ×
+        num_executors``).
         """
         holder = _Measurement()
         before = self.metrics.snapshot()
+        stage_mark = len(self.metrics.stage_timings)
+        task_mark = len(self.metrics.task_times)
         start = time.perf_counter()
         try:
             yield holder
@@ -184,6 +205,14 @@ class ClusterContext:
             holder.delta = self.metrics.snapshot() - before
             holder.report = self.cost_model.report(holder.wall_s,
                                                    holder.delta)
+            holder.stage_timings = list(
+                self.metrics.stage_timings[stage_mark:])
+            holder.task_times = list(self.metrics.task_times[task_mark:])
+            holder.busy_task_s = sum(holder.task_times)
+            if holder.wall_s > 0:
+                holder.utilization = (
+                    holder.busy_task_s
+                    / (holder.wall_s * self.num_executors))
 
 
 class _Measurement:
@@ -192,3 +221,7 @@ class _Measurement:
     wall_s = 0.0
     delta = None
     report = None
+    stage_timings = ()
+    task_times = ()
+    busy_task_s = 0.0
+    utilization = 0.0

@@ -84,6 +84,41 @@ def count_stages(rdd: RDD) -> int:
     return len(stage_plan(rdd))
 
 
+def stage_breakdown(stage_timings, task_times=None) -> str:
+    """A printable table of executed-stage wall times.
+
+    ``stage_timings`` is a sequence of
+    :class:`~repro.engine.metrics.StageTiming` — typically
+    ``MetricsRegistry.stage_timings`` or the ``stage_timings`` captured
+    by ``ClusterContext.measure``. When ``task_times`` is given, a
+    task-duration histogram line is appended.
+    """
+    if not stage_timings:
+        return "(no stages executed)"
+    rows = []
+    total = sum(timing.wall_s for timing in stage_timings)
+    for index, timing in enumerate(stage_timings):
+        mean_ms = timing.wall_s / max(timing.num_tasks, 1) * 1e3
+        share = timing.wall_s / total * 100 if total > 0 else 0.0
+        rows.append(
+            f"  stage {index:<3} {timing.kind:<10} {timing.label:<20} "
+            f"{timing.wall_s * 1e3:9.2f} ms  {timing.num_tasks:4d} tasks  "
+            f"{mean_ms:8.3f} ms/task  {share:5.1f}%")
+    lines = ["Stage breakdown"]
+    lines.extend(rows)
+    lines.append(f"  total stage wall time: {total * 1e3:.2f} ms")
+    if task_times:
+        from repro.engine.metrics import MetricsRegistry
+
+        histogram = MetricsRegistry().task_time_histogram(
+            bins=8, task_times=list(task_times))
+        buckets = "  ".join(
+            f"[{lo * 1e3:.2f}-{hi * 1e3:.2f}ms]x{count}"
+            for lo, hi, count in histogram if count)
+        lines.append(f"  task times: {buckets}")
+    return "\n".join(lines)
+
+
 def explain(rdd: RDD) -> str:
     """A printable stage plan."""
     lines = []

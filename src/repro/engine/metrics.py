@@ -8,7 +8,27 @@ snapshots before/after a job and feed the difference to the cost model.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall time of one executed stage (shuffle map or result)."""
+
+    label: str
+    kind: str  # "shuffle" | "result" | "checkpoint"
+    wall_s: float
+    num_tasks: int
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "wall_s": self.wall_s,
+            "num_tasks": self.num_tasks,
+        }
 
 
 @dataclass(frozen=True)
@@ -62,8 +82,19 @@ class MetricsRegistry:
     recomputations: int = 0
     task_retries: int = 0
     _history: list = field(default_factory=list, repr=False)
+    # wall-clock observations (not part of MetricsSnapshot, which holds
+    # only logical counters that must be identical between the serial
+    # and threaded schedulers)
+    stage_timings: list = field(default_factory=list, repr=False)
+    task_times: list = field(default_factory=list, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
 
     def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> MetricsSnapshot:
         return MetricsSnapshot(
             tasks_launched=self.tasks_launched,
             stages_run=self.stages_run,
@@ -83,62 +114,118 @@ class MetricsRegistry:
         )
 
     def reset(self) -> None:
-        for name in (
-            "tasks_launched",
-            "stages_run",
-            "jobs_run",
-            "shuffle_records",
-            "shuffle_bytes",
-            "shuffles_performed",
-            "disk_read_bytes",
-            "disk_write_bytes",
-            "result_bytes",
-            "broadcast_bytes",
-            "cache_hits",
-            "cache_misses",
-            "cache_evictions",
-            "recomputations",
-            "task_retries",
-        ):
-            setattr(self, name, 0)
+        with self._lock:
+            for name in (
+                "tasks_launched",
+                "stages_run",
+                "jobs_run",
+                "shuffle_records",
+                "shuffle_bytes",
+                "shuffles_performed",
+                "disk_read_bytes",
+                "disk_write_bytes",
+                "result_bytes",
+                "broadcast_bytes",
+                "cache_hits",
+                "cache_misses",
+                "cache_evictions",
+                "recomputations",
+                "task_retries",
+            ):
+                setattr(self, name, 0)
+            self.stage_timings.clear()
+            self.task_times.clear()
 
     def record_task(self, count: int = 1) -> None:
-        self.tasks_launched += count
+        with self._lock:
+            self.tasks_launched += count
 
     def record_stage(self) -> None:
-        self.stages_run += 1
+        with self._lock:
+            self.stages_run += 1
 
     def record_job(self) -> None:
-        self.jobs_run += 1
+        with self._lock:
+            self.jobs_run += 1
 
     def record_shuffle(self, records: int, size_bytes: int) -> None:
-        self.shuffles_performed += 1
-        self.shuffle_records += records
-        self.shuffle_bytes += size_bytes
+        with self._lock:
+            self.shuffles_performed += 1
+            self.shuffle_records += records
+            self.shuffle_bytes += size_bytes
 
     def record_disk_read(self, size_bytes: int) -> None:
-        self.disk_read_bytes += size_bytes
+        with self._lock:
+            self.disk_read_bytes += size_bytes
 
     def record_disk_write(self, size_bytes: int) -> None:
-        self.disk_write_bytes += size_bytes
+        with self._lock:
+            self.disk_write_bytes += size_bytes
 
     def record_result(self, size_bytes: int) -> None:
-        self.result_bytes += size_bytes
+        with self._lock:
+            self.result_bytes += size_bytes
 
     def record_broadcast(self, size_bytes: int) -> None:
-        self.broadcast_bytes += size_bytes
+        with self._lock:
+            self.broadcast_bytes += size_bytes
 
     def record_cache_hit(self) -> None:
-        self.cache_hits += 1
+        with self._lock:
+            self.cache_hits += 1
 
     def record_cache_miss(self) -> None:
-        self.cache_misses += 1
+        with self._lock:
+            self.cache_misses += 1
 
     def record_eviction(self) -> None:
-        self.cache_evictions += 1
+        with self._lock:
+            self.cache_evictions += 1
 
     def record_recomputation(self) -> None:
-        self.recomputations += 1
+        with self._lock:
+            self.recomputations += 1
 
     def record_task_retry(self) -> None:
-        self.task_retries += 1
+        with self._lock:
+            self.task_retries += 1
+
+    # ------------------------------------------------------------------
+    # wall-clock observations
+    # ------------------------------------------------------------------
+
+    def record_stage_timing(self, label: str, kind: str, wall_s: float,
+                            num_tasks: int) -> None:
+        with self._lock:
+            self.stage_timings.append(
+                StageTiming(label=label, kind=kind, wall_s=wall_s,
+                            num_tasks=num_tasks))
+
+    def record_task_time(self, seconds: float) -> None:
+        with self._lock:
+            self.task_times.append(seconds)
+
+    def busy_task_seconds(self) -> float:
+        """Total task compute time (sums over concurrent executors)."""
+        with self._lock:
+            return sum(self.task_times)
+
+    def task_time_histogram(self, bins: int = 10, task_times=None) -> list:
+        """``(lo_s, hi_s, count)`` buckets over recorded task durations."""
+        if task_times is None:
+            with self._lock:
+                task_times = list(self.task_times)
+        if not task_times:
+            return []
+        lo, hi = min(task_times), max(task_times)
+        if hi <= lo:
+            return [(lo, hi, len(task_times))]
+        width = (hi - lo) / bins
+        counts = [0] * bins
+        for duration in task_times:
+            slot = min(int((duration - lo) / width), bins - 1)
+            counts[slot] += 1
+        return [
+            (lo + i * width, lo + (i + 1) * width, count)
+            for i, count in enumerate(counts)
+        ]

@@ -5,6 +5,13 @@ ArrayRDD inherits PairRDD in the paper (every record is
 movement. Everything funnels through :class:`ShuffledRDD` /
 :class:`CoGroupedRDD`, which skip the shuffle when the inputs are already
 co-partitioned — the mechanism behind the paper's local-join optimization.
+
+Shuffles materialize stage-parallel: the
+:class:`~repro.engine.scheduler.StageScheduler` runs one map task per
+parent partition (concurrently under ``use_threads``), each building its
+own per-reducer buckets, merged once in parent-partition order so every
+operation below returns byte-identical results in serial and threaded
+execution.
 """
 
 from __future__ import annotations

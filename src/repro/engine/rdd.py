@@ -16,11 +16,38 @@ from __future__ import annotations
 import itertools
 import random
 import threading
+import time
 
 from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.engine.sizing import estimate_partition_size
 from repro.engine.storage import StorageLevel
-from repro.errors import EngineError
+from repro.errors import EngineError, TaskFailure
+
+
+def run_task_with_retries(context, index, attempt_func):
+    """One logical task: ``1 + task_retries`` attempts, all metered.
+
+    Mirrors Spark's ``spark.task.maxFailures``: deterministic failures
+    exhaust the attempts and surface as a :class:`TaskFailure`. Used by
+    both shuffle map tasks and result-stage tasks so retry semantics are
+    identical on either side of a stage boundary.
+    """
+    metrics = context.metrics
+    last_error = None
+    for attempt in range(1 + context.task_retries):
+        metrics.record_task()
+        if attempt > 0:
+            metrics.record_task_retry()
+        start = time.perf_counter()
+        try:
+            result = attempt_func()
+        except Exception as exc:  # noqa: BLE001 - retried
+            metrics.record_task_time(time.perf_counter() - start)
+            last_error = exc
+            continue
+        metrics.record_task_time(time.perf_counter() - start)
+        return result
+    raise TaskFailure(index, last_error) from last_error
 
 
 class RDD:
@@ -45,6 +72,9 @@ class RDD:
         self.storage_level = StorageLevel.NONE
         self._cached_indices = set()
         self._checkpoint_data = None
+        self._checkpoint_lock = threading.Lock()
+        self._compute_locks = {}
+        self._compute_locks_guard = threading.Lock()
 
     # ------------------------------------------------------------------
     # computation and caching
@@ -72,13 +102,34 @@ class RDD:
         found, data = cache.get(self.rdd_id, index)
         if found:
             return data
-        if index in self._cached_indices:
-            self.context.metrics.record_recomputation()
-        data = list(self.compute(index))
-        cache.put(self.rdd_id, index, data,
-                  allow_spill=self.storage_level is StorageLevel.MEMORY_AND_DISK)
-        self._cached_indices.add(index)
+        with self._partition_lock(index):
+            # recheck silently: a concurrent task may have populated the
+            # block while we waited; computing again here would both
+            # duplicate the work and corrupt the recomputation counter
+            found, data = cache.peek(self.rdd_id, index)
+            if found:
+                return data
+            if index in self._cached_indices:
+                self.context.metrics.record_recomputation()
+            data = list(self.compute(index))
+            cache.put(self.rdd_id, index, data,
+                      allow_spill=self.storage_level
+                      is StorageLevel.MEMORY_AND_DISK)
+            self._cached_indices.add(index)
         return data
+
+    def _partition_lock(self, index: int) -> threading.Lock:
+        """The per-(rdd, partition) compute lock.
+
+        Two tasks that miss the cache for the same block serialize here,
+        so a partition is computed at most once however many concurrent
+        consumers it has.
+        """
+        with self._compute_locks_guard:
+            lock = self._compute_locks.get(index)
+            if lock is None:
+                lock = self._compute_locks[index] = threading.Lock()
+            return lock
 
     def persist(self, level: StorageLevel = StorageLevel.MEMORY) -> "RDD":
         self.storage_level = level
@@ -106,12 +157,12 @@ class RDD:
         write is metered as disk I/O, as Spark's reliable checkpoints
         are; afterwards reads come from the checkpoint, not the parents.
         """
-        if self._checkpoint_data is None:
-            data = [list(self.compute(index))
-                    for index in range(self.num_partitions)]
-            total = sum(estimate_partition_size(part) for part in data)
-            self.context.metrics.record_disk_write(total)
-            self._checkpoint_data = data
+        with self._checkpoint_lock:
+            if self._checkpoint_data is None:
+                data = self.context.scheduler.materialize_partitions(self)
+                total = sum(estimate_partition_size(part) for part in data)
+                self.context.metrics.record_disk_write(total)
+                self._checkpoint_data = data
         return self
 
     @property
@@ -403,12 +454,14 @@ class RDD:
         return self.reduce(lambda a, b: a if a <= b else b)
 
     def take(self, n: int) -> list:
-        taken = []
-        for index in range(self.num_partitions):
-            if len(taken) >= n:
-                break
-            taken.extend(self.context.run_partition(self, index))
-        return taken[:n]
+        """The first ``n`` records, probing as few partitions as possible.
+
+        One job however many partitions are probed (Spark's take is a
+        single incremental job, not a job per partition).
+        """
+        if n <= 0:
+            return []
+        return self.context.run_take(self, n)
 
     def first(self):
         got = self.take(1)
@@ -641,33 +694,76 @@ class ShuffledRDD(RDD):
                 combined[key] = self._create(value)
         return combined
 
-    def _fetch_shuffle(self) -> list:
-        """Materialize map-side buckets for every reducer (once)."""
+    @property
+    def is_materialized(self) -> bool:
+        return self._buckets is not None
+
+    def _map_task(self, parent_index: int):
+        """One shuffle map task: bucket a parent partition per reducer.
+
+        Each map task owns its buckets, so tasks run with no shared
+        state; the reduce-side merge concatenates them in parent order.
+        """
+        parent = self.dependencies[0]
+        records = parent.iterator(parent_index)
+        if self._map_side_combine:
+            records = list(self._combine_partition(records).items())
+            emit_combined = True
+        else:
+            records = list(records)
+            emit_combined = False
+        buckets = [[] for _ in range(self.num_partitions)]
+        partition = self.partitioner.partition
+        for key, value in records:
+            buckets[partition(key)].append((key, value, emit_combined))
+        return buckets, len(records), estimate_partition_size(records)
+
+    def materialize(self, pool=None) -> list:
+        """Materialize map-side buckets for every reducer (once).
+
+        With an :class:`~repro.engine.scheduler.ExecutorPool`, map tasks
+        for all parent partitions run concurrently; the merge happens
+        once, in parent-partition order, so the threaded result is
+        byte-identical to the serial one.
+        """
         with self._lock:
             if self._buckets is not None:
                 return self._buckets
             parent = self.dependencies[0]
             metrics = self.context.metrics
             metrics.record_stage()
+            start = time.perf_counter()
+
+            def run_map_task(parent_index):
+                return run_task_with_retries(
+                    self.context, parent_index,
+                    lambda: self._map_task(parent_index))
+
+            indices = range(parent.num_partitions)
+            if pool is not None:
+                outputs = pool.map_tasks(run_map_task, indices)
+            else:
+                outputs = [run_map_task(index) for index in indices]
             buckets = [[] for _ in range(self.num_partitions)]
             total_records = 0
             total_bytes = 0
-            for parent_index in range(parent.num_partitions):
-                metrics.record_task()
-                records = parent.iterator(parent_index)
-                if self._map_side_combine:
-                    records = list(self._combine_partition(records).items())
-                    emit_combined = True
-                else:
-                    emit_combined = False
-                for key, value in records:
-                    target = self.partitioner.partition(key)
-                    buckets[target].append((key, value, emit_combined))
-                total_records += len(records)
-                total_bytes += estimate_partition_size(records)
+            for task_buckets, records, nbytes in outputs:
+                for target, bucket in enumerate(task_buckets):
+                    buckets[target].extend(bucket)
+                total_records += records
+                total_bytes += nbytes
             metrics.record_shuffle(total_records, total_bytes)
+            metrics.record_stage_timing(
+                self.name, "shuffle", time.perf_counter() - start,
+                parent.num_partitions)
             self._buckets = buckets
             return buckets
+
+    def _fetch_shuffle(self) -> list:
+        buckets = self._buckets
+        if buckets is not None:
+            return buckets
+        return self.materialize()
 
     def invalidate_shuffle(self) -> None:
         """Drop materialized map output (used by fault-injection tests)."""
@@ -716,28 +812,63 @@ class CoGroupedRDD(RDD):
             and parent.partitioner == self.partitioner
         )
 
-    def _fetch_parent_shuffle(self, which: int) -> list:
+    def is_parent_materialized(self, which: int) -> bool:
+        return self._buckets[which] is not None
+
+    def _map_task(self, which: int, parent_index: int):
+        """Bucket one partition of parent ``which`` per reducer."""
+        parent = self.dependencies[which]
+        records = list(parent.iterator(parent_index))
+        buckets = [[] for _ in range(self.num_partitions)]
+        partition = self.partitioner.partition
+        for key, value in records:
+            buckets[partition(key)].append((key, value))
+        return buckets, len(records), estimate_partition_size(records)
+
+    def materialize_parent(self, which: int, pool=None) -> list:
+        """Materialize the shuffle of one wide parent (once).
+
+        Map tasks run concurrently on ``pool`` when given; buckets are
+        merged in parent-partition order for determinism.
+        """
         with self._lock:
             if self._buckets[which] is not None:
                 return self._buckets[which]
             parent = self.dependencies[which]
             metrics = self.context.metrics
             metrics.record_stage()
+            start = time.perf_counter()
+
+            def run_map_task(parent_index):
+                return run_task_with_retries(
+                    self.context, parent_index,
+                    lambda: self._map_task(which, parent_index))
+
+            indices = range(parent.num_partitions)
+            if pool is not None:
+                outputs = pool.map_tasks(run_map_task, indices)
+            else:
+                outputs = [run_map_task(index) for index in indices]
             buckets = [[] for _ in range(self.num_partitions)]
             total_records = 0
             total_bytes = 0
-            for parent_index in range(parent.num_partitions):
-                metrics.record_task()
-                records = parent.iterator(parent_index)
-                for key, value in records:
-                    buckets[self.partitioner.partition(key)].append(
-                        (key, value)
-                    )
-                total_records += len(records)
-                total_bytes += estimate_partition_size(list(records))
+            for task_buckets, records, nbytes in outputs:
+                for target, bucket in enumerate(task_buckets):
+                    buckets[target].extend(bucket)
+                total_records += records
+                total_bytes += nbytes
             metrics.record_shuffle(total_records, total_bytes)
+            metrics.record_stage_timing(
+                f"{self.name}[{which}]", "shuffle",
+                time.perf_counter() - start, parent.num_partitions)
             self._buckets[which] = buckets
             return buckets
+
+    def _fetch_parent_shuffle(self, which: int) -> list:
+        buckets = self._buckets[which]
+        if buckets is not None:
+            return buckets
+        return self.materialize_parent(which)
 
     def compute(self, index: int) -> list:
         groups = {}

@@ -70,6 +70,23 @@ class CacheManager:
             self._metrics.record_cache_miss()
             return False, None
 
+    def peek(self, rdd_id: int, partition_index: int):
+        """``(found, value)`` without touching hit/miss/disk counters.
+
+        Used by the compute-lock recheck in :meth:`RDD.iterator`: the
+        initial (counted) lookup already recorded the miss; a waiter
+        that finds the block populated after acquiring the lock should
+        not distort the cache statistics.
+        """
+        key = (rdd_id, partition_index)
+        with self._lock:
+            if key in self._blocks:
+                self._blocks.move_to_end(key)
+                return True, self._blocks[key]
+            if key in self._spilled:
+                return True, self._spilled[key]
+            return False, None
+
     def put(self, rdd_id: int, partition_index: int, data,
             allow_spill: bool = True) -> None:
         key = (rdd_id, partition_index)

@@ -1,0 +1,294 @@
+"""The stage scheduler's determinism contract and executor pool.
+
+Serial (``use_threads=False``) and threaded execution must return
+byte-identical results and identical logical metrics — jobs, stages,
+tasks, shuffle records/bytes — across every lineage shape the engine
+supports, including under fault injection. Task *ordering* and
+wall-clock observations are allowed to differ.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.engine import ClusterContext, ExecutorPool, HashPartitioner
+from repro.engine.explain import stage_breakdown
+from repro.errors import TaskFailure
+
+# counters that must not depend on the execution mode
+LOGICAL_FIELDS = (
+    "jobs_run",
+    "stages_run",
+    "tasks_launched",
+    "shuffle_records",
+    "shuffle_bytes",
+    "shuffles_performed",
+    "disk_read_bytes",
+    "disk_write_bytes",
+    "recomputations",
+    "task_retries",
+)
+
+
+def _scenario_narrow_chain(ctx):
+    return (
+        ctx.parallelize(range(200), 8)
+        .map(lambda x: x * 3)
+        .filter(lambda x: x % 2 == 0)
+        .collect()
+    )
+
+
+def _scenario_reduce_by_key(ctx):
+    pairs = ctx.parallelize([(i % 7, i) for i in range(210)], 6)
+    return pairs.reduce_by_key(lambda a, b: a + b).collect()
+
+
+def _scenario_group_by_key(ctx):
+    pairs = ctx.parallelize([(i % 5, i * i) for i in range(100)], 5)
+    return pairs.group_by_key().collect()
+
+
+def _scenario_cogroup(ctx):
+    left = ctx.parallelize([(i % 4, i) for i in range(40)], 4)
+    right = ctx.parallelize([(i % 4, -i) for i in range(28)], 4)
+    return left.cogroup(right).collect()
+
+
+def _scenario_join(ctx):
+    left = ctx.parallelize([(i % 6, i) for i in range(60)], 4)
+    right = ctx.parallelize([(i % 6, chr(65 + i % 6)) for i in range(12)], 3)
+    return left.join(right).collect()
+
+
+def _scenario_nested_shuffles(ctx):
+    pairs = ctx.parallelize([(i % 9, i) for i in range(180)], 6)
+    first = pairs.reduce_by_key(lambda a, b: a + b)
+    rekeyed = first.map(lambda kv: (kv[0] % 3, kv[1]))
+    return rekeyed.reduce_by_key(lambda a, b: a + b,
+                                 partitioner=HashPartitioner(3)).collect()
+
+
+def _scenario_narrowed_shuffle(ctx):
+    part = HashPartitioner(4)
+    pairs = ctx.parallelize([(i % 11, i) for i in range(110)], 4) \
+               .partition_by(part)
+    return pairs.reduce_by_key(lambda a, b: a + b,
+                               partitioner=part).collect()
+
+
+def _scenario_union_distinct(ctx):
+    left = ctx.parallelize(range(50), 4)
+    right = ctx.parallelize(range(25, 75), 4)
+    return left.union(right).distinct().collect()
+
+
+def _scenario_checkpoint(ctx):
+    pairs = ctx.parallelize([(i % 4, i) for i in range(80)], 4)
+    summed = pairs.reduce_by_key(lambda a, b: a + b).checkpoint()
+    return summed.map_values(lambda v: v * 2).collect()
+
+
+def _scenario_fail_partition(ctx):
+    rdd = ctx.parallelize(range(48), 4).map(lambda x: x + 1).cache()
+    first = rdd.collect()
+    assert ctx.fail_partition(rdd, 2)
+    return first + rdd.collect()
+
+
+def _scenario_invalidate_shuffle(ctx):
+    pairs = ctx.parallelize([(i % 3, i) for i in range(30)], 3)
+    summed = pairs.reduce_by_key(lambda a, b: a + b)
+    first = summed.collect()
+    summed.invalidate_shuffle()
+    return first + summed.collect()
+
+
+SCENARIOS = {
+    "narrow_chain": _scenario_narrow_chain,
+    "reduce_by_key": _scenario_reduce_by_key,
+    "group_by_key": _scenario_group_by_key,
+    "cogroup": _scenario_cogroup,
+    "join": _scenario_join,
+    "nested_shuffles": _scenario_nested_shuffles,
+    "narrowed_shuffle": _scenario_narrowed_shuffle,
+    "union_distinct": _scenario_union_distinct,
+    "checkpoint": _scenario_checkpoint,
+    "fail_partition": _scenario_fail_partition,
+    "invalidate_shuffle": _scenario_invalidate_shuffle,
+}
+
+
+def _run(use_threads, scenario):
+    with ClusterContext(num_executors=4, use_threads=use_threads) as ctx:
+        before = ctx.metrics.snapshot()
+        result = scenario(ctx)
+        delta = ctx.metrics.snapshot() - before
+    return result, delta
+
+
+class TestDeterminismContract:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_serial_and_threaded_identical(self, name):
+        scenario = SCENARIOS[name]
+        serial_result, serial_delta = _run(False, scenario)
+        threaded_result, threaded_delta = _run(True, scenario)
+        # byte-identical results, ordering included
+        assert pickle.dumps(serial_result) == pickle.dumps(threaded_result)
+        for field_name in LOGICAL_FIELDS:
+            assert getattr(serial_delta, field_name) \
+                == getattr(threaded_delta, field_name), field_name
+
+    def test_narrowed_shuffle_moves_nothing_in_both_modes(self):
+        for use_threads in (False, True):
+            _result, delta = _run(use_threads, _scenario_narrowed_shuffle)
+            # one shuffle from partition_by; the co-partitioned
+            # reduce_by_key narrows and moves nothing extra
+            assert delta.shuffles_performed == 1
+
+
+class TestExecutorPool:
+    def test_map_tasks_preserves_order(self):
+        pool = ExecutorPool(4)
+        assert pool.map_tasks(lambda x: x * x, range(20)) \
+            == [x * x for x in range(20)]
+        pool.shutdown()
+
+    def test_nested_map_tasks_fall_back_to_serial(self):
+        pool = ExecutorPool(2)
+
+        def nested(x):
+            assert pool.in_worker()
+            return sum(pool.map_tasks(lambda y: y + x, range(3)))
+
+        expected = [sum(y + x for y in range(3)) for x in range(5)]
+        assert pool.map_tasks(nested, range(5)) == expected
+        pool.shutdown()
+        assert not pool.started
+
+    def test_pool_persists_across_jobs(self):
+        with ClusterContext(num_executors=4, use_threads=True) as ctx:
+            ctx.parallelize(range(32), 4).map(lambda x: x + 1).collect()
+            pool = ctx.executor_pool
+            assert pool.started
+            inner = pool._executor
+            ctx.parallelize([(i % 3, i) for i in range(30)], 4) \
+               .reduce_by_key(lambda a, b: a + b).collect()
+            assert ctx.executor_pool is pool
+            assert pool._executor is inner
+
+    def test_serial_context_never_starts_pool(self):
+        with ClusterContext(num_executors=4, use_threads=False) as ctx:
+            ctx.parallelize(range(32), 4).map(lambda x: x + 1).collect()
+            assert not ctx.executor_pool.started
+
+    def test_shutdown_then_reuse(self):
+        ctx = ClusterContext(num_executors=2, use_threads=True)
+        ctx.parallelize(range(8), 4).collect()
+        ctx.shutdown()
+        assert not ctx.executor_pool.started
+        # the pool restarts lazily; the context stays usable
+        assert ctx.parallelize(range(8), 4).collect() == list(range(8))
+        ctx.shutdown()
+
+
+class TestConcurrencySafety:
+    def test_cached_partition_computed_once_under_concurrency(self):
+        with ClusterContext(num_executors=8, use_threads=True) as ctx:
+            counts = {}
+            guard = threading.Lock()
+
+            def counting(index, part):
+                with guard:
+                    counts[index] = counts.get(index, 0) + 1
+                return part
+
+            base = ctx.parallelize(range(64), 8) \
+                      .map_partitions_with_index(counting).cache()
+            fan = base.union(base).union(base.union(base))
+            assert fan.collect() == list(range(64)) * 4
+            assert len(counts) == 8
+            assert all(count == 1 for count in counts.values())
+
+    def test_flaky_tasks_retry_under_threads(self):
+        ctx = ClusterContext(num_executors=4, use_threads=True,
+                             task_retries=2)
+        attempts = {}
+        guard = threading.Lock()
+
+        def flaky(index, part):
+            with guard:
+                seen = attempts.get(index, 0)
+                attempts[index] = seen + 1
+            if seen == 0:
+                raise IOError(f"transient failure in partition {index}")
+            return part
+
+        got = ctx.parallelize(range(40), 4) \
+                 .map_partitions_with_index(flaky).collect()
+        assert got == list(range(40))
+        assert ctx.metrics.task_retries == 4
+        ctx.shutdown()
+
+    def test_exhausted_retries_surface_under_threads(self):
+        ctx = ClusterContext(num_executors=4, use_threads=True,
+                             task_retries=1)
+
+        def boom(x):
+            if x == 13:
+                raise ValueError("deterministic failure")
+            return x
+
+        with pytest.raises(TaskFailure) as excinfo:
+            ctx.parallelize(range(32), 4).map(boom).collect()
+        assert isinstance(excinfo.value.cause, ValueError)
+        ctx.shutdown()
+
+
+class TestMetricsAccounting:
+    def test_take_records_single_job(self):
+        ctx = ClusterContext(num_executors=4)
+        rdd = ctx.parallelize(range(100), 10)
+        before = ctx.metrics.snapshot()
+        assert rdd.take(25) == list(range(25))
+        delta = ctx.metrics.snapshot() - before
+        assert delta.jobs_run == 1
+        assert delta.stages_run == 1
+        # 10 records per partition -> exactly 3 partitions probed
+        assert delta.tasks_launched == 3
+
+    def test_take_zero_runs_no_job(self):
+        ctx = ClusterContext(num_executors=4)
+        rdd = ctx.parallelize(range(10), 2)
+        before = ctx.metrics.snapshot()
+        assert rdd.take(0) == []
+        assert (ctx.metrics.snapshot() - before).jobs_run == 0
+
+    def test_stage_timings_and_utilization(self):
+        ctx = ClusterContext(num_executors=4)
+        with ctx.measure() as measurement:
+            ctx.parallelize([(i % 5, i) for i in range(50)], 5) \
+               .reduce_by_key(lambda a, b: a + b).collect()
+        kinds = [timing.kind for timing in measurement.stage_timings]
+        assert kinds == ["shuffle", "result"]
+        assert measurement.stage_timings[0].num_tasks == 5
+        # 5 shuffle map tasks + 5 result tasks
+        assert len(measurement.task_times) == 10
+        assert measurement.busy_task_s >= 0.0
+        assert 0.0 <= measurement.utilization
+        rendered = stage_breakdown(measurement.stage_timings,
+                                   measurement.task_times)
+        assert "shuffle" in rendered and "result" in rendered
+
+    def test_checkpoint_records_stage_timing(self):
+        ctx = ClusterContext(num_executors=4)
+        ctx.parallelize(range(20), 4).map(lambda x: x * 2).checkpoint()
+        kinds = [timing.kind for timing in ctx.metrics.stage_timings]
+        assert "checkpoint" in kinds
+
+    def test_task_time_histogram_buckets(self):
+        ctx = ClusterContext(num_executors=2)
+        ctx.parallelize(range(40), 4).map(lambda x: x).collect()
+        histogram = ctx.metrics.task_time_histogram(bins=4)
+        assert sum(count for _lo, _hi, count in histogram) == 4
