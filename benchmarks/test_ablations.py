@@ -14,7 +14,6 @@ Beyond the paper's figures, these isolate each optimization:
 import time
 
 import numpy as np
-import pytest
 
 from benchmarks.harness import fresh_context, print_table, run_measured
 from repro.bitmask import Bitmask

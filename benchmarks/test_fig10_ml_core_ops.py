@@ -19,7 +19,7 @@ time is disk-dominated.
 import numpy as np
 import pytest
 
-from benchmarks.harness import Measured, fresh_context, print_table, run_measured
+from benchmarks.harness import fresh_context, print_table, run_measured
 from repro.baselines import (
     MLlibRowMatrix,
     SciDBSystem,

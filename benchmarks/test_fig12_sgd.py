@@ -24,7 +24,6 @@ weights are bit-identical across variants.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.harness import fresh_context, print_table, run_measured
 from repro.data import scaled_lr_dataset

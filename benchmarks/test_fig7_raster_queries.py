@@ -14,10 +14,9 @@ Shape claims verified:
 - at 10× data (Fig. 7b), Spangle's margin over SciSpark grows.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.harness import Measured, fresh_context, print_table, run_measured
+from benchmarks.harness import fresh_context, print_table, run_measured
 from repro.baselines import RasterFramesSystem, SciDBSystem, SciSparkSystem
 from repro.data import sdss_like
 from repro.queries import SpangleRasterQueries, load_spangle_dataset

@@ -1,0 +1,144 @@
+"""Fused vs unfused operator chains over a CHL-like sparse raster.
+
+The workload mirrors the paper's chlorophyll (CHL) queries: a sparse
+2-D raster (most cells are land/cloud nulls), restricted to a region,
+filtered on value, and rescaled — a 4-operator chunk-local chain. With
+kernel fusion (the default) the chain compiles to one ``map_partitions``
+pass per chunk; ``repro.plan.disable_fusion()`` runs the original eager
+path that rebuilds every chunk once per operator.
+
+Run as a script to emit the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/test_fusion_chains.py fusion.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/test_fusion_chains.py` (the CI smoke
+    # job) as well as `pytest benchmarks/`
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+from benchmarks.harness import fresh_context, print_table
+from repro import plan
+from repro.core import ArrayRDD
+
+#: assert at least this speedup for the fused 4-op chain
+SPEEDUP_TARGET = 1.5
+REPEATS = 3
+
+SHAPE = (1024, 1024)
+CHUNK = (128, 128)
+DENSITY = 0.25           # CHL-like: ~3/4 of cells are null
+
+
+def _build_array(ctx) -> ArrayRDD:
+    rng = np.random.default_rng(7)
+    data = rng.random(SHAPE)
+    valid = rng.random(SHAPE) < DENSITY
+    arr = ArrayRDD.from_numpy(ctx, data, CHUNK, valid=valid)
+    return arr.materialize()    # timings cover the chain, not ingestion
+
+
+def _chain(arr: ArrayRDD) -> ArrayRDD:
+    """subarray → filter → map → scalar: 4 chunk-local operators."""
+    return (arr.subarray((16, 16), (1000, 1000))
+               .filter(lambda xs: xs > 0.05)
+               .map_values(lambda xs: xs * xs)
+            * 10.0)
+
+
+def _run_mode(fused: bool) -> dict:
+    ctx = fresh_context(8)
+    arr = _build_array(ctx)
+    toggle = plan.enable_fusion if fused else plan.disable_fusion
+    walls = []
+    count = None
+    label = None
+    with toggle():
+        before = ctx.metrics.snapshot()
+        for _ in range(REPEATS):
+            out = _chain(arr)
+            start = time.perf_counter()
+            count = out.count_valid()
+            walls.append(time.perf_counter() - start)
+            label = out.rdd.name
+        delta = ctx.metrics.snapshot() - before
+    return {
+        "wall_s": min(walls),
+        "count": count,
+        "label": label,
+        "tasks_launched": delta.tasks_launched,
+        "stages_run": delta.stages_run,
+        "kernels_fused": delta.kernels_fused,
+        "fused_chunks_avoided": delta.fused_chunks_avoided,
+    }
+
+
+def run() -> dict:
+    fused = _run_mode(True)
+    eager = _run_mode(False)
+    speedup = eager["wall_s"] / max(fused["wall_s"], 1e-9)
+    artifact = {
+        "shape": list(SHAPE),
+        "chunk_shape": list(CHUNK),
+        "density": DENSITY,
+        "chain_ops": 4,
+        "repeats": REPEATS,
+        "speedup": speedup,
+        "fused": fused,
+        "eager": eager,
+    }
+    print_table(
+        "fused vs eager 4-op chain (CHL-like raster)",
+        ["mode", "wall", "tasks", "stages", "kernels fused",
+         "chunk builds avoided", "pipeline"],
+        [
+            ["fused", f"{fused['wall_s']:.3f}s", fused["tasks_launched"],
+             fused["stages_run"], fused["kernels_fused"],
+             fused["fused_chunks_avoided"], fused["label"]],
+            ["eager", f"{eager['wall_s']:.3f}s", eager["tasks_launched"],
+             eager["stages_run"], eager["kernels_fused"],
+             eager["fused_chunks_avoided"], eager["label"]],
+            ["speedup", f"{speedup:.2f}x", "", "", "", "", ""],
+        ],
+    )
+    return artifact
+
+
+def test_fused_chain_speedup():
+    artifact = run()
+    fused, eager = artifact["fused"], artifact["eager"]
+    assert fused["count"] == eager["count"]
+    assert fused["label"].startswith("fused[")
+    assert fused["tasks_launched"] <= eager["tasks_launched"]
+    assert fused["kernels_fused"] >= 4
+    assert fused["fused_chunks_avoided"] > 0
+    assert eager["kernels_fused"] == 0
+    assert artifact["speedup"] >= SPEEDUP_TARGET, (
+        f"expected >= {SPEEDUP_TARGET}x from fusing a 4-op chain, "
+        f"got {artifact['speedup']:.2f}x")
+
+
+def main(json_path: str = None) -> dict:
+    artifact = run()
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+    print(json.dumps(artifact, indent=2))
+    return artifact
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -12,7 +12,6 @@ Shape claims:
   training times of the same order.
 """
 
-import pytest
 
 from benchmarks.harness import fresh_context, print_table, run_measured
 from repro.baselines import LogisticRegressionMLlib

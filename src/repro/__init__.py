@@ -21,6 +21,8 @@ Package map:
 - :mod:`repro.engine` -- the mini-Spark substrate.
 - :mod:`repro.bitmask` -- bitmask machinery (popcounts, hierarchy).
 - :mod:`repro.core` -- ArrayRDD, MaskRDD, chunks, operators.
+- :mod:`repro.plan` -- the chunk-kernel fusion layer
+  (``repro.plan.disable_fusion()`` is the eager-execution escape hatch).
 - :mod:`repro.matrix` -- distributed linear algebra.
 - :mod:`repro.ml` -- PageRank and SGD/logistic regression.
 - :mod:`repro.baselines` -- SciSpark/RasterFrames/SciDB/COO/MLlib/GraphX
@@ -30,6 +32,7 @@ Package map:
 - :mod:`repro.io` -- CSV and SNF (NetCDF-like) ingestion.
 """
 
+from repro import plan
 from repro.bitmask import Bitmask
 from repro.core import (
     Aggregator,
@@ -37,6 +40,7 @@ from repro.core import (
     ArrayRDD,
     Chunk,
     ChunkMode,
+    ChunkPlan,
     MaskRDD,
     SpangleDataset,
 )
@@ -60,6 +64,7 @@ __all__ = [
     "BitmaskGraph",
     "Chunk",
     "ChunkMode",
+    "ChunkPlan",
     "ClusterContext",
     "DistributedSamples",
     "LogisticRegression",
@@ -70,5 +75,6 @@ __all__ = [
     "SpangleVector",
     "StorageLevel",
     "pagerank",
+    "plan",
     "__version__",
 ]

@@ -6,6 +6,8 @@ multi-dimensional array is described by :class:`ArrayMetadata`, cut into
 (Algorithm 1, :mod:`repro.core.mapper`), and distributed as an
 :class:`ArrayRDD`. Multi-attribute arrays are column stores
 (:class:`SpangleDataset`) sharing a lazily-evaluated :class:`MaskRDD`.
+Chunk-local operators accumulate on a :class:`ChunkPlan`
+(:mod:`repro.core.plan`) and execute as one fused pass per chunk.
 """
 
 from repro.core.aggregates import (
@@ -21,6 +23,12 @@ from repro.core.chunk import Chunk, ChunkMode
 from repro.core.dataset import SpangleDataset
 from repro.core.mask_rdd import MaskRDD
 from repro.core.metadata import ArrayMetadata
+from repro.core.plan import (
+    ChunkPlan,
+    disable_fusion,
+    enable_fusion,
+    fusion_enabled,
+)
 
 __all__ = [
     "Aggregator",
@@ -29,10 +37,14 @@ __all__ = [
     "AvgAggregator",
     "Chunk",
     "ChunkMode",
+    "ChunkPlan",
     "CountAggregator",
     "MaskRDD",
     "MaxAggregator",
     "MinAggregator",
     "SpangleDataset",
     "SumAggregator",
+    "disable_fusion",
+    "enable_fusion",
+    "fusion_enabled",
 ]

@@ -9,6 +9,15 @@ matrix layer (package :mod:`repro.matrix`) builds on it.
 Empty chunks are never materialized: any operation that leaves a chunk
 with zero valid cells drops the record entirely, which is the paper's
 memory-reduction policy.
+
+Chunk-local operators (``map_values``, ``filter``, ``subarray``, scalar
+arithmetic) do not map the RDD eagerly: they append a kernel to a
+pending :class:`~repro.core.plan.ChunkPlan`. Reading :attr:`rdd` — which
+every action and wide operator does — compiles the pending chain into a
+single ``map_partitions`` pass per chunk. ``cache()`` and
+``materialize()`` are plan barriers too: they collapse the pending plan
+so the cached data is the computed result. The eager per-chunk path is
+preserved verbatim behind :func:`repro.core.plan.disable_fusion`.
 """
 
 from __future__ import annotations
@@ -17,9 +26,19 @@ import numpy as np
 
 from repro.bitmask import Bitmask
 from repro.core import mapper
+from repro.core import plan as plan_mod
 from repro.core.aggregates import resolve_aggregator
 from repro.core.chunk import Chunk, ChunkMode
 from repro.core.metadata import ArrayMetadata
+from repro.core.plan import (
+    ChunkPlan,
+    DropEmpty,
+    ElementwiseSource,
+    FilterKernel,
+    MapValuesKernel,
+    MaskAndKernel,
+    ScalarOpKernel,
+)
 from repro.engine import HashPartitioner
 from repro.errors import ArrayError, ShapeMismatchError
 
@@ -27,10 +46,34 @@ from repro.errors import ArrayError, ShapeMismatchError
 class ArrayRDD:
     """A lazily-evaluated, chunked, distributed array."""
 
-    def __init__(self, rdd, meta: ArrayMetadata, context):
-        self.rdd = rdd
+    def __init__(self, rdd, meta: ArrayMetadata, context, plan=None):
+        self._base_rdd = rdd
+        self._plan = plan if plan is not None else ChunkPlan.identity()
+        self._compiled = None
         self.meta = meta
         self.context = context
+
+    @property
+    def rdd(self):
+        """The underlying chunk RDD, with any pending plan compiled in.
+
+        Accessing this is the plan barrier: actions, wide operators and
+        external consumers all read it, which lowers the pending kernel
+        chain to one fused ``map_partitions`` pass (memoized, so repeat
+        actions reuse the same compiled RDD and its cache entries).
+        """
+        if self._plan.is_identity:
+            return self._base_rdd
+        if self._compiled is None:
+            self._compiled = self._plan.compile(self._base_rdd,
+                                                self.context.metrics)
+        return self._compiled
+
+    @rdd.setter
+    def rdd(self, value):
+        self._base_rdd = value
+        self._plan = ChunkPlan.identity()
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # creation
@@ -91,6 +134,24 @@ class ArrayRDD:
     def _with_rdd(self, rdd, meta=None) -> "ArrayRDD":
         return ArrayRDD(rdd, meta or self.meta, self.context)
 
+    def _with_plan(self, kernel) -> "ArrayRDD":
+        """Extend the pending plan by one kernel (no RDD is built yet)."""
+        return ArrayRDD(self._base_rdd, self.meta, self.context,
+                        plan=self._plan.then(kernel))
+
+    def _collapse(self):
+        """Force the pending plan into the base RDD (a plan barrier).
+
+        After this, subsequent operators chain off the compiled RDD —
+        required before ``cache()`` so the cached partitions hold the
+        computed chunks, not the pre-plan input.
+        """
+        if not self._plan.is_identity:
+            self._base_rdd = self.rdd
+            self._plan = ChunkPlan.identity()
+            self._compiled = None
+        return self._base_rdd
+
     # ------------------------------------------------------------------
     # basic actions
     # ------------------------------------------------------------------
@@ -137,17 +198,18 @@ class ArrayRDD:
         return values, valid
 
     def cache(self) -> "ArrayRDD":
-        self.rdd.cache()
+        self._collapse().cache()
         return self
 
     def unpersist(self) -> "ArrayRDD":
-        self.rdd.unpersist()
+        self._base_rdd.unpersist()
         return self
 
     def materialize(self) -> "ArrayRDD":
         """Force computation now (cache + count)."""
-        self.rdd.cache()
-        self.rdd.count()
+        rdd = self._collapse()
+        rdd.cache()
+        rdd.count()
         return self
 
     # ------------------------------------------------------------------
@@ -156,6 +218,8 @@ class ArrayRDD:
 
     def map_values(self, func) -> "ArrayRDD":
         """Apply a vectorized function to every valid value."""
+        if plan_mod.fusion_enabled():
+            return self._with_plan(MapValuesKernel(func))
         return self._with_rdd(
             self.rdd.map_values(lambda chunk: chunk.map_values(func))
         )
@@ -166,6 +230,8 @@ class ArrayRDD:
         ``predicate`` is vectorized: it receives a value vector and
         returns booleans. Chunks left with no valid cell are dropped.
         """
+        if plan_mod.fusion_enabled():
+            return self._with_plan(FilterKernel(predicate))
         filtered = self.rdd.map_values(
             lambda chunk: chunk.filter(predicate)
         ).filter(lambda kv: kv[1].valid_count > 0)
@@ -179,6 +245,8 @@ class ArrayRDD:
         operation — no scan), then AND each chunk's bitmask with the
         virtual bitmask of the range.
         """
+        if plan_mod.fusion_enabled():
+            return self._with_plan(MaskAndKernel(self.meta, lo, hi))
         wanted = set(mapper.chunk_ids_in_range(self.meta, lo, hi))
         meta = self.meta
 
@@ -222,20 +290,30 @@ class ArrayRDD:
                 f"chunk shape mismatch: {self.meta.chunk_shape} vs "
                 f"{other.meta.chunk_shape}"
             )
+        if how not in ("and", "or"):
+            raise ArrayError(f"unknown join mode {how!r}; use 'and'/'or'")
         cells = self.meta.cells_per_chunk
         dtype = self.meta.dtype
+        # wide operator: reading .rdd on both sides is the plan barrier
         if how == "and":
             joined = self.rdd.join(other.rdd)
+        else:
+            joined = self.rdd.full_outer_join(other.rdd)
+        if plan_mod.fusion_enabled():
+            # the merge becomes a plan *source*, so the drop-empty step
+            # and any trailing chunk-local operators fuse into one pass
+            source = ElementwiseSource(op, how, fill, cells, dtype)
+            return ArrayRDD(joined, self.meta, self.context,
+                            plan=ChunkPlan(source, (DropEmpty(),)))
+        if how == "and":
 
-            def merge_and(pair):
+            def merge(pair):
                 left, right = pair
                 return left.elementwise(right, op, how="and")
 
-            out = joined.map_values(merge_and)
-        elif how == "or":
-            joined = self.rdd.full_outer_join(other.rdd)
+        else:
 
-            def merge_or(pair):
+            def merge(pair):
                 left, right = pair
                 if left is None:
                     left = Chunk.empty(cells, dtype=dtype)
@@ -243,10 +321,12 @@ class ArrayRDD:
                     right = Chunk.empty(cells, dtype=dtype)
                 return left.elementwise(right, op, how="or", fill=fill)
 
-            out = joined.map_values(merge_or)
-        else:
-            raise ArrayError(f"unknown join mode {how!r}; use 'and'/'or'")
-        out = out.filter(lambda kv: kv[1].valid_count > 0)
+        out = joined.map_values(merge) \
+                    .filter(lambda kv: kv[1].valid_count > 0)
+        # the engine's filter preserves partitioning, but keep the
+        # contract explicit (matches the filter() operator above) so
+        # downstream joins stay narrow
+        out.partitioner = joined.partitioner
         return self._with_rdd(out)
 
     def aggregate(self, aggregator="sum"):
@@ -383,39 +463,55 @@ class ArrayRDD:
     # over valid cells only. Use :meth:`combine` with ``how="or"`` for
     # union semantics explicitly.
 
-    def _binary_op(self, other, op):
+    def _scalar_op(self, op, scalar, reflected, name) -> "ArrayRDD":
+        if plan_mod.fusion_enabled():
+            return self._with_plan(
+                ScalarOpKernel(op, scalar, reflected=reflected, name=name))
+        if reflected:
+            return self.map_values(lambda xs: op(scalar, xs))
+        return self.map_values(lambda xs: op(xs, scalar))
+
+    def _binary_op(self, other, op, name):
         if isinstance(other, ArrayRDD):
             return self.combine(other, op, how="and")
         if np.isscalar(other):
-            return self.map_values(lambda xs: op(xs, other))
+            return self._scalar_op(op, other, False, name)
+        return NotImplemented
+
+    def _reflected_op(self, other, op, name):
+        if np.isscalar(other):
+            return self._scalar_op(op, other, True, name)
         return NotImplemented
 
     def __add__(self, other):
-        return self._binary_op(other, np.add)
+        return self._binary_op(other, np.add, "add")
 
     def __radd__(self, other):
-        if np.isscalar(other):
-            return self.map_values(lambda xs: other + xs)
-        return NotImplemented
+        return self._reflected_op(other, np.add, "add")
 
     def __sub__(self, other):
-        return self._binary_op(other, np.subtract)
+        return self._binary_op(other, np.subtract, "sub")
 
     def __rsub__(self, other):
-        if np.isscalar(other):
-            return self.map_values(lambda xs: other - xs)
-        return NotImplemented
+        return self._reflected_op(other, np.subtract, "sub")
 
     def __mul__(self, other):
-        return self._binary_op(other, np.multiply)
+        return self._binary_op(other, np.multiply, "mul")
 
     def __rmul__(self, other):
-        if np.isscalar(other):
-            return self.map_values(lambda xs: other * xs)
-        return NotImplemented
+        return self._reflected_op(other, np.multiply, "mul")
 
     def __truediv__(self, other):
-        return self._binary_op(other, np.divide)
+        return self._binary_op(other, np.divide, "div")
+
+    def __rtruediv__(self, other):
+        return self._reflected_op(other, np.divide, "div")
+
+    def __pow__(self, other):
+        return self._binary_op(other, np.power, "pow")
+
+    def __rpow__(self, other):
+        return self._reflected_op(other, np.power, "pow")
 
     def __neg__(self):
         return self.map_values(np.negative)

@@ -5,6 +5,12 @@ MaskRDD. With the MaskRDD enabled (the default), Filter and Subarray
 transform only the mask — evaluation reconciles attributes lazily. With
 it disabled, every operator eagerly rewrites every attribute, which is
 the expensive path Fig. 9b quantifies.
+
+Both paths reconcile through :meth:`MaskRDD.apply_to`, which builds a
+:class:`~repro.core.plan.ChunkPlan` (a ``MaskApplySource`` + drop-empty
+kernel). Lazily, the per-attribute restriction therefore fuses with any
+chunk-local operators the caller chains after :meth:`evaluate`; eagerly,
+``materialize()`` collapses the same plan in a single pass per chunk.
 """
 
 from __future__ import annotations
@@ -192,7 +198,11 @@ class SpangleDataset:
     # ------------------------------------------------------------------
 
     def evaluate(self, attr: str) -> ArrayRDD:
-        """Reconcile one attribute with the dataset's pending mask."""
+        """Reconcile one attribute with the dataset's pending mask.
+
+        The result carries a pending mask-apply plan: chunk-local
+        operators chained onto it fuse with the reconciliation itself.
+        """
         arr = self.attribute(attr)
         if self.use_mask_rdd and not self._pristine:
             return self.mask.apply_to(arr)

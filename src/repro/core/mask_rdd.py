@@ -16,7 +16,7 @@ import numpy as np
 from repro.bitmask import Bitmask
 from repro.core import mapper
 from repro.core.metadata import ArrayMetadata
-from repro.errors import ArrayError, ShapeMismatchError
+from repro.errors import ShapeMismatchError
 
 
 class MaskRDD:
@@ -148,13 +148,26 @@ class MaskRDD:
         Joins attribute chunks with mask chunks and ANDs; attribute
         chunks with no surviving cell — or no mask entry at all — are
         dropped.
+
+        With fusion enabled the AND becomes a
+        :class:`~repro.core.plan.MaskApplySource`, so the reconciliation
+        and any chunk-local operators applied to the result (a dataset's
+        per-attribute restriction + filter chains) run as one fused pass
+        per chunk.
         """
         from repro.core.array_rdd import ArrayRDD
+        from repro.core.plan import (ChunkPlan, DropEmpty,
+                                     MaskApplySource, fusion_enabled)
 
         joined = array_rdd.rdd.join(self.rdd)
+        if fusion_enabled():
+            return ArrayRDD(joined, array_rdd.meta, array_rdd.context,
+                            plan=ChunkPlan(MaskApplySource(),
+                                           (DropEmpty(),)))
         out = joined.map_values(
             lambda pair: pair[0].and_mask(pair[1])
         ).filter(lambda kv: kv[1].valid_count > 0)
+        out.partitioner = joined.partitioner
         return ArrayRDD(out, array_rdd.meta, array_rdd.context)
 
     def count_valid(self) -> int:

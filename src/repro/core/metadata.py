@@ -9,7 +9,7 @@ and the physical layout (chunk IDs + payload offsets).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

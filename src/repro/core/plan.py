@@ -1,0 +1,434 @@
+"""ChunkPlan: a fused chunk-kernel operator layer (the plan algebra).
+
+Every narrow ArrayRDD operator — ``map_values``, ``filter``,
+``subarray``, scalar arithmetic — is a chunk-local rewrite of
+``(payload, bitmask)``. Executed eagerly, a chain of k such operators
+re-encodes every chunk k times: decode offsets/values, transform, pack a
+fresh bitmask, build a fresh :class:`~repro.core.chunk.Chunk`. This
+module replaces that with a tiny logical plan: operators *append a
+kernel* to a pending :class:`ChunkPlan`, and when an action (or a wide
+operator, or ``cache()``) forces evaluation the whole chain compiles to
+**one** ``map_partitions`` pass — one decode, one kernel pipeline over
+plain offset/value vectors, one encode per surviving chunk.
+
+The contract is strict: a compiled plan is byte-identical to the eager
+path in all three chunk modes. Kernels therefore replicate the eager
+operators' mode policy exactly — ``map_values`` preserves the input
+mode, ``filter``/``mask_and`` re-apply :func:`choose_mode` on the new
+density — and the final encode goes through the same
+:func:`~repro.core.chunk._build_from_bools` construction the eager
+operators use.
+
+Fusion can be turned off globally with :func:`disable_fusion` (also a
+context manager), which routes every operator back through the original
+eager per-chunk code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import mapper
+from repro.core.chunk import Chunk, ChunkMode, choose_mode, \
+    _build_from_bools
+from repro.errors import ArrayError
+
+__all__ = [
+    "ChunkPlan",
+    "ChunkSource",
+    "DropEmpty",
+    "ElementwiseSource",
+    "FilterKernel",
+    "MapValuesKernel",
+    "MaskAndKernel",
+    "MaskApplySource",
+    "ScalarOpKernel",
+    "disable_fusion",
+    "enable_fusion",
+    "fusion_enabled",
+]
+
+
+# ----------------------------------------------------------------------
+# fusion switch
+# ----------------------------------------------------------------------
+
+class _FusionToggle:
+    """Flips the global fusion switch; restores the prior state when
+    used as a context manager."""
+
+    def __init__(self, enabled: bool):
+        self._previous = _STATE["enabled"]
+        _STATE["enabled"] = enabled
+
+    def __enter__(self) -> "_FusionToggle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _STATE["enabled"] = self._previous
+        return False
+
+
+_STATE = {"enabled": True}
+
+
+def fusion_enabled() -> bool:
+    """Whether operators build ChunkPlans (True) or run eagerly."""
+    return _STATE["enabled"]
+
+
+def enable_fusion() -> _FusionToggle:
+    """Turn kernel fusion on (the default). Usable as ``with`` block."""
+    return _FusionToggle(True)
+
+
+def disable_fusion() -> _FusionToggle:
+    """Escape hatch: run every operator through the eager per-chunk
+    path. Usable standalone or as a ``with`` block that restores the
+    previous setting on exit."""
+    return _FusionToggle(False)
+
+
+# ----------------------------------------------------------------------
+# kernel state: one chunk decoded to plain vectors
+# ----------------------------------------------------------------------
+
+class KernelState:
+    """A chunk mid-pipeline: ascending valid offsets + aligned values.
+
+    ``rebuilt`` tracks whether any kernel changed the chunk (if not, the
+    original ``chunk`` object is passed through untouched, exactly like
+    the eager operators do). ``eager_builds`` counts how many
+    intermediate Chunk constructions the eager path would have performed
+    for the same record — the fusion savings counter.
+    """
+
+    __slots__ = ("num_cells", "offsets", "values", "mode", "chunk",
+                 "rebuilt", "dropped", "eager_builds")
+
+    def __init__(self, num_cells, offsets, values, mode, chunk=None):
+        self.num_cells = num_cells
+        self.offsets = offsets
+        self.values = values
+        self.mode = mode
+        self.chunk = chunk
+        self.rebuilt = False
+        self.dropped = False
+        self.eager_builds = 0
+
+
+def _encode(state: KernelState) -> Chunk:
+    """Pack a rebuilt state into a Chunk — the single encode of the
+    fused pass, via the same construction the eager operators use."""
+    keep = np.zeros(state.num_cells, dtype=bool)
+    keep[state.offsets] = True
+    return _build_from_bools(state.num_cells, keep, state.values,
+                             state.mode)
+
+
+# ----------------------------------------------------------------------
+# sources: how a record enters the kernel pipeline
+# ----------------------------------------------------------------------
+
+class ChunkSource:
+    """Default source: the record value is already a Chunk."""
+
+    #: shown in the fused pipeline label (None = invisible pass-through)
+    label = None
+
+    def begin(self, chunk_id, chunk) -> KernelState:
+        return KernelState(chunk.num_cells, chunk.indices(),
+                           chunk.values(), chunk.mode, chunk=chunk)
+
+
+class MaskApplySource(ChunkSource):
+    """Source for ``(Chunk, Bitmask)`` join pairs: MaskRDD reconciliation.
+
+    Replicates :meth:`Chunk.and_mask` — including its return-self
+    fast path when the mask removes nothing — but leaves the result
+    decoded so downstream kernels fuse into the same pass.
+    """
+
+    label = "apply_mask"
+
+    def begin(self, chunk_id, pair) -> KernelState:
+        chunk, other_mask = pair
+        if other_mask.num_bits != chunk.num_cells:
+            raise ArrayError(
+                f"mask length {other_mask.num_bits} != chunk cells "
+                f"{chunk.num_cells}"
+            )
+        flat = chunk.flat_mask()
+        combined = flat & other_mask
+        if combined == flat:       # nothing was masked out
+            return ChunkSource.begin(self, chunk_id, chunk)
+        keep = combined.to_bools()
+        density = combined.count() / chunk.num_cells \
+            if chunk.num_cells else 0.0
+        if chunk.mode is ChunkMode.DENSE:
+            compact = chunk.payload[keep]
+        else:
+            compact = chunk.payload[keep[chunk.indices()]]
+        state = KernelState(chunk.num_cells, combined.indices(), compact,
+                            choose_mode(density))
+        state.rebuilt = True
+        state.eager_builds = 1
+        return state
+
+
+class ElementwiseSource(ChunkSource):
+    """Source for joined chunk pairs: the merge step of ``combine``.
+
+    Replicates :meth:`Chunk.elementwise` (and-join: AND the bitmasks,
+    compute only surviving pairs; or-join: OR the bitmasks with ``fill``
+    standing in for missing cells) but keeps the result decoded so
+    trailing kernels — ``DropEmpty``, a nonzero filter, scalar ops —
+    run in the same pass.
+    """
+
+    def __init__(self, op, how: str, fill, num_cells: int, dtype):
+        self.op = op
+        self.how = how
+        self.fill = fill
+        self.num_cells = num_cells
+        self.dtype = dtype
+        self.label = f"combine_{how}"
+
+    def begin(self, chunk_id, pair) -> KernelState:
+        left, right = pair
+        if left is None:
+            left = Chunk.empty(self.num_cells, dtype=self.dtype)
+        if right is None:
+            right = Chunk.empty(self.num_cells, dtype=self.dtype)
+        if left.num_cells != right.num_cells:
+            raise ArrayError(
+                f"chunk size mismatch: {left.num_cells} vs "
+                f"{right.num_cells}"
+            )
+        left_mask = left.flat_mask()
+        right_mask = right.flat_mask()
+        if self.how == "and":
+            combined = left_mask & right_mask
+            offsets = combined.indices()
+            result = self.op(left._values_at_offsets(offsets),
+                             right._values_at_offsets(offsets))
+        else:
+            combined = left_mask | right_mask
+            offsets = combined.indices()
+            result = self.op(left.to_dense(self.fill)[offsets],
+                             right.to_dense(self.fill)[offsets])
+        density = offsets.size / left.num_cells if left.num_cells else 0.0
+        state = KernelState(left.num_cells, offsets, result,
+                            choose_mode(density))
+        state.rebuilt = True
+        state.eager_builds = 1
+        return state
+
+
+# ----------------------------------------------------------------------
+# kernels: one chunk-local operator each
+# ----------------------------------------------------------------------
+
+class MapValuesKernel:
+    """Vectorized function over the valid values; mode is preserved."""
+
+    label = "map"
+
+    def __init__(self, func):
+        self.func = func
+
+    def apply(self, chunk_id, state: KernelState) -> None:
+        new_values = np.asarray(self.func(state.values))
+        if new_values.shape != state.values.shape:
+            raise ArrayError(
+                "map_values function must preserve the value count"
+            )
+        state.values = new_values
+        state.rebuilt = True
+        state.eager_builds += 1
+
+
+class ScalarOpKernel:
+    """Scalar arithmetic (``a * 2``, ``2 ** a``, ...) as a fusable kernel."""
+
+    def __init__(self, op, scalar, reflected: bool = False,
+                 name: str = None):
+        self.op = op
+        self.scalar = scalar
+        self.reflected = reflected
+        self.label = f"scalar_{name or getattr(op, '__name__', 'op')}"
+
+    def apply(self, chunk_id, state: KernelState) -> None:
+        if self.reflected:
+            new_values = np.asarray(self.op(self.scalar, state.values))
+        else:
+            new_values = np.asarray(self.op(state.values, self.scalar))
+        if new_values.shape != state.values.shape:
+            raise ArrayError(
+                "map_values function must preserve the value count"
+            )
+        state.values = new_values
+        state.rebuilt = True
+        state.eager_builds += 1
+
+
+class FilterKernel:
+    """Invalidate cells failing a vectorized predicate; re-applies the
+    density policy and drops chunks left empty."""
+
+    label = "filter"
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+
+    def apply(self, chunk_id, state: KernelState) -> None:
+        keep = np.asarray(self.predicate(state.values), dtype=bool)
+        if keep.shape != state.values.shape:
+            raise ArrayError(
+                "filter predicate must return one bool per value")
+        density = int(keep.sum()) / state.num_cells \
+            if state.num_cells else 0.0
+        state.offsets = state.offsets[keep]
+        state.values = state.values[keep]
+        state.mode = choose_mode(density)
+        state.rebuilt = True
+        state.eager_builds += 1
+        if state.offsets.size == 0:
+            state.dropped = True
+
+
+class MaskAndKernel:
+    """Subarray restriction: AND with the virtual bitmask of a box.
+
+    Chunk-ID pruning happens first (a metadata check, no scan), chunks
+    fully inside the box pass through untouched, and — like the eager
+    :meth:`Chunk.and_mask` — a chunk whose cells all survive is not
+    rebuilt.
+    """
+
+    label = "mask_and"
+
+    def __init__(self, meta, lo, hi):
+        self.meta = meta
+        self.lo = lo
+        self.hi = hi
+        self.wanted = frozenset(mapper.chunk_ids_in_range(meta, lo, hi))
+
+    def apply(self, chunk_id, state: KernelState) -> None:
+        if chunk_id not in self.wanted:
+            state.dropped = True
+            return
+        if mapper.chunk_fully_inside(self.meta, chunk_id, self.lo,
+                                     self.hi):
+            return
+        inside = mapper.range_mask_for_chunk(self.meta, chunk_id,
+                                             self.lo, self.hi)
+        keep = inside[state.offsets]
+        if keep.all():             # nothing was masked out
+            return
+        count = int(keep.sum())
+        density = count / state.num_cells if state.num_cells else 0.0
+        state.offsets = state.offsets[keep]
+        state.values = state.values[keep]
+        state.mode = choose_mode(density)
+        state.rebuilt = True
+        state.eager_builds += 1
+        if state.offsets.size == 0:
+            state.dropped = True
+
+
+class DropEmpty:
+    """Drop chunks with no valid cell (the memory-reduction policy).
+
+    Compiled with ``preserves_partitioning=True`` — the plan-level
+    answer to the eager path's trailing ``.filter(valid_count > 0)``.
+    """
+
+    label = "drop_empty"
+
+    def apply(self, chunk_id, state: KernelState) -> None:
+        if state.offsets.size == 0:
+            state.dropped = True
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+
+_CHUNK_SOURCE = ChunkSource()
+
+
+class ChunkPlan:
+    """An immutable chain of chunk kernels over an optional source.
+
+    ``then(kernel)`` extends the chain (returning a new plan);
+    ``compile(base_rdd, metrics)`` lowers the whole chain to a single
+    ``map_partitions`` pass named after its pipeline
+    (``fused[filter→map→mask_and]``), so the scheduler runs the chain
+    as one task per partition and ``explain`` shows the fusion.
+    """
+
+    __slots__ = ("source", "kernels")
+
+    def __init__(self, source: ChunkSource = None, kernels=()):
+        self.source = source if source is not None else _CHUNK_SOURCE
+        self.kernels = tuple(kernels)
+
+    @classmethod
+    def identity(cls) -> "ChunkPlan":
+        return cls()
+
+    @property
+    def is_identity(self) -> bool:
+        return self.source is _CHUNK_SOURCE and not self.kernels
+
+    def then(self, kernel) -> "ChunkPlan":
+        return ChunkPlan(self.source, self.kernels + (kernel,))
+
+    def stage_labels(self) -> list:
+        labels = [self.source.label] if self.source.label else []
+        labels.extend(kernel.label for kernel in self.kernels)
+        return labels
+
+    def label(self) -> str:
+        labels = self.stage_labels()
+        if len(labels) == 1:
+            return labels[0]
+        return "fused[" + "→".join(labels) + "]"
+
+    def compile(self, base_rdd, metrics=None):
+        """Lower the plan to one narrow ``map_partitions`` pass."""
+        if self.is_identity:
+            return base_rdd
+        source = self.source
+        kernels = self.kernels
+        labels = self.stage_labels()
+        if metrics is not None and len(labels) >= 2:
+            metrics.record_kernels_fused(len(labels))
+
+        def run(_index, part):
+            avoided = 0
+            for chunk_id, value in part:
+                state = source.begin(chunk_id, value)
+                for kernel in kernels:
+                    kernel.apply(chunk_id, state)
+                    if state.dropped:
+                        break
+                if state.dropped:
+                    avoided += state.eager_builds
+                    continue
+                if state.rebuilt:
+                    avoided += state.eager_builds - 1
+                    yield chunk_id, _encode(state)
+                else:
+                    avoided += state.eager_builds
+                    yield chunk_id, state.chunk
+            if metrics is not None and avoided:
+                metrics.record_fused_chunks_avoided(avoided)
+
+        compiled = base_rdd.map_partitions_with_index(
+            run, preserves_partitioning=True)
+        return compiled.rename(self.label())
+
+    def __repr__(self) -> str:
+        return f"ChunkPlan({self.label() if not self.is_identity else 'id'})"

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import threading
 
-from repro.engine.sizing import estimate_size
 from repro.errors import EngineError
 
 

@@ -6,6 +6,11 @@ narrow transformations pipeline inside a stage; every wide dependency
 shuffles — co-partitioned joins, the local-join matmul — stay inside
 their stage, which makes the effect of Spangle's partitioning
 optimizations directly visible in the plan.
+
+Chunk-kernel fusion (:mod:`repro.core.plan`) is visible here too: a
+compiled ChunkPlan appears as a single RDD named after its pipeline —
+``fused[filter→map→mask_and]`` — where the eager path would show one
+RDD hop per operator. :func:`fused_pipelines` extracts those labels.
 """
 
 from __future__ import annotations
@@ -82,6 +87,21 @@ def stage_plan(rdd: RDD) -> list:
 
 def count_stages(rdd: RDD) -> int:
     return len(stage_plan(rdd))
+
+
+def fused_pipelines(rdd: RDD) -> list:
+    """``fused[...]`` pipeline labels in the plan, execution-stage order.
+
+    Each label names one compiled
+    :class:`~repro.core.plan.ChunkPlan` — a chain of chunk-local
+    kernels the scheduler runs as a single ``map_partitions`` pass.
+    """
+    labels = []
+    for stage in stage_plan(rdd):
+        for node in reversed(stage.rdds):
+            if node.name.startswith("fused["):
+                labels.append(node.name)
+    return labels
 
 
 def stage_breakdown(stage_timings, task_times=None) -> str:

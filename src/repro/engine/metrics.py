@@ -50,6 +50,8 @@ class MetricsSnapshot:
     cache_evictions: int = 0
     recomputations: int = 0
     task_retries: int = 0
+    kernels_fused: int = 0
+    fused_chunks_avoided: int = 0
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         deltas = {
@@ -81,6 +83,10 @@ class MetricsRegistry:
     cache_evictions: int = 0
     recomputations: int = 0
     task_retries: int = 0
+    # chunk-kernel fusion (repro.core.plan): kernels compiled into fused
+    # passes, and intermediate Chunk builds the eager path would have done
+    kernels_fused: int = 0
+    fused_chunks_avoided: int = 0
     _history: list = field(default_factory=list, repr=False)
     # wall-clock observations (not part of MetricsSnapshot, which holds
     # only logical counters that must be identical between the serial
@@ -111,6 +117,8 @@ class MetricsRegistry:
             cache_evictions=self.cache_evictions,
             recomputations=self.recomputations,
             task_retries=self.task_retries,
+            kernels_fused=self.kernels_fused,
+            fused_chunks_avoided=self.fused_chunks_avoided,
         )
 
     def reset(self) -> None:
@@ -131,6 +139,8 @@ class MetricsRegistry:
                 "cache_evictions",
                 "recomputations",
                 "task_retries",
+                "kernels_fused",
+                "fused_chunks_avoided",
             ):
                 setattr(self, name, 0)
             self.stage_timings.clear()
@@ -189,6 +199,16 @@ class MetricsRegistry:
     def record_task_retry(self) -> None:
         with self._lock:
             self.task_retries += 1
+
+    def record_kernels_fused(self, count: int) -> None:
+        """A ChunkPlan of ``count`` stages compiled into one pass."""
+        with self._lock:
+            self.kernels_fused += count
+
+    def record_fused_chunks_avoided(self, count: int) -> None:
+        """Intermediate Chunk builds skipped by a fused pass."""
+        with self._lock:
+            self.fused_chunks_avoided += count
 
     # ------------------------------------------------------------------
     # wall-clock observations

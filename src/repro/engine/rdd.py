@@ -18,7 +18,7 @@ import random
 import threading
 import time
 
-from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.partitioner import Partitioner
 from repro.engine.sizing import estimate_partition_size
 from repro.engine.storage import StorageLevel
 from repro.errors import EngineError, TaskFailure
@@ -274,8 +274,6 @@ class RDD:
         ).rename("sample")
 
     def distinct(self) -> "RDD":
-        from repro.engine import pairs
-
         return (
             self.map(lambda record: (record, None))
             .reduce_by_key(lambda a, _b: a)

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.core import mapper
 from repro.core.array_rdd import ArrayRDD
-from repro.io.csv import write_csv_cells
 from repro.io.snf import write_snf
 
 

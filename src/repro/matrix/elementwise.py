@@ -8,6 +8,13 @@ pairs are multiplied at all — if either bit is unset the product is zero
 
 When the operands share a partitioner these are embarrassingly parallel:
 the underlying joins are narrow and no data moves.
+
+Each operation is a combine followed by a nonzero filter. On the
+chunk-kernel algebra (:mod:`repro.core.plan`) that whole chain — the
+elementwise merge source, the drop-empty kernel, and the nonzero
+``FilterKernel`` — compiles to a single fused pass per chunk
+(``fused[combine_or→drop_empty→filter]`` in the stage plan) instead of
+building an intermediate combined chunk and re-encoding it.
 """
 
 from __future__ import annotations
@@ -30,24 +37,22 @@ def _check(left, right) -> None:
         )
 
 
-def add(left, right):
+def _combine_nonzero(left, right, op, how, fill=0.0):
+    """combine + drop-zeros as one kernel chain (fused when enabled)."""
     _check(left, right)
-    combined = left.array.combine(right.array, np.add, how="or", fill=0.0)
-    # zero results (a + (-a)) are no longer valid matrix cells
+    combined = left.array.combine(right.array, op, how=how, fill=fill)
+    # zero results (a + (-a), gated products) are not valid matrix cells
     nonzero = combined.filter(lambda xs: xs != 0)
     return matrix_mod.SpangleMatrix(nonzero)
+
+
+def add(left, right):
+    return _combine_nonzero(left, right, np.add, how="or")
 
 
 def subtract(left, right):
-    _check(left, right)
-    combined = left.array.combine(right.array, np.subtract, how="or",
-                                  fill=0.0)
-    nonzero = combined.filter(lambda xs: xs != 0)
-    return matrix_mod.SpangleMatrix(nonzero)
+    return _combine_nonzero(left, right, np.subtract, how="or")
 
 
 def hadamard(left, right):
-    _check(left, right)
-    combined = left.array.combine(right.array, np.multiply, how="and")
-    nonzero = combined.filter(lambda xs: xs != 0)
-    return matrix_mod.SpangleMatrix(nonzero)
+    return _combine_nonzero(left, right, np.multiply, how="and")

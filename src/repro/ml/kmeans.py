@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ArrayError, ConvergenceError
+from repro.errors import ArrayError
 from repro.matrix.matrix import SpangleMatrix
 
 

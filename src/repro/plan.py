@@ -1,0 +1,30 @@
+"""Public alias for the chunk-kernel plan layer.
+
+``repro.plan.disable_fusion()`` is the documented escape hatch for
+running every operator through the eager per-chunk path; the
+implementation lives in :mod:`repro.core.plan`.
+"""
+
+from repro.core.plan import (
+    ChunkPlan,
+    DropEmpty,
+    FilterKernel,
+    MapValuesKernel,
+    MaskAndKernel,
+    ScalarOpKernel,
+    disable_fusion,
+    enable_fusion,
+    fusion_enabled,
+)
+
+__all__ = [
+    "ChunkPlan",
+    "DropEmpty",
+    "FilterKernel",
+    "MapValuesKernel",
+    "MaskAndKernel",
+    "ScalarOpKernel",
+    "disable_fusion",
+    "enable_fusion",
+    "fusion_enabled",
+]

@@ -18,7 +18,7 @@ from repro.data import chl_like, scaled_graph, sdss_like
 from repro.data.raster import sdss_stack
 from repro.engine import ClusterContext
 from repro.engine.lineage import FaultInjector
-from repro.io.export import array_rdd_to_snf, dataset_to_snf
+from repro.io.export import array_rdd_to_snf
 from repro.io.snf import load_snf_as_dataset, read_snf
 from repro.ml import BitmaskGraph, pagerank
 from repro.ml.components import connected_components

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import ClusterContext
-from repro.engine.lineage import count_shuffle_boundaries
 from repro.errors import ArrayError, ShapeMismatchError
 from repro.matrix import SpangleMatrix, SpangleVector
 from repro.matrix.multiply import prepare_local

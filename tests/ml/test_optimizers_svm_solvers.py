@@ -6,7 +6,7 @@ import pytest
 
 from repro.engine import ClusterContext
 from repro.errors import ConvergenceError, ShapeMismatchError, SpangleError
-from repro.matrix import SpangleMatrix, SpangleVector
+from repro.matrix import SpangleMatrix
 from repro.ml import (
     AdagradOptimizer,
     DistributedSamples,

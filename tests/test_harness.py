@@ -1,6 +1,5 @@
 """Tests for the benchmark harness helpers."""
 
-import numpy as np
 import pytest
 
 from benchmarks.harness import (
