@@ -115,6 +115,38 @@ def timed(fn, *args, **kwargs):
     return result, time.perf_counter() - start
 
 
-def fresh_context(num_executors: int = 8) -> ClusterContext:
+def fresh_context(num_executors: int = 8,
+                  trace: bool = False) -> ClusterContext:
     return ClusterContext(num_executors=num_executors,
-                          default_parallelism=num_executors)
+                          default_parallelism=num_executors,
+                          trace=trace)
+
+
+def write_trace_artifact(ctx: ClusterContext, json_path) -> dict:
+    """Export a traced context's spans next to a benchmark JSON artifact.
+
+    Writes ``<base>.trace.jsonl`` (replayable with ``repro trace``) and
+    ``<base>.chrome.json`` (Chrome ``trace_event`` format) beside
+    ``json_path``, and returns a summary dict for embedding in the
+    benchmark JSON. Returns ``{}`` when the context was not traced.
+    """
+    import os
+
+    from repro.engine.tracing import export_chrome_trace, export_jsonl
+
+    spans = ctx.tracer.spans()
+    if not spans:
+        return {}
+    base, _ = os.path.splitext(str(json_path))
+    jsonl_path = base + ".trace.jsonl"
+    chrome_path = base + ".chrome.json"
+    export_jsonl(spans, jsonl_path, num_executors=ctx.num_executors)
+    export_chrome_trace(spans, chrome_path)
+    profiles = ctx.tracer.job_profiles()
+    return {
+        "event_log": os.path.basename(jsonl_path),
+        "chrome_trace": os.path.basename(chrome_path),
+        "num_spans": len(spans),
+        "num_jobs": len(profiles),
+        "jobs": [profile.as_dict() for profile in profiles],
+    }

@@ -28,7 +28,11 @@ if __package__ in (None, ""):
     sys.path.insert(0, os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
 
-from benchmarks.harness import fresh_context, print_table
+from benchmarks.harness import (
+    fresh_context,
+    print_table,
+    write_trace_artifact,
+)
 from repro import plan
 from repro.core import ArrayRDD
 
@@ -129,9 +133,19 @@ def test_fused_chain_speedup():
         f"got {artifact['speedup']:.2f}x")
 
 
+def _traced_run(json_path: str) -> dict:
+    """One traced fused pass: the event-log artifact for ``repro trace``."""
+    ctx = fresh_context(8, trace=True)
+    arr = _build_array(ctx)
+    ctx.tracer.clear()          # trace the chain, not ingestion
+    _chain(arr).count_valid()
+    return write_trace_artifact(ctx, json_path)
+
+
 def main(json_path: str = None) -> dict:
     artifact = run()
     if json_path:
+        artifact["trace"] = _traced_run(json_path)
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(artifact, handle, indent=2)
     print(json.dumps(artifact, indent=2))

@@ -29,7 +29,12 @@ if __package__ in (None, ""):
     sys.path.insert(0, os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
 
-from benchmarks.harness import print_stage_breakdown, print_table, run_measured
+from benchmarks.harness import (
+    print_stage_breakdown,
+    print_table,
+    run_measured,
+    write_trace_artifact,
+)
 from repro.engine import ClusterContext
 
 NUM_PARTITIONS = 8
@@ -150,6 +155,11 @@ def main(json_path: str = None) -> dict:
         },
     }
     if json_path:
+        with ClusterContext(num_executors=4,
+                            default_parallelism=NUM_PARTITIONS,
+                            use_threads=True, trace=True) as ctx:
+            _workload(ctx)
+            artifact["trace"] = write_trace_artifact(ctx, json_path)
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(artifact, handle, indent=2)
     print(json.dumps(artifact, indent=2))

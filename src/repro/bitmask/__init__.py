@@ -22,6 +22,8 @@ from repro.bitmask.popcount import (
     popcount_words_builtin,
     popcount_words_naive,
     popcount_words_vectorized,
+    rank_counts,
+    reset_rank_counts,
 )
 
 __all__ = [
@@ -33,4 +35,6 @@ __all__ = [
     "popcount_words_builtin",
     "popcount_words_naive",
     "popcount_words_vectorized",
+    "rank_counts",
+    "reset_rank_counts",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitmask.popcount import (
+    RANK_COUNTERS,
     WORD_BITS,
     Milestones,
     popcount_words_builtin,
@@ -141,6 +142,7 @@ class Bitmask:
         ``position`` is set, its value sits at payload index
         ``rank(position)``.
         """
+        RANK_COUNTERS.bitmask_rank += 1
         if position <= 0:
             return 0
         position = min(position, self.num_bits)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.bitmask.bitmask import Bitmask
 from repro.bitmask.popcount import (
+    RANK_COUNTERS,
     WORD_BITS,
     per_word_popcounts,
     popcount_words_vectorized,
@@ -80,6 +81,7 @@ class HierarchicalBitmask:
 
     def rank(self, position: int) -> int:
         """Set bits strictly before ``position``."""
+        RANK_COUNTERS.hierarchical_rank += 1
         if position <= 0:
             return 0
         position = min(position, self.num_bits)

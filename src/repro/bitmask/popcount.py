@@ -17,10 +17,52 @@ counts stored every 64 words so a random-access rank only scans one
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 WORD_BITS = 64
 MILESTONE_STRIDE_WORDS = 64
+
+
+class RankCounters(threading.local):
+    """Lightweight, thread-local rank-query counters.
+
+    Every ``rank`` entry point in the bitmask package bumps one of
+    these plain-int attributes — an unlocked, thread-local increment,
+    cheap enough to stay on even in hot loops. Being thread-local,
+    a task (which runs entirely on one thread) can attribute the
+    queries *it* issued by diffing :func:`rank_counts` before/after,
+    and the counts are identical between the serial and threaded
+    schedulers. The tracing layer uses exactly that to annotate fused
+    ChunkPlan spans.
+    """
+
+    def __init__(self):
+        self.bitmask_rank = 0       # Bitmask.rank calls (any strategy)
+        self.milestone_rank = 0     # Milestones.rank calls
+        self.hierarchical_rank = 0  # HierarchicalBitmask.rank calls
+
+
+RANK_COUNTERS = RankCounters()
+
+
+def rank_counts() -> dict:
+    """The calling thread's rank-query counts (a plain dict copy)."""
+    counters = RANK_COUNTERS
+    return {
+        "bitmask_rank": counters.bitmask_rank,
+        "milestone_rank": counters.milestone_rank,
+        "hierarchical_rank": counters.hierarchical_rank,
+    }
+
+
+def reset_rank_counts() -> None:
+    """Zero the calling thread's rank-query counters."""
+    counters = RANK_COUNTERS
+    counters.bitmask_rank = 0
+    counters.milestone_rank = 0
+    counters.hierarchical_rank = 0
 
 # one byte -> number of set bits
 _BYTE_POPCOUNT = np.array(
@@ -113,6 +155,7 @@ class Milestones:
 
     def rank(self, words: np.ndarray, bit_pos: int) -> int:
         """Set bits strictly before ``bit_pos``."""
+        RANK_COUNTERS.milestone_rank += 1
         if bit_pos <= 0:
             return 0
         word_index, bit_offset = divmod(bit_pos, WORD_BITS)

@@ -8,6 +8,9 @@ Commands:
 - ``selftest``  — run the unit test suite (requires pytest).
 - ``bench``     — run the figure/table reproduction benchmarks
   (requires pytest-benchmark); ``--figure fig9`` narrows to one file.
+- ``trace``     — replay a saved ``*.trace.jsonl`` event log into a
+  stage-breakdown report (``profile`` is an alias); ``--chrome OUT``
+  additionally re-exports the log in Chrome ``trace_event`` format.
 """
 
 from __future__ import annotations
@@ -122,6 +125,44 @@ def _cmd_bench(args) -> int:
     return _pytest([target, "--benchmark-only", "-q", "-s"])
 
 
+def _cmd_trace(args) -> int:
+    from repro.engine.tracing import (
+        export_chrome_trace,
+        load_jsonl,
+        profiles_from_spans,
+    )
+
+    try:
+        meta, spans = load_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace log {args.log!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"{args.log}: no spans recorded", file=sys.stderr)
+        return 1
+    num_executors = args.executors or meta.get("num_executors")
+    profiles = profiles_from_spans(spans, num_executors=num_executors)
+    print(f"{args.log}: {len(spans)} spans, {len(profiles)} jobs"
+          + (f", {num_executors} executors" if num_executors else ""))
+    for index, profile in enumerate(profiles):
+        print()
+        print(f"[job {index}] {profile.render()}")
+    orphans = [s for s in spans
+               if s.parent_id is None and s.kind != "job"]
+    if orphans:
+        print(f"\n{len(orphans)} top-level non-job spans "
+              f"(checkpoints/broadcasts outside jobs):")
+        for span in orphans:
+            print(f"  {span.kind:<11} {span.name:<28} "
+                  f"{span.wall_s * 1e3:8.2f} ms")
+    if args.chrome:
+        export_chrome_trace(spans, args.chrome)
+        print(f"\nwrote Chrome trace: {args.chrome} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the paper-figure benchmarks")
     bench.add_argument("--figure",
                        help="one of fig7..fig12, table3, ablations")
+    for name in ("trace", "profile"):
+        trace = subparsers.add_parser(
+            name, help="replay a saved trace event log into a report")
+        trace.add_argument("log", help="path to a *.trace.jsonl file")
+        trace.add_argument("--chrome", metavar="OUT",
+                           help="also write a Chrome trace_event file")
+        trace.add_argument("--executors", type=int, default=None,
+                           help="override executor count for the "
+                                "utilization report")
     return parser
 
 
@@ -150,6 +200,8 @@ def main(argv=None) -> int:
         "demo": _cmd_demo,
         "selftest": _cmd_selftest,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
+        "profile": _cmd_trace,
     }
     if args.command is None:
         parser.print_help()

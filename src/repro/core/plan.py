@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitmask.popcount import rank_counts
 from repro.core import mapper
 from repro.core.chunk import Chunk, ChunkMode, choose_mode, \
     _build_from_bools
@@ -397,18 +398,40 @@ class ChunkPlan:
         return "fused[" + "→".join(labels) + "]"
 
     def compile(self, base_rdd, metrics=None):
-        """Lower the plan to one narrow ``map_partitions`` pass."""
+        """Lower the plan to one narrow ``map_partitions`` pass.
+
+        When the owning context traces, every executed pass opens a
+        ``plan`` span under the running task, annotated with the fused
+        kernel labels, per-chunk-mode output counts and payload bytes,
+        and the bitmask rank queries the pass issued (a thread-local
+        before/after diff of :func:`repro.bitmask.rank_counts`, so the
+        attribution is exact even under the threaded scheduler).
+        """
         if self.is_identity:
             return base_rdd
         source = self.source
         kernels = self.kernels
         labels = self.stage_labels()
+        pipeline = self.label()
+        tracer = getattr(base_rdd.context, "tracer", None)
         if metrics is not None and len(labels) >= 2:
             metrics.record_kernels_fused(len(labels))
 
         def run(_index, part):
+            tracing = tracer is not None and tracer.enabled
+            if tracing:
+                span = tracer.start(pipeline, "plan", partition=_index,
+                                    kernels=list(labels))
+                ranks_before = rank_counts()
+            chunks_in = 0
+            chunk_ids = []
+            mode_counts = {}
+            mode_bytes = {}
             avoided = 0
             for chunk_id, value in part:
+                chunks_in += 1
+                if tracing:
+                    chunk_ids.append(chunk_id)
                 state = source.begin(chunk_id, value)
                 for kernel in kernels:
                     kernel.apply(chunk_id, state)
@@ -419,12 +442,35 @@ class ChunkPlan:
                     continue
                 if state.rebuilt:
                     avoided += state.eager_builds - 1
-                    yield chunk_id, _encode(state)
+                    out = chunk_id, _encode(state)
                 else:
                     avoided += state.eager_builds
-                    yield chunk_id, state.chunk
+                    out = chunk_id, state.chunk
+                if tracing:
+                    mode = out[1].mode.value
+                    mode_counts[mode] = mode_counts.get(mode, 0) + 1
+                    mode_bytes[mode] = (mode_bytes.get(mode, 0)
+                                        + int(out[1].payload.nbytes))
+                yield out
             if metrics is not None and avoided:
                 metrics.record_fused_chunks_avoided(avoided)
+            if tracing:
+                chunks_out = sum(mode_counts.values())
+                attrs = {"chunks_in": chunks_in,
+                         "chunks_out": chunks_out,
+                         "chunk_builds_avoided": avoided,
+                         "chunk_ids": [list(cid) if isinstance(cid, tuple)
+                                       else cid for cid in chunk_ids]}
+                for mode, count in mode_counts.items():
+                    attrs[f"chunks_{mode}"] = count
+                    attrs[f"payload_bytes_{mode}"] = mode_bytes[mode]
+                ranks_after = rank_counts()
+                for name, before in ranks_before.items():
+                    delta = ranks_after[name] - before
+                    if delta:
+                        attrs[name] = delta
+                span.set(**attrs)
+                tracer.finish(span)
 
         compiled = base_rdd.map_partitions_with_index(
             run, preserves_partitioning=True)

@@ -17,6 +17,9 @@ slice of Spark that Spangle needs, in pure Python:
 - :mod:`repro.engine.costmodel` — converts measured metrics (shuffle
   bytes, task counts, disk I/O) into a modeled cluster execution time so
   benchmarks can report cluster-scale comparisons from in-process runs.
+- :mod:`repro.engine.tracing` — structured span tracing (job → stage →
+  task plus shuffle/cache/checkpoint/broadcast/plan annotations), job
+  profiles, and JSON-lines / Chrome-trace exporters.
 """
 
 from repro.engine.context import ClusterContext
@@ -26,6 +29,7 @@ from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitio
 from repro.engine.rdd import RDD
 from repro.engine.scheduler import ExecutorPool, StageScheduler
 from repro.engine.storage import StorageLevel
+from repro.engine.tracing import JobProfile, Span, Tracer
 
 __all__ = [
     "ClusterContext",
@@ -33,12 +37,15 @@ __all__ = [
     "CostReport",
     "ExecutorPool",
     "HashPartitioner",
+    "JobProfile",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Partitioner",
     "RangePartitioner",
     "RDD",
+    "Span",
     "StageScheduler",
     "StageTiming",
     "StorageLevel",
+    "Tracer",
 ]

@@ -22,12 +22,14 @@ from repro.errors import EngineError
 class Broadcast:
     """A read-only value shipped once to every executor."""
 
-    __slots__ = ("_value", "_destroyed", "nbytes")
+    __slots__ = ("_value", "_destroyed", "nbytes", "label")
 
-    def __init__(self, value, nbytes: int):
+    def __init__(self, value, nbytes: int, label: str = None):
         self._value = value
         self._destroyed = False
         self.nbytes = nbytes
+        # shown by trace spans; defaults to the payload's type name
+        self.label = label or f"broadcast[{type(value).__name__}]"
 
     @property
     def value(self):

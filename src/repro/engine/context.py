@@ -16,6 +16,7 @@ from repro.engine.metrics import MetricsRegistry
 from repro.engine.rdd import GeneratedRDD, ParallelCollectionRDD, RDD
 from repro.engine.scheduler import ExecutorPool, StageScheduler
 from repro.engine.storage import CacheManager
+from repro.engine.tracing import Tracer
 from repro.errors import EngineError
 
 
@@ -34,12 +35,16 @@ class ClusterContext:
     use_threads:
         Execute tasks of a job concurrently with a thread pool. numpy
         kernels release the GIL, so chunk-heavy jobs do overlap.
+    trace:
+        Record a structured span tree for every job
+        (:mod:`repro.engine.tracing`). Off by default; when off, the
+        instrumentation is a no-op attribute check.
     """
 
     def __init__(self, num_executors: int = 4, default_parallelism=None,
                  cache_budget_bytes=None, use_threads: bool = False,
                  cost_model: ClusterCostModel = None,
-                 task_retries: int = 3):
+                 task_retries: int = 3, trace: bool = False):
         if num_executors <= 0:
             raise EngineError("num_executors must be positive")
         if task_retries < 0:
@@ -47,8 +52,10 @@ class ClusterContext:
         self.num_executors = num_executors
         self.default_parallelism = default_parallelism or num_executors
         self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=trace, num_executors=num_executors)
         self.cache = CacheManager(self.metrics,
-                                  budget_bytes=cache_budget_bytes)
+                                  budget_bytes=cache_budget_bytes,
+                                  tracer=self.tracer)
         self.use_threads = use_threads
         self.cost_model = cost_model or ClusterCostModel()
         self.task_retries = task_retries
@@ -102,7 +109,10 @@ class ClusterContext:
 
         nbytes = _size(value)
         self.metrics.record_broadcast(nbytes * self.num_executors)
-        return Broadcast(value, nbytes)
+        broadcast = Broadcast(value, nbytes)
+        self.tracer.event(broadcast.label, "broadcast", bytes=nbytes,
+                          shipped_bytes=nbytes * self.num_executors)
+        return broadcast
 
     def counter(self, initial=0, name: str = None):
         """A driver-visible additive counter usable inside tasks."""
@@ -135,11 +145,15 @@ class ClusterContext:
         self.metrics.record_job()
         self.metrics.record_stage()
         taken = []
-        for index in range(rdd.num_partitions):
-            if len(taken) >= n:
-                break
-            self.metrics.record_task()
-            taken.extend(rdd.iterator(index))
+        with self.tracer.span(f"{rdd.name}:take", "job",
+                              executors=self.num_executors):
+            with self.tracer.span(rdd.name, "stage", stage_kind="result"):
+                for index in range(rdd.num_partitions):
+                    if len(taken) >= n:
+                        break
+                    self.metrics.record_task()
+                    with self.tracer.span("task", "task", partition=index):
+                        taken.extend(rdd.iterator(index))
         return taken[:n]
 
     def run_partition(self, rdd: RDD, index: int) -> list:
@@ -151,7 +165,11 @@ class ClusterContext:
         self.metrics.record_job()
         self.metrics.record_stage()
         self.metrics.record_task()
-        return rdd.iterator(index)
+        with self.tracer.span(f"{rdd.name}:partition", "job",
+                              executors=self.num_executors):
+            with self.tracer.span(rdd.name, "stage", stage_kind="result"):
+                with self.tracer.span("task", "task", partition=index):
+                    return rdd.iterator(index)
 
     # ------------------------------------------------------------------
     # lifecycle

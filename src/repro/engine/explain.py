@@ -128,10 +128,9 @@ def stage_breakdown(stage_timings, task_times=None) -> str:
     lines.extend(rows)
     lines.append(f"  total stage wall time: {total * 1e3:.2f} ms")
     if task_times:
-        from repro.engine.metrics import MetricsRegistry
+        from repro.engine.metrics import task_time_histogram
 
-        histogram = MetricsRegistry().task_time_histogram(
-            bins=8, task_times=list(task_times))
+        histogram = task_time_histogram(list(task_times), bins=8)
         buckets = "  ".join(
             f"[{lo * 1e3:.2f}-{hi * 1e3:.2f}ms]x{count}"
             for lo, hi, count in histogram if count)

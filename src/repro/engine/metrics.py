@@ -64,6 +64,32 @@ class MetricsSnapshot:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
+#: the engine's logical counters — the single source of truth shared by
+#: MetricsSnapshot (all fields) and MetricsRegistry (reset/snapshot).
+#: Adding a counter means adding one field to *each* dataclass; the
+#: drift-guard test asserts the two stay identical.
+COUNTER_FIELDS = tuple(f.name for f in fields(MetricsSnapshot))
+
+
+def task_time_histogram(task_times, bins: int = 10) -> list:
+    """``(lo_s, hi_s, count)`` buckets over a list of task durations."""
+    task_times = list(task_times)
+    if not task_times:
+        return []
+    lo, hi = min(task_times), max(task_times)
+    if hi <= lo:
+        return [(lo, hi, len(task_times))]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for duration in task_times:
+        slot = min(int((duration - lo) / width), bins - 1)
+        counts[slot] += 1
+    return [
+        (lo + i * width, lo + (i + 1) * width, count)
+        for i, count in enumerate(counts)
+    ]
+
+
 @dataclass
 class MetricsRegistry:
     """Mutable counters owned by a :class:`ClusterContext`."""
@@ -102,46 +128,12 @@ class MetricsRegistry:
 
     def _snapshot_locked(self) -> MetricsSnapshot:
         return MetricsSnapshot(
-            tasks_launched=self.tasks_launched,
-            stages_run=self.stages_run,
-            jobs_run=self.jobs_run,
-            shuffle_records=self.shuffle_records,
-            shuffle_bytes=self.shuffle_bytes,
-            shuffles_performed=self.shuffles_performed,
-            disk_read_bytes=self.disk_read_bytes,
-            disk_write_bytes=self.disk_write_bytes,
-            result_bytes=self.result_bytes,
-            broadcast_bytes=self.broadcast_bytes,
-            cache_hits=self.cache_hits,
-            cache_misses=self.cache_misses,
-            cache_evictions=self.cache_evictions,
-            recomputations=self.recomputations,
-            task_retries=self.task_retries,
-            kernels_fused=self.kernels_fused,
-            fused_chunks_avoided=self.fused_chunks_avoided,
+            **{name: getattr(self, name) for name in COUNTER_FIELDS}
         )
 
     def reset(self) -> None:
         with self._lock:
-            for name in (
-                "tasks_launched",
-                "stages_run",
-                "jobs_run",
-                "shuffle_records",
-                "shuffle_bytes",
-                "shuffles_performed",
-                "disk_read_bytes",
-                "disk_write_bytes",
-                "result_bytes",
-                "broadcast_bytes",
-                "cache_hits",
-                "cache_misses",
-                "cache_evictions",
-                "recomputations",
-                "task_retries",
-                "kernels_fused",
-                "fused_chunks_avoided",
-            ):
+            for name in COUNTER_FIELDS:
                 setattr(self, name, 0)
             self.stage_timings.clear()
             self.task_times.clear()
@@ -231,21 +223,13 @@ class MetricsRegistry:
             return sum(self.task_times)
 
     def task_time_histogram(self, bins: int = 10, task_times=None) -> list:
-        """``(lo_s, hi_s, count)`` buckets over recorded task durations."""
+        """``(lo_s, hi_s, count)`` buckets over recorded task durations.
+
+        Delegates to the module-level :func:`task_time_histogram`;
+        without an explicit ``task_times`` it buckets this registry's
+        recorded durations.
+        """
         if task_times is None:
             with self._lock:
                 task_times = list(self.task_times)
-        if not task_times:
-            return []
-        lo, hi = min(task_times), max(task_times)
-        if hi <= lo:
-            return [(lo, hi, len(task_times))]
-        width = (hi - lo) / bins
-        counts = [0] * bins
-        for duration in task_times:
-            slot = min(int((duration - lo) / width), bins - 1)
-            counts[slot] += 1
-        return [
-            (lo + i * width, lo + (i + 1) * width, count)
-            for i, count in enumerate(counts)
-        ]
+        return task_time_histogram(task_times, bins=bins)

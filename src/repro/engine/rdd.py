@@ -729,27 +729,34 @@ class ShuffledRDD(RDD):
                 return self._buckets
             parent = self.dependencies[0]
             metrics = self.context.metrics
+            tracer = self.context.tracer
             metrics.record_stage()
             start = time.perf_counter()
+            with tracer.span(self.name, "shuffle",
+                             num_tasks=parent.num_partitions) as span:
+                def run_map_task(parent_index):
+                    with tracer.span("map_task", "task", parent=span,
+                                     partition=parent_index) as task_span:
+                        out = run_task_with_retries(
+                            self.context, parent_index,
+                            lambda: self._map_task(parent_index))
+                        task_span.set(records=out[1], bytes=out[2])
+                        return out
 
-            def run_map_task(parent_index):
-                return run_task_with_retries(
-                    self.context, parent_index,
-                    lambda: self._map_task(parent_index))
-
-            indices = range(parent.num_partitions)
-            if pool is not None:
-                outputs = pool.map_tasks(run_map_task, indices)
-            else:
-                outputs = [run_map_task(index) for index in indices]
-            buckets = [[] for _ in range(self.num_partitions)]
-            total_records = 0
-            total_bytes = 0
-            for task_buckets, records, nbytes in outputs:
-                for target, bucket in enumerate(task_buckets):
-                    buckets[target].extend(bucket)
-                total_records += records
-                total_bytes += nbytes
+                indices = range(parent.num_partitions)
+                if pool is not None:
+                    outputs = pool.map_tasks(run_map_task, indices)
+                else:
+                    outputs = [run_map_task(index) for index in indices]
+                buckets = [[] for _ in range(self.num_partitions)]
+                total_records = 0
+                total_bytes = 0
+                for task_buckets, records, nbytes in outputs:
+                    for target, bucket in enumerate(task_buckets):
+                        buckets[target].extend(bucket)
+                    total_records += records
+                    total_bytes += nbytes
+                span.set(records=total_records, bytes=total_bytes)
             metrics.record_shuffle(total_records, total_bytes)
             metrics.record_stage_timing(
                 self.name, "shuffle", time.perf_counter() - start,
@@ -834,27 +841,34 @@ class CoGroupedRDD(RDD):
                 return self._buckets[which]
             parent = self.dependencies[which]
             metrics = self.context.metrics
+            tracer = self.context.tracer
             metrics.record_stage()
             start = time.perf_counter()
+            with tracer.span(f"{self.name}[{which}]", "shuffle",
+                             num_tasks=parent.num_partitions) as span:
+                def run_map_task(parent_index):
+                    with tracer.span("map_task", "task", parent=span,
+                                     partition=parent_index) as task_span:
+                        out = run_task_with_retries(
+                            self.context, parent_index,
+                            lambda: self._map_task(which, parent_index))
+                        task_span.set(records=out[1], bytes=out[2])
+                        return out
 
-            def run_map_task(parent_index):
-                return run_task_with_retries(
-                    self.context, parent_index,
-                    lambda: self._map_task(which, parent_index))
-
-            indices = range(parent.num_partitions)
-            if pool is not None:
-                outputs = pool.map_tasks(run_map_task, indices)
-            else:
-                outputs = [run_map_task(index) for index in indices]
-            buckets = [[] for _ in range(self.num_partitions)]
-            total_records = 0
-            total_bytes = 0
-            for task_buckets, records, nbytes in outputs:
-                for target, bucket in enumerate(task_buckets):
-                    buckets[target].extend(bucket)
-                total_records += records
-                total_bytes += nbytes
+                indices = range(parent.num_partitions)
+                if pool is not None:
+                    outputs = pool.map_tasks(run_map_task, indices)
+                else:
+                    outputs = [run_map_task(index) for index in indices]
+                buckets = [[] for _ in range(self.num_partitions)]
+                total_records = 0
+                total_bytes = 0
+                for task_buckets, records, nbytes in outputs:
+                    for target, bucket in enumerate(task_buckets):
+                        buckets[target].extend(bucket)
+                    total_records += records
+                    total_bytes += nbytes
+                span.set(records=total_records, bytes=total_bytes)
             metrics.record_shuffle(total_records, total_bytes)
             metrics.record_stage_timing(
                 f"{self.name}[{which}]", "shuffle",

@@ -36,7 +36,7 @@ from repro.engine.rdd import (
     ShuffledRDD,
     run_task_with_retries,
 )
-from repro.engine.sizing import estimate_size
+from repro.engine.sizing import estimate_partition_size, estimate_size
 from repro.engine.storage import StorageLevel
 
 
@@ -176,34 +176,51 @@ class StageScheduler:
         metrics = self.context.metrics
         metrics.record_job()
         pool = self._pool()
-        for node, which in self.shuffle_stages(rdd):
-            if which is None:
-                node.materialize(pool=pool)
-            else:
-                node.materialize_parent(which, pool=pool)
-        metrics.record_stage()
-        start = time.perf_counter()
-        results = self._run_tasks(
-            rdd, range(rdd.num_partitions), partition_func, pool)
-        metrics.record_stage_timing(
-            rdd.name, "result", time.perf_counter() - start,
-            rdd.num_partitions)
+        tracer = self.context.tracer
+        with tracer.span(rdd.name, "job",
+                         executors=self.context.num_executors,
+                         partitions=rdd.num_partitions):
+            # shuffle map stages open their own spans (children of the
+            # job span through the driver thread's span stack)
+            for node, which in self.shuffle_stages(rdd):
+                if which is None:
+                    node.materialize(pool=pool)
+                else:
+                    node.materialize_parent(which, pool=pool)
+            metrics.record_stage()
+            start = time.perf_counter()
+            with tracer.span(rdd.name, "stage", stage_kind="result",
+                             num_tasks=rdd.num_partitions) as stage_span:
+                results = self._run_tasks(
+                    rdd, range(rdd.num_partitions), partition_func, pool,
+                    stage_span)
+            metrics.record_stage_timing(
+                rdd.name, "result", time.perf_counter() - start,
+                rdd.num_partitions)
         return results
 
-    def _run_tasks(self, rdd: RDD, indices, partition_func, pool) -> list:
+    def _run_tasks(self, rdd: RDD, indices, partition_func, pool,
+                   stage_span=None) -> list:
         def run_one(index):
-            return self._run_task(rdd, index, partition_func)
+            return self._run_task(rdd, index, partition_func, stage_span)
 
         indices = list(indices)
         if pool is not None and len(indices) > 1:
             return pool.map_tasks(run_one, indices)
         return [run_one(index) for index in indices]
 
-    def _run_task(self, rdd: RDD, index: int, partition_func):
-        result = run_task_with_retries(
-            self.context, index,
-            lambda: partition_func(rdd.iterator(index)))
-        self.context.metrics.record_result(estimate_size(result))
+    def _run_task(self, rdd: RDD, index: int, partition_func,
+                  stage_span=None):
+        # the stage span is the *explicit* parent: under threading this
+        # runs on an executor thread whose span stack is empty
+        with self.context.tracer.span("task", "task", parent=stage_span,
+                                      partition=index) as span:
+            result = run_task_with_retries(
+                self.context, index,
+                lambda: partition_func(rdd.iterator(index)))
+            result_bytes = estimate_size(result)
+            span.set(result_bytes=result_bytes)
+        self.context.metrics.record_result(result_bytes)
         return result
 
     def materialize_partitions(self, rdd: RDD) -> list:
@@ -216,21 +233,29 @@ class StageScheduler:
         write is timed as a stage.
         """
         pool = self._pool()
+        tracer = self.context.tracer
         for node, which in self.shuffle_stages(rdd):
             if which is None:
                 node.materialize(pool=pool)
             else:
                 node.materialize_parent(which, pool=pool)
         start = time.perf_counter()
+        with tracer.span(rdd.name, "checkpoint",
+                         num_tasks=rdd.num_partitions) as ckpt_span:
+            def compute_one(index):
+                with tracer.span("task", "task", parent=ckpt_span,
+                                 partition=index) as task_span:
+                    data_part = list(rdd.compute(index))
+                    if tracer.enabled:
+                        task_span.set(
+                            bytes=estimate_partition_size(data_part))
+                    return data_part
 
-        def compute_one(index):
-            return list(rdd.compute(index))
-
-        indices = list(range(rdd.num_partitions))
-        if pool is not None and len(indices) > 1:
-            data = pool.map_tasks(compute_one, indices)
-        else:
-            data = [compute_one(index) for index in indices]
+            indices = list(range(rdd.num_partitions))
+            if pool is not None and len(indices) > 1:
+                data = pool.map_tasks(compute_one, indices)
+            else:
+                data = [compute_one(index) for index in indices]
         self.context.metrics.record_stage_timing(
             rdd.name, "checkpoint", time.perf_counter() - start,
             rdd.num_partitions)

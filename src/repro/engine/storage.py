@@ -32,13 +32,21 @@ class CacheManager:
     concurrently.
     """
 
-    def __init__(self, metrics, budget_bytes=None):
+    def __init__(self, metrics, budget_bytes=None, tracer=None):
         self._metrics = metrics
         self._budget_bytes = budget_bytes
+        self._tracer = tracer
         self._blocks = OrderedDict()
         self._sizes = {}
         self._spilled = {}
         self._lock = threading.RLock()
+
+    def _trace(self, name: str, rdd_id: int, partition_index: int,
+               **attrs) -> None:
+        """A zero-duration cache annotation under the current span."""
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.event(name, "cache", rdd_id=rdd_id,
+                               partition=partition_index, **attrs)
 
     @property
     def budget_bytes(self):
@@ -59,6 +67,7 @@ class CacheManager:
             if key in self._blocks:
                 self._blocks.move_to_end(key)
                 self._metrics.record_cache_hit()
+                self._trace("cache_hit", rdd_id, partition_index)
                 return True, self._blocks[key]
             if key in self._spilled:
                 data = self._spilled[key]
@@ -66,8 +75,11 @@ class CacheManager:
                 self._metrics.record_disk_read(
                     estimate_partition_size(data)
                 )
+                self._trace("cache_hit", rdd_id, partition_index,
+                            spilled=True)
                 return True, data
             self._metrics.record_cache_miss()
+            self._trace("cache_miss", rdd_id, partition_index)
             return False, None
 
     def peek(self, rdd_id: int, partition_index: int):
@@ -106,6 +118,8 @@ class CacheManager:
             victim_key, victim_data = self._blocks.popitem(last=False)
             size = self._sizes.pop(victim_key)
             self._metrics.record_eviction()
+            self._trace("cache_evict", victim_key[0], victim_key[1],
+                        bytes=size, spilled=allow_spill)
             if allow_spill:
                 self._spilled[victim_key] = victim_data
                 self._metrics.record_disk_write(size)

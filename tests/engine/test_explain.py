@@ -3,7 +3,12 @@
 import pytest
 
 from repro.engine import ClusterContext, HashPartitioner
-from repro.engine.explain import count_stages, explain, stage_plan
+from repro.engine.explain import (
+    count_stages,
+    explain,
+    fused_pipelines,
+    stage_plan,
+)
 
 
 @pytest.fixture()
@@ -93,6 +98,28 @@ class TestExplainText:
         rdd.checkpoint()
         assert "[checkpoint]" in explain(rdd)
 
+    def test_mixed_cached_checkpointed_fused_plan(self, ctx):
+        """One plan mixing all three markers the explainer knows."""
+        import numpy as np
+
+        from repro.core import ArrayRDD
+
+        rng = np.random.default_rng(3)
+        arr = ArrayRDD.from_numpy(ctx, rng.random((32, 32)), (16, 16))
+        fused = (arr * 2.0).map_values(lambda a: a + 1.0).cache()
+        fused.materialize()                  # compiles fused[...] + caches
+        base = fused.rdd
+        base.checkpoint()
+        deeper = base.map(lambda kv: kv)
+
+        text = explain(deeper)
+        assert "[cached]" in text
+        assert "[checkpoint]" in text
+        assert "fused[scalar_mul→map]" in text
+
+        # checkpoint truncated the plan to a single stage
+        assert count_stages(deeper) == 1
+
     def test_matmul_local_join_has_no_input_shuffle(self, ctx):
         import numpy as np
 
@@ -126,3 +153,41 @@ class TestExplainText:
         # merged into the same stage as the zip itself
         names = {node.name for node in zip_stage.rdds}
         assert "partition_by" in names
+
+
+class TestFusedPipelines:
+    def test_no_fusion_means_no_labels(self, ctx):
+        rdd = ctx.parallelize(range(8), 2).map(lambda x: x + 1)
+        assert fused_pipelines(rdd) == []
+
+    def test_fused_chain_is_listed(self, ctx):
+        import numpy as np
+
+        from repro.core import ArrayRDD
+
+        rng = np.random.default_rng(3)
+        arr = ArrayRDD.from_numpy(ctx, rng.random((32, 32)), (16, 16))
+        chain = ((arr * 2.0)
+                 .filter(lambda a: a > 0.5)
+                 .map_values(lambda a: a - 1.0))
+        labels = fused_pipelines(chain.rdd)
+        assert labels == ["fused[scalar_mul→filter→map]"]
+
+    def test_pipelines_across_a_shuffle_list_in_stage_order(self, ctx):
+        import numpy as np
+
+        from repro.core import ArrayRDD
+
+        rng = np.random.default_rng(3)
+        arr = ArrayRDD.from_numpy(ctx, rng.random((32, 32)), (16, 16))
+        first = (arr * 2.0).map_values(lambda a: a + 1.0)
+        # aggregate_by shuffles; the downstream side compiles its own
+        # fused pipeline over the aggregated chunks
+        regrouped = first.aggregate_by((0,), "sum")
+        second = (regrouped * 3.0).map_values(lambda a: a - 1.0)
+        labels = fused_pipelines(second.rdd)
+        assert labels == ["fused[scalar_mul→map]",
+                          "fused[scalar_mul→map]"]
+        # a cached mid-point keeps both pipelines in the plan
+        second.cache().materialize()
+        assert "[cached]" in explain(second.rdd)

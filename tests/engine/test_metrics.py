@@ -1,0 +1,78 @@
+"""Tests for the metrics registry/snapshot pair and its histogram."""
+
+import dataclasses
+
+from repro.engine.metrics import (
+    COUNTER_FIELDS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    task_time_histogram,
+)
+
+
+class TestCounterFieldDriftGuard:
+    """Snapshot and registry must expose the same logical counters.
+
+    ``reset()`` and ``snapshot()`` are derived from
+    ``fields(MetricsSnapshot)``; this guard catches a counter added to
+    one dataclass but not the other.
+    """
+
+    def test_registry_has_every_snapshot_counter(self):
+        registry_fields = {f.name for f in
+                           dataclasses.fields(MetricsRegistry)}
+        missing = set(COUNTER_FIELDS) - registry_fields
+        assert not missing, (
+            f"counters on MetricsSnapshot missing from "
+            f"MetricsRegistry: {sorted(missing)}")
+
+    def test_every_registry_counter_is_snapshotted(self):
+        # non-counter registry fields are private or wall-clock
+        # observations, never plain ints defaulting to 0
+        counters = {
+            f.name for f in dataclasses.fields(MetricsRegistry)
+            if f.type == "int"
+        }
+        assert counters == set(COUNTER_FIELDS)
+
+    def test_snapshot_and_reset_cover_all_counters(self):
+        registry = MetricsRegistry()
+        for name in COUNTER_FIELDS:
+            setattr(registry, name, 7)
+        snap = registry.snapshot()
+        assert all(getattr(snap, name) == 7 for name in COUNTER_FIELDS)
+        registry.reset()
+        assert registry.snapshot() == MetricsSnapshot()
+
+    def test_snapshot_subtraction_diffs_every_counter(self):
+        lo = MetricsSnapshot()
+        hi = MetricsSnapshot(**{name: 3 for name in COUNTER_FIELDS})
+        delta = hi - lo
+        assert all(
+            getattr(delta, name) == 3 for name in COUNTER_FIELDS)
+
+
+class TestTaskTimeHistogram:
+    def test_empty(self):
+        assert task_time_histogram([]) == []
+
+    def test_constant_durations_collapse_to_one_bucket(self):
+        assert task_time_histogram([0.5, 0.5, 0.5]) == [(0.5, 0.5, 3)]
+
+    def test_buckets_cover_the_range_and_count_everything(self):
+        times = [0.1 * i for i in range(1, 11)]
+        buckets = task_time_histogram(times, bins=5)
+        assert len(buckets) == 5
+        assert buckets[0][0] == min(times)
+        assert abs(buckets[-1][1] - max(times)) < 1e-9
+        assert sum(count for _lo, _hi, count in buckets) == len(times)
+
+    def test_registry_method_delegates_to_the_module_function(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.4):
+            registry.record_task_time(value)
+        assert registry.task_time_histogram(bins=3) \
+            == task_time_histogram([0.1, 0.2, 0.4], bins=3)
+        # an explicit list bypasses the recorded durations
+        assert registry.task_time_histogram(bins=2, task_times=[1.0]) \
+            == [(1.0, 1.0, 1)]
