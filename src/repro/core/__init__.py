@@ -10,6 +10,7 @@ Chunk-local operators accumulate on a :class:`ChunkPlan`
 (:mod:`repro.core.plan`) and execute as one fused pass per chunk.
 """
 
+from repro.core import chunk_codec
 from repro.core.aggregates import (
     Aggregator,
     AvgAggregator,
@@ -29,6 +30,10 @@ from repro.core.plan import (
     enable_fusion,
     fusion_enabled,
 )
+
+# teach the engine's columnar shuffle to pack Chunk values; the engine
+# layer itself never imports core
+chunk_codec.register()
 
 __all__ = [
     "Aggregator",

@@ -165,6 +165,28 @@ BUILTIN_AGGREGATORS = {
 }
 
 
+#: builtin aggregators whose ``merge`` is exactly one of the engine's
+#: vectorized combine kernels; exact types only — a subclass may
+#: override ``merge`` and break the kernel contract
+_KERNEL_AGGREGATORS = {
+    SumAggregator: "sum",
+    CountAggregator: "sum",
+    MinAggregator: "min",
+    MaxAggregator: "max",
+}
+
+
+def combine_kernel_for(agg):
+    """The engine ``combine_kernel`` matching ``agg.merge``, or None.
+
+    Declaring a kernel lets the columnar shuffle fold states in one
+    numpy pass; it is only valid when ``merge`` equals the kernel's
+    scalar fold for every state that packs (min/max states of ``None``
+    simply refuse to pack and fall back per record).
+    """
+    return _KERNEL_AGGREGATORS.get(type(agg))
+
+
 def resolve_aggregator(agg) -> Aggregator:
     """Accept an Aggregator instance or a builtin name."""
     if isinstance(agg, Aggregator):

@@ -27,7 +27,7 @@ import numpy as np
 from repro.bitmask import Bitmask
 from repro.core import mapper
 from repro.core import plan as plan_mod
-from repro.core.aggregates import resolve_aggregator
+from repro.core.aggregates import combine_kernel_for, resolve_aggregator
 from repro.core.chunk import Chunk, ChunkMode
 from repro.core.metadata import ArrayMetadata
 from repro.core.plan import (
@@ -363,6 +363,15 @@ class ArrayRDD:
             raise ArrayError(f"bad group dimensions: {dims}")
         agg = resolve_aggregator(aggregator)
         meta = self.meta
+        axis_sizes = tuple(int(meta.shape[a]) for a in axes)
+        axis_starts = tuple(int(meta.starts[a]) for a in axes)
+        # group labels travel as one mixed-radix int64 key so the
+        # columnar shuffle can vectorize partitioning and the combine;
+        # absurdly large virtual shapes keep the tuple keys
+        group_space = 1
+        for size in axis_sizes:
+            group_space *= size
+        linear_keys = group_space < (1 << 62)
 
         def partials(part):
             for chunk_id, chunk in part:
@@ -376,6 +385,11 @@ class ArrayRDD:
                 order = np.lexsort(labels.T[::-1])
                 labels = labels[order]
                 values = values[order]
+                if linear_keys:
+                    encoded = np.zeros(labels.shape[0], dtype=np.int64)
+                    for j, (size, base) in enumerate(
+                            zip(axis_sizes, axis_starts)):
+                        encoded = encoded * size + (labels[:, j] - base)
                 boundaries = np.ones(labels.shape[0], dtype=bool)
                 boundaries[1:] = (labels[1:] != labels[:-1]).any(axis=1)
                 group_starts = np.nonzero(boundaries)[0]
@@ -383,11 +397,25 @@ class ArrayRDD:
                 for start, end in zip(group_starts, group_ends):
                     state = agg.accumulate(agg.initialize(),
                                            values[start:end])
-                    yield tuple(labels[start]), state
+                    if linear_keys:
+                        yield int(encoded[start]), state
+                    else:
+                        yield tuple(labels[start]), state
+
+        def decode(record):
+            key, value = record
+            coords = [0] * len(axis_sizes)
+            for j in range(len(axis_sizes) - 1, -1, -1):
+                key, remainder = divmod(key, axis_sizes[j])
+                coords[j] = remainder + axis_starts[j]
+            return tuple(coords), value
 
         merged = self.rdd.map_partitions(partials) \
-                         .reduce_by_key(agg.merge) \
+                         .reduce_by_key(agg.merge,
+                                        combine_kernel=combine_kernel_for(agg)) \
                          .map_values(agg.evaluate)
+        if linear_keys:
+            merged = merged.map(decode)
 
         new_shape = tuple(self.meta.shape[a] for a in axes)
         new_starts = tuple(self.meta.starts[a] for a in axes)

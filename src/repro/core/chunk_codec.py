@@ -1,0 +1,168 @@
+"""The Chunk value codec for the columnar shuffle.
+
+Spangle's shuffle traffic is mostly ``(chunk_id, Chunk)`` records, and a
+Chunk is already columnar inside: a flat payload buffer plus bitmask
+words. This codec teaches :mod:`repro.engine.batches` to ship a whole
+bucket of chunks as four buffers — payload concatenation, mask-word
+concatenation, per-record modes, and per-record cell counts — instead of
+a Python object per chunk.
+
+Registered from ``repro.core.__init__`` via
+:func:`repro.engine.batches.register_value_codec`, so the engine layer
+never imports core.
+
+Byte-identity rules (unpacked chunks must pickle identically to the
+originals):
+
+- payloads must be 1-D, share one dtype, and hold no Python objects;
+- a mask whose milestone rank cache has been populated is refused —
+  the rebuilt mask would pickle with a fresh (empty) cache;
+- SUPER_SPARSE masks ship compressed: the record's word run is the
+  upper-level words followed by the stored non-zero lower words, and
+  the hierarchical mask is rebuilt exactly (prefix counts are
+  deterministic in the constructor).
+
+Like every array-backed codec, packing refuses once the mean bytes per
+chunk reach :data:`repro.engine.batches.VALUE_PACK_BYTE_LIMIT` — big
+chunks move faster as references than as copied buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmask import Bitmask, HierarchicalBitmask
+from repro.bitmask.popcount import WORD_BITS
+from repro.core.chunk import Chunk, ChunkMode
+from repro.engine.batches import (
+    VALUE_PACK_BYTE_LIMIT,
+    ArrayValues,
+    register_value_codec,
+)
+
+#: wire codes for ChunkMode, indexed by the uint8 stored per record
+_MODES = (ChunkMode.DENSE, ChunkMode.SPARSE, ChunkMode.SUPER_SPARSE)
+_MODE_CODES = {mode: code for code, mode in enumerate(_MODES)}
+
+
+def _flat_column(arrays) -> ArrayValues:
+    """A column of 1-D same-dtype arrays as one ArrayValues buffer."""
+    data = np.concatenate(arrays)
+    lengths = np.fromiter((a.size for a in arrays), dtype=np.int64,
+                          count=len(arrays))
+    return ArrayValues(data, lengths, lengths[:, None])
+
+
+class ChunkValues:
+    """A packed column of :class:`Chunk` values."""
+
+    __slots__ = ("modes", "num_cells", "payload", "words", "upper_lengths")
+
+    def __init__(self, modes: np.ndarray, num_cells: np.ndarray,
+                 payload: ArrayValues, words: ArrayValues,
+                 upper_lengths: np.ndarray):
+        self.modes = modes                  # uint8 wire codes
+        self.num_cells = num_cells          # int64
+        self.payload = payload              # one flat value buffer
+        self.words = words                  # one flat uint64 buffer
+        self.upper_lengths = upper_lengths  # int64; 0 for flat masks
+
+    def __len__(self) -> int:
+        return self.modes.size
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.modes.nbytes + self.num_cells.nbytes
+                   + self.upper_lengths.nbytes) \
+            + self.payload.nbytes + self.words.nbytes
+
+    def unpack(self) -> list:
+        payloads = self.payload.unpack()
+        word_runs = self.words.unpack()
+        out = []
+        for i in range(self.modes.size):
+            mode = _MODES[self.modes[i]]
+            cells = int(self.num_cells[i])
+            run = word_runs[i]
+            if mode is ChunkMode.SUPER_SPARSE:
+                split = int(self.upper_lengths[i])
+                upper_bits = (cells + WORD_BITS - 1) // WORD_BITS
+                mask = HierarchicalBitmask(
+                    cells, Bitmask(upper_bits, run[:split].copy()),
+                    run[split:])
+            else:
+                mask = Bitmask(cells, run)
+            out.append(Chunk(mode, payloads[i], mask, cells))
+        return out
+
+    def gather(self, idx: np.ndarray) -> "ChunkValues":
+        return ChunkValues(self.modes[idx], self.num_cells[idx],
+                           self.payload.gather(idx),
+                           self.words.gather(idx),
+                           self.upper_lengths[idx])
+
+
+def _mask_words(chunk: Chunk):
+    """``(word_run, upper_length)`` for one chunk's mask, or None when
+    the mask cannot be rebuilt byte-identically."""
+    mask = chunk.mask
+    if chunk.mode is ChunkMode.SUPER_SPARSE:
+        if type(mask) is not HierarchicalBitmask:
+            return None
+        upper = mask._upper
+        if upper._milestones is not None:
+            return None
+        return (np.concatenate([upper.words, mask._stored_words]),
+                upper.words.size)
+    if type(mask) is not Bitmask:
+        return None
+    if mask._milestones is not None:
+        return None
+    return mask.words, 0
+
+
+def probe_chunks(values):
+    """``ChunkValues`` for a uniform column of chunks, or None."""
+    first = values[0]
+    if type(first) is not Chunk:
+        return None
+    dtype = first.payload.dtype
+    if dtype.hasobject:
+        return None
+    modes = np.empty(len(values), dtype=np.uint8)
+    num_cells = np.empty(len(values), dtype=np.int64)
+    upper_lengths = np.zeros(len(values), dtype=np.int64)
+    payloads = []
+    word_runs = []
+    total_bytes = 0
+    for i, chunk in enumerate(values):
+        if type(chunk) is not Chunk:
+            return None
+        payload = chunk.payload
+        if (type(payload) is not np.ndarray or payload.dtype != dtype
+                or payload.ndim != 1):
+            return None
+        packed_mask = _mask_words(chunk)
+        if packed_mask is None:
+            return None
+        run, upper_length = packed_mask
+        modes[i] = _MODE_CODES[chunk.mode]
+        num_cells[i] = chunk.num_cells
+        upper_lengths[i] = upper_length
+        payloads.append(payload)
+        word_runs.append(run)
+        total_bytes += payload.nbytes + run.nbytes
+    if total_bytes >= VALUE_PACK_BYTE_LIMIT * len(values):
+        return None
+    return ChunkValues(modes, num_cells, _flat_column(payloads),
+                       _flat_column(word_runs), upper_lengths)
+
+
+def register() -> None:
+    """Idempotently register the chunk codec with the engine."""
+    if not _STATE["registered"]:
+        register_value_codec(probe_chunks)
+        _STATE["registered"] = True
+
+
+_STATE = {"registered": False}

@@ -45,6 +45,10 @@ def array_rdd_from_cell_rdd(context, cell_rdd, meta: ArrayMetadata,
         values = np.array([record[1] for record in part])
         chunk_ids = mapper.chunk_ids_for_coords_array(meta, coords)
         offsets = mapper.local_offsets_for_coords_array(meta, coords)
+        if values.dtype != object:
+            # plain Python scalars, so the shuffle's columnar path can
+            # pack the (offset, value) pairs into one record batch
+            values = values.tolist()
         for chunk_id, offset, value in zip(chunk_ids, offsets, values):
             yield int(chunk_id), (int(offset), value)
 

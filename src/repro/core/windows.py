@@ -18,7 +18,7 @@ import math
 import numpy as np
 
 from repro.core import mapper
-from repro.core.aggregates import resolve_aggregator
+from repro.core.aggregates import combine_kernel_for, resolve_aggregator
 from repro.core.array_rdd import ArrayRDD
 from repro.core.metadata import ArrayMetadata
 from repro.errors import ArrayError
@@ -81,12 +81,24 @@ def window_aggregate(array: ArrayRDD, window_shape, aggregator="avg",
             for start, end in zip(starts, ends):
                 state = agg.accumulate(agg.initialize(),
                                        values[start:end])
-                yield tuple(int(c) for c in window_coords[start]), state
+                # the linear window id is already computed: shuffle on
+                # it so the columnar path vectorizes the merge
+                yield int(keys[start]), state
+
+    def decode(record):
+        key, value = record
+        coords = [0] * len(out_shape)
+        for axis in range(len(out_shape) - 1, -1, -1):
+            key, remainder = divmod(key, out_shape[axis])
+            coords[axis] = remainder
+        return tuple(coords), value
 
     merged = array.rdd.map_partitions(partials) \
-        .reduce_by_key(agg.merge) \
+        .reduce_by_key(agg.merge,
+                       combine_kernel=combine_kernel_for(agg)) \
         .map_values(agg.evaluate) \
-        .filter(lambda kv: kv[1] is not None)
+        .filter(lambda kv: kv[1] is not None) \
+        .map(decode)
 
     from repro.core.ingest import array_rdd_from_cell_rdd
 

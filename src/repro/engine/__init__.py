@@ -20,8 +20,18 @@ slice of Spark that Spangle needs, in pure Python:
 - :mod:`repro.engine.tracing` — structured span tracing (job → stage →
   task plus shuffle/cache/checkpoint/broadcast/plan annotations), job
   profiles, and JSON-lines / Chrome-trace exporters.
+- :mod:`repro.engine.batches` — the columnar shuffle data plane: packed
+  :class:`~repro.engine.batches.RecordBatch` shuffle blocks, vectorized
+  partitioning, and reduceat-style combine kernels, byte-identical to
+  the per-record path (``disable_columnar`` switches back).
 """
 
+from repro.engine.batches import (
+    RecordBatch,
+    columnar_enabled,
+    disable_columnar,
+    enable_columnar,
+)
 from repro.engine.context import ClusterContext
 from repro.engine.costmodel import ClusterCostModel, CostReport
 from repro.engine.metrics import MetricsRegistry, MetricsSnapshot, StageTiming
@@ -43,9 +53,13 @@ __all__ = [
     "Partitioner",
     "RangePartitioner",
     "RDD",
+    "RecordBatch",
     "Span",
     "StageScheduler",
     "StageTiming",
     "StorageLevel",
     "Tracer",
+    "columnar_enabled",
+    "disable_columnar",
+    "enable_columnar",
 ]

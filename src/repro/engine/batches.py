@@ -1,0 +1,457 @@
+"""Packed shuffle blocks: the columnar shuffle data plane.
+
+Spangle moves chunk-granularity data — flat payload + bitmask buffers —
+yet the generic shuffle buckets one Python tuple at a time. This module
+provides the packed alternative: a :class:`RecordBatch` ships a whole
+bucket as ``(key_array, value_payload_buffer, offsets, bitmask_words)``
+with exact ``nbytes`` accounting, and the combine kernels fold values on
+sorted key runs in one numpy pass.
+
+The contract is strict: everything here must be **byte-identical** to
+the generic per-record path (the dict-based combine/merge in
+``engine/rdd.py``) — same record order, same Python value types, same
+float bits. Packing therefore refuses anything it cannot reproduce
+exactly and returns ``None``, which callers treat as "fall back to the
+tuple path":
+
+- keys pack only when every key is a plain ``int`` (``bool`` and numpy
+  scalars would unpack as a different type) small enough that
+  ``hash(k) == k`` (the ``2**61 - 1`` modulus never engages);
+- values pack only for uniform plain floats, plain ints, 2-tuples of
+  scalars, same-dtype numpy arrays, or registered codecs (chunks —
+  registered by ``repro.core`` so the engine layer stays core-free);
+- array-backed codecs additionally refuse once the mean payload per
+  record reaches :data:`VALUE_PACK_BYTE_LIMIT`: packing copies the
+  payload (concatenate, bucket gather, unpack), which pays off only
+  while per-record framing overhead dominates — large buffers travel
+  faster as plain Python references;
+- the float-sum kernel uses ``np.add.at`` (unbuffered, applied in index
+  order) rather than ``reduceat`` because numpy's pairwise summation
+  re-associates float adds; min/max refuse NaN (numpy propagates it,
+  Python's ``min`` does not); int sums refuse magnitudes that could
+  overflow int64 where Python would promote to bignum.
+
+``disable_columnar()`` routes every shuffle back through the generic
+tuple path (standalone or as a context manager), mirroring
+``repro.plan.disable_fusion``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ArrayValues",
+    "BatchSegment",
+    "PairValues",
+    "RecordBatch",
+    "ScalarValues",
+    "VALUE_PACK_BYTE_LIMIT",
+    "columnar_enabled",
+    "combine_runs",
+    "disable_columnar",
+    "enable_columnar",
+    "group_indices_by_partition",
+    "pack_int_keys",
+    "pack_values",
+    "register_value_codec",
+]
+
+
+# ----------------------------------------------------------------------
+# columnar switch
+# ----------------------------------------------------------------------
+
+class _ColumnarToggle:
+    """Flips the global columnar-shuffle switch; restores the prior
+    state when used as a context manager."""
+
+    def __init__(self, enabled: bool):
+        self._previous = _STATE["enabled"]
+        _STATE["enabled"] = enabled
+
+    def __enter__(self) -> "_ColumnarToggle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _STATE["enabled"] = self._previous
+        return False
+
+
+_STATE = {"enabled": True}
+
+
+def columnar_enabled() -> bool:
+    """Whether shuffles attempt the packed columnar path (True) or
+    always bucket per record."""
+    return _STATE["enabled"]
+
+
+def enable_columnar() -> _ColumnarToggle:
+    """Turn the columnar shuffle on (the default). Usable as ``with``."""
+    return _ColumnarToggle(True)
+
+
+def disable_columnar() -> _ColumnarToggle:
+    """Escape hatch: bucket and combine one record at a time. Usable
+    standalone or as a ``with`` block that restores the previous
+    setting on exit."""
+    return _ColumnarToggle(False)
+
+
+# ----------------------------------------------------------------------
+# key column
+# ----------------------------------------------------------------------
+
+#: Python hashes ints modulo this Mersenne prime; keys at or beyond it
+#: no longer satisfy ``hash(k) == k`` and must take the generic path.
+HASH_MODULUS = (1 << 61) - 1
+
+
+def pack_int_keys(records):
+    """The int64 key column of ``records``, or None when keys don't pack.
+
+    Only plain ``int`` keys qualify: ``bool`` is a subclass but would
+    unpack as ``1``/``0``, and numpy scalars would unpack as plain ints
+    — either breaks byte-identity with the generic path.
+    """
+    if not records:
+        return None
+    if not all(type(record[0]) is int for record in records):
+        return None
+    try:
+        return np.fromiter((record[0] for record in records),
+                           dtype=np.int64, count=len(records))
+    except OverflowError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# packed value columns
+# ----------------------------------------------------------------------
+
+class ScalarValues:
+    """A column of uniform plain floats or plain ints."""
+
+    __slots__ = ("data", "pykind")
+
+    def __init__(self, data: np.ndarray, pykind: str):
+        self.data = data
+        self.pykind = pykind    # "float" | "int"
+
+    def __len__(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def unpack(self) -> list:
+        # float64/int64 tolist() reproduces the original Python scalars
+        # bit for bit
+        return self.data.tolist()
+
+    def gather(self, idx: np.ndarray) -> "ScalarValues":
+        return ScalarValues(self.data[idx], self.pykind)
+
+
+class PairValues:
+    """A column of uniform 2-tuples of scalars, e.g. ``(offset, value)``
+    cell records from the ingest pipeline."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: ScalarValues, second: ScalarValues):
+        self.first = first
+        self.second = second
+
+    def __len__(self) -> int:
+        return len(self.first)
+
+    @property
+    def nbytes(self) -> int:
+        return self.first.nbytes + self.second.nbytes
+
+    def unpack(self) -> list:
+        return list(zip(self.first.unpack(), self.second.unpack()))
+
+    def gather(self, idx: np.ndarray) -> "PairValues":
+        return PairValues(self.first.gather(idx), self.second.gather(idx))
+
+
+class ArrayValues:
+    """A column of same-dtype numpy arrays, stored as one flat payload
+    buffer plus per-record lengths/shapes (matmul partial blocks,
+    gradient vectors, ...)."""
+
+    __slots__ = ("data", "lengths", "shapes", "offsets")
+
+    def __init__(self, data: np.ndarray, lengths: np.ndarray,
+                 shapes: np.ndarray):
+        self.data = data            # 1-D concatenation of raveled arrays
+        self.lengths = lengths      # int64, one entry per record
+        self.shapes = shapes        # int64 (n_records, ndim)
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        self.offsets = offsets
+
+    def __len__(self) -> int:
+        return self.lengths.size
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes + self.lengths.nbytes
+                   + self.shapes.nbytes)
+
+    def unpack(self) -> list:
+        out = []
+        data, offsets, shapes = self.data, self.offsets, self.shapes
+        for i in range(self.lengths.size):
+            arr = data[offsets[i]:offsets[i + 1]].copy()
+            out.append(arr.reshape(tuple(shapes[i])))
+        return out
+
+    def gather(self, idx: np.ndarray) -> "ArrayValues":
+        lengths = self.lengths[idx]
+        total = int(lengths.sum())
+        new_offsets = np.zeros(lengths.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=new_offsets[1:])
+        flat = (np.repeat(self.offsets[idx] - new_offsets, lengths)
+                + np.arange(total, dtype=np.int64))
+        return ArrayValues(self.data[flat], lengths, self.shapes[idx])
+
+
+def _probe_scalars(values):
+    kind = type(values[0])
+    if kind is float:
+        if not all(type(v) is float for v in values):
+            return None
+        data = np.fromiter(values, dtype=np.float64, count=len(values))
+        return ScalarValues(data, "float")
+    if kind is int:
+        if not all(type(v) is int for v in values):
+            return None
+        data = np.fromiter(values, dtype=np.int64, count=len(values))
+        return ScalarValues(data, "int")
+    return None
+
+
+_SCALAR_DTYPES = {float: np.float64, int: np.int64}
+_SCALAR_KINDS = {float: "float", int: "int"}
+
+
+def _probe_pairs(values):
+    first = values[0]
+    if type(first) is not tuple or len(first) != 2:
+        return None
+    kind_a, kind_b = type(first[0]), type(first[1])
+    if kind_a not in _SCALAR_DTYPES or kind_b not in _SCALAR_DTYPES:
+        return None
+    if not all(type(v) is tuple and len(v) == 2
+               and type(v[0]) is kind_a and type(v[1]) is kind_b
+               for v in values):
+        return None
+    col_a = np.fromiter((v[0] for v in values),
+                        dtype=_SCALAR_DTYPES[kind_a], count=len(values))
+    col_b = np.fromiter((v[1] for v in values),
+                        dtype=_SCALAR_DTYPES[kind_b], count=len(values))
+    return PairValues(ScalarValues(col_a, _SCALAR_KINDS[kind_a]),
+                      ScalarValues(col_b, _SCALAR_KINDS[kind_b]))
+
+
+#: mean payload bytes per record at which array-backed codecs stop
+#: packing. Packing copies the payload three times (concatenate, bucket
+#: gather, unpack); that only beats the generic path while per-record
+#: framing overhead dominates. Past this point the buffers themselves
+#: dominate and shipping them as Python references is free.
+VALUE_PACK_BYTE_LIMIT = 4096
+
+
+def _probe_arrays(values):
+    first = values[0]
+    if type(first) is not np.ndarray:
+        return None
+    dtype, ndim = first.dtype, first.ndim
+    if dtype.hasobject or ndim == 0:
+        return None
+    for v in values:
+        if (type(v) is not np.ndarray or v.dtype != dtype
+                or v.ndim != ndim):
+            return None
+        if ndim > 1 and not v.flags.c_contiguous:
+            # a raveled copy would unpickle C-ordered; the original may
+            # not — refuse rather than risk a byte mismatch
+            return None
+    total_bytes = dtype.itemsize * sum(v.size for v in values)
+    if total_bytes >= VALUE_PACK_BYTE_LIMIT * len(values):
+        return None
+    data = np.concatenate([v.ravel() for v in values]) if values else None
+    lengths = np.fromiter((v.size for v in values), dtype=np.int64,
+                          count=len(values))
+    shapes = np.array([v.shape for v in values], dtype=np.int64)
+    return ArrayValues(data, lengths, shapes)
+
+
+#: probes tried in order by :func:`pack_values`; each self-selects on
+#: the first value's type, so ordering does not affect which one wins
+_VALUE_CODECS = [_probe_scalars, _probe_pairs, _probe_arrays]
+
+
+def register_value_codec(probe) -> None:
+    """Register ``probe(values) -> PackedValues | None``.
+
+    Used by higher layers (``repro.core`` registers the Chunk codec) so
+    the engine never imports them. A probe must return an object with
+    the ``PackedValues`` interface: ``__len__``, ``nbytes``,
+    ``unpack()`` (byte-identical Python values, in order) and
+    ``gather(idx)``.
+    """
+    _VALUE_CODECS.append(probe)
+
+
+def pack_values(values):
+    """Pack a value column through the first matching codec, or None."""
+    if not values:
+        return None
+    for probe in _VALUE_CODECS:
+        try:
+            packed = probe(values)
+        except (TypeError, ValueError, OverflowError):
+            packed = None
+        if packed is not None:
+            return packed
+    return None
+
+
+# ----------------------------------------------------------------------
+# record batches
+# ----------------------------------------------------------------------
+
+class RecordBatch:
+    """One shuffle bucket in columnar form: an int64 key column plus a
+    packed value column, with exact byte accounting."""
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: np.ndarray, values):
+        self.keys = keys
+        self.values = values
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes) + self.values.nbytes
+
+    def records(self) -> list:
+        """The original ``(key, value)`` tuples, byte-identical."""
+        return list(zip(self.keys.tolist(), self.values.unpack()))
+
+    def __repr__(self) -> str:
+        return (f"<RecordBatch n={len(self)} "
+                f"values={type(self.values).__name__} "
+                f"nbytes={self.nbytes}>")
+
+
+class BatchSegment:
+    """A RecordBatch plus the map-side-combine flag, as stored in a
+    reducer's bucket by :class:`~repro.engine.rdd.ShuffledRDD`."""
+
+    __slots__ = ("batch", "combined")
+
+    def __init__(self, batch: RecordBatch, combined: bool):
+        self.batch = batch
+        self.combined = combined
+
+    @property
+    def nbytes(self) -> int:
+        return self.batch.nbytes
+
+
+def pack_records(records):
+    """``records`` as one RecordBatch, or None when either column
+    refuses (see the module docstring for the exact rules)."""
+    keys = pack_int_keys(records)
+    if keys is None:
+        return None
+    values = pack_values([record[1] for record in records])
+    if values is None:
+        return None
+    return RecordBatch(keys, values)
+
+
+# ----------------------------------------------------------------------
+# vectorized grouping and combine kernels
+# ----------------------------------------------------------------------
+
+def group_indices_by_partition(pids: np.ndarray, num_partitions: int):
+    """Per-reducer record indices, preserving record order within each.
+
+    One stable argsort replaces ``num_records`` Python-level
+    ``partition(key)`` calls; the per-bucket index arrays slice the
+    packed columns directly.
+    """
+    order = np.argsort(pids, kind="stable")
+    counts = np.bincount(pids, minlength=num_partitions)
+    bounds = np.zeros(num_partitions + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return [order[bounds[t]:bounds[t + 1]]
+            for t in range(num_partitions)]
+
+
+#: largest |value| * count product allowed for the vectorized int sum;
+#: beyond it int64 could wrap where Python promotes to bignum
+_INT_SUM_LIMIT = 1 << 62
+
+
+def combine_runs(keys: np.ndarray, data: np.ndarray, kernel: str):
+    """Fold equal keys with ``kernel`` ("sum" | "min" | "max").
+
+    Returns ``(keys, data)`` with one entry per distinct key, in the
+    key's **first appearance** order — exactly the insertion order of
+    the generic dict combine — or None when bit-identity can't be
+    guaranteed (NaN under min/max, int64 overflow risk).
+
+    Float sums run through ``np.add.at``: unbuffered, applied in index
+    order, so every accumulator sees the same sequence of IEEE adds as
+    the sequential Python fold. ``reduceat`` is only used where
+    re-association is exact (ints, min/max).
+    """
+    if keys.size == 0:
+        return keys, data
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_data = data[order]
+    boundary = np.empty(sorted_keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    starts = np.nonzero(boundary)[0]
+    if kernel == "sum":
+        if sorted_data.dtype.kind == "i":
+            magnitude = max(abs(int(sorted_data.max())),
+                            abs(int(sorted_data.min())))
+            if magnitude * sorted_data.size >= _INT_SUM_LIMIT:
+                return None
+            combined = np.add.reduceat(sorted_data, starts)
+        else:
+            combined = sorted_data[starts].copy()
+            rest = ~boundary
+            run_ids = np.cumsum(boundary) - 1
+            np.add.at(combined, run_ids[rest], sorted_data[rest])
+    elif kernel in ("min", "max"):
+        if sorted_data.dtype.kind == "f" and np.isnan(sorted_data).any():
+            return None
+        ufunc = np.minimum if kernel == "min" else np.maximum
+        combined = ufunc.reduceat(sorted_data, starts)
+    else:
+        return None
+    # restore first-appearance order, matching the generic dict combine
+    first_index = order[starts]
+    appearance = np.argsort(first_index, kind="stable")
+    return sorted_keys[starts][appearance], combined[appearance]
+
+
+#: kernels understood by :func:`combine_runs`; ``combine_kernel=``
+#: arguments are validated against this set
+COMBINE_KERNELS = ("sum", "min", "max")

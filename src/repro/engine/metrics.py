@@ -41,6 +41,8 @@ class MetricsSnapshot:
     shuffle_records: int = 0
     shuffle_bytes: int = 0
     shuffles_performed: int = 0
+    shuffle_batches: int = 0
+    shuffle_batch_records: int = 0
     disk_read_bytes: int = 0
     disk_write_bytes: int = 0
     result_bytes: int = 0
@@ -100,6 +102,10 @@ class MetricsRegistry:
     shuffle_records: int = 0
     shuffle_bytes: int = 0
     shuffles_performed: int = 0
+    # columnar shuffle (repro.engine.batches): packed RecordBatches
+    # shipped, and how many records rode in them (vs the tuple path)
+    shuffle_batches: int = 0
+    shuffle_batch_records: int = 0
     disk_read_bytes: int = 0
     disk_write_bytes: int = 0
     result_bytes: int = 0
@@ -155,6 +161,11 @@ class MetricsRegistry:
             self.shuffles_performed += 1
             self.shuffle_records += records
             self.shuffle_bytes += size_bytes
+
+    def record_shuffle_batches(self, batches: int, records: int) -> None:
+        with self._lock:
+            self.shuffle_batches += batches
+            self.shuffle_batch_records += records
 
     def record_disk_read(self, size_bytes: int) -> None:
         with self._lock:

@@ -29,11 +29,19 @@ def _default_partitioner(rdd: RDD, partitioner) -> Partitioner:
 
 
 def combine_by_key(rdd: RDD, create_combiner, merge_value, merge_combiners,
-                   partitioner=None, map_side_combine=True) -> RDD:
-    """Generic shuffle-based aggregation (Spark's ``combineByKey``)."""
+                   partitioner=None, map_side_combine=True,
+                   combine_kernel=None) -> RDD:
+    """Generic shuffle-based aggregation (Spark's ``combineByKey``).
+
+    ``combine_kernel`` ("sum" | "min" | "max") opts the shuffle into
+    the vectorized columnar combine; declaring it promises that
+    ``create_combiner`` is the identity and that both merge functions
+    equal the kernel's scalar fold (see :class:`ShuffledRDD`).
+    """
     partitioner = _default_partitioner(rdd, partitioner)
     return ShuffledRDD(rdd, partitioner, create_combiner, merge_value,
-                       merge_combiners, map_side_combine=map_side_combine)
+                       merge_combiners, map_side_combine=map_side_combine,
+                       combine_kernel=combine_kernel)
 
 
 def partition_by(rdd: RDD, partitioner: Partitioner) -> RDD:

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import bisect
 
+import numpy as np
+
 from repro.errors import EngineError
+
+#: Python hashes ints modulo this Mersenne prime; int keys at or beyond
+#: it fall back to per-record hashing
+_HASH_MODULUS = (1 << 61) - 1
 
 
 class Partitioner:
@@ -24,6 +30,16 @@ class Partitioner:
 
     def partition(self, key) -> int:
         raise NotImplementedError
+
+    def partition_array(self, keys: "np.ndarray"):
+        """Vectorized twin of :meth:`partition` for an int64 key column.
+
+        Must agree element-wise with ``partition(key)`` for every key it
+        accepts; returns None when this partitioner (or this key range)
+        can only be evaluated per record — the columnar shuffle then
+        falls back to the generic path.
+        """
+        return None
 
     def __eq__(self, other) -> bool:
         return (
@@ -49,6 +65,20 @@ class HashPartitioner(Partitioner):
 
     def partition(self, key) -> int:
         return hash(key) % self.num_partitions
+
+    def partition_array(self, keys):
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if (int(keys.max()) >= _HASH_MODULUS
+                or int(keys.min()) <= -_HASH_MODULUS):
+            # hash(k) != k once the modulus engages
+            return None
+        pids = keys % self.num_partitions
+        minus_one = keys == -1
+        if minus_one.any():
+            # CPython quirk: hash(-1) == -2
+            pids[minus_one] = (-2) % self.num_partitions
+        return pids
 
 
 class RangePartitioner(Partitioner):
@@ -84,6 +114,20 @@ class RangePartitioner(Partitioner):
     def partition(self, key) -> int:
         return bisect.bisect_right(self.bounds, key)
 
+    def partition_array(self, keys):
+        if not self.bounds:
+            return np.zeros(keys.size, dtype=np.int64)
+        if not all(type(bound) is int for bound in self.bounds):
+            # mixed-type comparisons (float bounds vs huge int keys)
+            # may not round-trip through float64; stay per-record
+            return None
+        try:
+            bounds = np.array(self.bounds, dtype=np.int64)
+        except OverflowError:
+            return None
+        return np.searchsorted(bounds, keys, side="right") \
+                 .astype(np.int64, copy=False)
+
     def __eq__(self, other) -> bool:
         return (
             type(self) is type(other)
@@ -103,13 +147,27 @@ class ExplicitPartitioner(Partitioner):
     layouts be expressed directly.
     """
 
-    def __init__(self, num_partitions: int, func, tag=None):
+    def __init__(self, num_partitions: int, func, tag=None,
+                 array_func=None):
         super().__init__(num_partitions)
         self._func = func
         self._tag = tag
+        # optional vectorized twin of func over an int64 key column
+        self._array_func = array_func
 
     def partition(self, key) -> int:
         return self._func(key) % self.num_partitions
+
+    def partition_array(self, keys):
+        if self._array_func is None:
+            return None
+        try:
+            out = np.asarray(self._array_func(keys), dtype=np.int64)
+        except Exception:  # noqa: BLE001 - fall back per record
+            return None
+        if out.shape != keys.shape:
+            return None
+        return out % self.num_partitions
 
     def __eq__(self, other) -> bool:
         return (

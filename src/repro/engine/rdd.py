@@ -18,6 +18,18 @@ import random
 import threading
 import time
 
+import numpy as np
+
+from repro.engine import batches
+from repro.engine.batches import (
+    BatchSegment,
+    RecordBatch,
+    ScalarValues,
+    combine_runs,
+    group_indices_by_partition,
+    pack_int_keys,
+    pack_values,
+)
 from repro.engine.partitioner import Partitioner
 from repro.engine.sizing import estimate_partition_size
 from repro.engine.storage import StorageLevel
@@ -313,17 +325,20 @@ class RDD:
         ).rename("flat_map_values")
 
     def combine_by_key(self, create_combiner, merge_value, merge_combiners,
-                       partitioner=None, map_side_combine=True):
+                       partitioner=None, map_side_combine=True,
+                       combine_kernel=None):
         from repro.engine.pairs import combine_by_key
 
         return combine_by_key(
             self, create_combiner, merge_value, merge_combiners,
             partitioner=partitioner, map_side_combine=map_side_combine,
+            combine_kernel=combine_kernel,
         )
 
-    def reduce_by_key(self, func, partitioner=None):
+    def reduce_by_key(self, func, partitioner=None, combine_kernel=None):
         return self.combine_by_key(
-            lambda v: v, func, func, partitioner=partitioner
+            lambda v: v, func, func, partitioner=partitioner,
+            combine_kernel=combine_kernel,
         ).rename("reduce_by_key")
 
     def group_by_key(self, partitioner=None):
@@ -373,7 +388,7 @@ class RDD:
     def count_by_key(self) -> dict:
         return dict(
             self.map_values(lambda _v: 1)
-            .reduce_by_key(lambda a, b: a + b)
+            .reduce_by_key(lambda a, b: a + b, combine_kernel="sum")
             .collect()
         )
 
@@ -660,18 +675,36 @@ class ShuffledRDD(RDD):
     is *already* partitioned by an equal partitioner, the dependency
     narrows: no data moves and no shuffle is recorded — this is precisely
     the property Spangle's matmul local join exploits (Section VI-A).
+
+    When the columnar path is on (the default), map tasks try to pack
+    each partition into :class:`~repro.engine.batches.RecordBatch`
+    buckets: one numpy pass for partition ids, one stable argsort for
+    grouping, and — when ``combine_kernel`` names a commutative scalar
+    kernel ("sum" | "min" | "max") — a ``reduceat``-style combine over
+    sorted key runs before any bucket is emitted. Declaring a kernel
+    promises that ``create_combiner`` is the identity and that
+    ``merge_value``/``merge_combiners`` both equal the kernel's scalar
+    fold; the packed path is byte-identical to the generic tuple path
+    and falls back to it record-exactly whenever keys, values, or
+    numeric guards refuse.
     """
 
     def __init__(self, parent: RDD, partitioner: Partitioner,
                  create_combiner, merge_value, merge_combiners,
-                 map_side_combine: bool = True):
+                 map_side_combine: bool = True, combine_kernel=None):
         super().__init__(parent.context, dependencies=(parent,),
                          num_partitions=partitioner.num_partitions,
                          partitioner=partitioner, name="shuffle")
+        if (combine_kernel is not None
+                and combine_kernel not in batches.COMBINE_KERNELS):
+            raise EngineError(
+                f"unknown combine kernel {combine_kernel!r}; expected "
+                f"one of {batches.COMBINE_KERNELS}")
         self._create = create_combiner
         self._merge_value = merge_value
         self._merge_combiners = merge_combiners
         self._map_side_combine = map_side_combine
+        self._combine_kernel = combine_kernel
         self._buckets = None
         self._lock = threading.Lock()
 
@@ -701,20 +734,101 @@ class ShuffledRDD(RDD):
 
         Each map task owns its buckets, so tasks run with no shared
         state; the reduce-side merge concatenates them in parent order.
+        Buckets are either :class:`BatchSegment` packed blocks (the
+        columnar path) or lists of ``(key, value, combined)`` triples.
         """
         parent = self.dependencies[0]
-        records = parent.iterator(parent_index)
+        records = list(parent.iterator(parent_index))
+        if batches.columnar_enabled():
+            out = self._columnar_map_task(records)
+            if out is not None:
+                return out
         if self._map_side_combine:
             records = list(self._combine_partition(records).items())
             emit_combined = True
         else:
-            records = list(records)
             emit_combined = False
         buckets = [[] for _ in range(self.num_partitions)]
         partition = self.partitioner.partition
         for key, value in records:
             buckets[partition(key)].append((key, value, emit_combined))
-        return buckets, len(records), estimate_partition_size(records)
+        return (buckets, len(records), estimate_partition_size(records),
+                (0, 0))
+
+    def _columnar_map_task(self, records):
+        """The packed map task, or None when the partition must fall
+        back to per-record bucketing.
+
+        Order of operations matters for byte-identity: the map-side
+        combine (vectorized when the kernel and guards allow, the
+        generic dict otherwise) runs *before* bucketing, exactly like
+        the generic path, and the stable argsort grouping preserves the
+        combine's first-appearance record order within every bucket.
+        """
+        keys = pack_int_keys(records)
+        if keys is None:
+            return None
+        pids = self.partitioner.partition_array(keys)
+        if pids is None:
+            return None
+        emit_combined = self._map_side_combine
+        if self._map_side_combine:
+            packed = None
+            combined = None
+            if self._combine_kernel is not None:
+                packed = pack_values([rec[1] for rec in records])
+                if isinstance(packed, ScalarValues):
+                    combined = combine_runs(keys, packed.data,
+                                            self._combine_kernel)
+            if combined is not None:
+                keys, data = combined
+                packed = ScalarValues(data, packed.pykind)
+                records = None
+            else:
+                records = list(self._combine_partition(records).items())
+                keys = pack_int_keys(records)
+                if keys is None:
+                    # combiners replaced the int keys — cannot happen
+                    # for dict combine, but stay safe
+                    return None
+                packed = pack_values([rec[1] for rec in records])
+            # the combined keys are a subset of the originals, so the
+            # partitioner that accepted them above accepts them again
+            pids = self.partitioner.partition_array(keys)
+            if pids is None:
+                return None
+        else:
+            packed = pack_values([rec[1] for rec in records])
+            if packed is None:
+                # unpackable values would ship as per-bucket tuple
+                # lists; bucketing those through argsort costs more
+                # than the generic per-record loop
+                return None
+        groups = group_indices_by_partition(pids, self.num_partitions)
+        buckets = []
+        total_bytes = 0
+        num_batches = 0
+        for idx in groups:
+            if idx.size == 0:
+                buckets.append([])
+            elif packed is not None:
+                batch = RecordBatch(keys[idx], packed.gather(idx))
+                buckets.append(BatchSegment(batch, emit_combined))
+                total_bytes += batch.nbytes
+                num_batches += 1
+            else:
+                buckets.append([
+                    (records[i][0], records[i][1], emit_combined)
+                    for i in idx.tolist()
+                ])
+        num_records = int(keys.size)
+        if packed is None:
+            total_bytes = estimate_partition_size(records)
+            batch_records = 0
+        else:
+            batch_records = num_records
+        return buckets, num_records, total_bytes, (num_batches,
+                                                   batch_records)
 
     def materialize(self, pool=None) -> list:
         """Materialize map-side buckets for every reducer (once).
@@ -751,13 +865,22 @@ class ShuffledRDD(RDD):
                 buckets = [[] for _ in range(self.num_partitions)]
                 total_records = 0
                 total_bytes = 0
-                for task_buckets, records, nbytes in outputs:
-                    for target, bucket in enumerate(task_buckets):
-                        buckets[target].extend(bucket)
+                total_batches = 0
+                total_batch_records = 0
+                for task_buckets, records, nbytes, stats in outputs:
+                    for target, segment in enumerate(task_buckets):
+                        if segment:
+                            buckets[target].append(segment)
                     total_records += records
                     total_bytes += nbytes
-                span.set(records=total_records, bytes=total_bytes)
+                    total_batches += stats[0]
+                    total_batch_records += stats[1]
+                span.set(records=total_records, bytes=total_bytes,
+                         batches=total_batches)
             metrics.record_shuffle(total_records, total_bytes)
+            if total_batches:
+                metrics.record_shuffle_batches(total_batches,
+                                               total_batch_records)
             metrics.record_stage_timing(
                 self.name, "shuffle", time.perf_counter() - start,
                 parent.num_partitions)
@@ -775,24 +898,105 @@ class ShuffledRDD(RDD):
         with self._lock:
             self._buckets = None
 
+    def _columnar_narrow_combine(self, records):
+        """Vectorized combine for the narrow path, or None to fall back.
+
+        Only engages when a ``combine_kernel`` promises scalar-fold
+        semantics; the output is byte-identical to the dict combine.
+        """
+        if self._combine_kernel is None:
+            return None
+        keys = pack_int_keys(records)
+        if keys is None:
+            return None
+        packed = pack_values([rec[1] for rec in records])
+        if not isinstance(packed, ScalarValues):
+            return None
+        combined = combine_runs(keys, packed.data, self._combine_kernel)
+        if combined is None:
+            return None
+        out_keys, out_data = combined
+        return list(zip(out_keys.tolist(), out_data.tolist()))
+
+    def _merge_columnar(self, segments):
+        """Vectorized reduce-side merge, or None to fall back.
+
+        Engages only when every segment arriving at this reducer is a
+        packed scalar batch of the same python kind and a combine
+        kernel is declared; the segments are concatenated in arrival
+        (= parent partition) order, so the run fold replays the exact
+        add sequence of the generic dict merge.
+        """
+        if self._combine_kernel is None or not segments:
+            return None
+        key_parts = []
+        data_parts = []
+        pykind = None
+        for segment in segments:
+            if not isinstance(segment, BatchSegment):
+                return None
+            values = segment.batch.values
+            if not isinstance(values, ScalarValues):
+                return None
+            if pykind is None:
+                pykind = values.pykind
+            elif values.pykind != pykind:
+                return None
+            key_parts.append(segment.batch.keys)
+            data_parts.append(values.data)
+        keys = np.concatenate(key_parts)
+        data = np.concatenate(data_parts)
+        combined = combine_runs(keys, data, self._combine_kernel)
+        if combined is None:
+            return None
+        out_keys, out_data = combined
+        return list(zip(out_keys.tolist(), out_data.tolist()))
+
     def compute(self, index: int) -> list:
         if self.is_narrow:
+            # annotated but free: the parent is already partitioned the
+            # way this shuffle wants, so nothing moves (Section VI-A)
             parent = self.dependencies[0]
-            combined = self._combine_partition(parent.iterator(index))
-            return list(combined.items())
-        bucket = self._fetch_shuffle()[index]
+            tracer = self.context.tracer
+            start = time.perf_counter()
+            with tracer.span("narrow_shuffle", "shuffle", narrow=True,
+                             partition=index) as span:
+                records = list(parent.iterator(index))
+                out = None
+                if batches.columnar_enabled():
+                    out = self._columnar_narrow_combine(records)
+                if out is None:
+                    out = list(self._combine_partition(records).items())
+                span.set(records=len(out))
+            self.context.metrics.record_stage_timing(
+                self.name, "narrow_shuffle",
+                time.perf_counter() - start, 1)
+            return out
+        segments = self._fetch_shuffle()[index]
+        if batches.columnar_enabled():
+            merged = self._merge_columnar(segments)
+            if merged is not None:
+                return merged
         merged = {}
-        for key, value, already_combined in bucket:
-            if key in merged:
-                if already_combined:
-                    merged[key] = self._merge_combiners(merged[key], value)
-                else:
-                    merged[key] = self._merge_value(merged[key], value)
+        for segment in segments:
+            if isinstance(segment, BatchSegment):
+                combined_flag = segment.combined
+                rows = ((key, value, combined_flag)
+                        for key, value in segment.batch.records())
             else:
-                if already_combined:
-                    merged[key] = value
+                rows = segment
+            for key, value, already_combined in rows:
+                if key in merged:
+                    if already_combined:
+                        merged[key] = self._merge_combiners(
+                            merged[key], value)
+                    else:
+                        merged[key] = self._merge_value(merged[key], value)
                 else:
-                    merged[key] = self._create(value)
+                    if already_combined:
+                        merged[key] = value
+                    else:
+                        merged[key] = self._create(value)
         return list(merged.items())
 
 
@@ -821,14 +1025,54 @@ class CoGroupedRDD(RDD):
         return self._buckets[which] is not None
 
     def _map_task(self, which: int, parent_index: int):
-        """Bucket one partition of parent ``which`` per reducer."""
+        """Bucket one partition of parent ``which`` per reducer.
+
+        Buckets are bare :class:`RecordBatch` packed blocks (the
+        columnar path; cogroup has no combiners, so no flag rides
+        along) or lists of ``(key, value)`` pairs.
+        """
         parent = self.dependencies[which]
         records = list(parent.iterator(parent_index))
+        if batches.columnar_enabled():
+            out = self._columnar_map_task(records)
+            if out is not None:
+                return out
         buckets = [[] for _ in range(self.num_partitions)]
         partition = self.partitioner.partition
         for key, value in records:
             buckets[partition(key)].append((key, value))
-        return buckets, len(records), estimate_partition_size(records)
+        return (buckets, len(records), estimate_partition_size(records),
+                (0, 0))
+
+    def _columnar_map_task(self, records):
+        """The packed map task, or None to fall back per record."""
+        keys = pack_int_keys(records)
+        if keys is None:
+            return None
+        pids = self.partitioner.partition_array(keys)
+        if pids is None:
+            return None
+        packed = pack_values([rec[1] for rec in records])
+        if packed is None:
+            # unpackable values would ship as per-bucket tuple lists;
+            # bucketing those through argsort costs more than the
+            # generic per-record loop
+            return None
+        groups = group_indices_by_partition(pids, self.num_partitions)
+        buckets = []
+        total_bytes = 0
+        num_batches = 0
+        for idx in groups:
+            if idx.size == 0:
+                buckets.append([])
+            else:
+                batch = RecordBatch(keys[idx], packed.gather(idx))
+                buckets.append(batch)
+                total_bytes += batch.nbytes
+                num_batches += 1
+        num_records = int(keys.size)
+        return buckets, num_records, total_bytes, (num_batches,
+                                                   num_records)
 
     def materialize_parent(self, which: int, pool=None) -> list:
         """Materialize the shuffle of one wide parent (once).
@@ -863,13 +1107,22 @@ class CoGroupedRDD(RDD):
                 buckets = [[] for _ in range(self.num_partitions)]
                 total_records = 0
                 total_bytes = 0
-                for task_buckets, records, nbytes in outputs:
-                    for target, bucket in enumerate(task_buckets):
-                        buckets[target].extend(bucket)
+                total_batches = 0
+                total_batch_records = 0
+                for task_buckets, records, nbytes, stats in outputs:
+                    for target, segment in enumerate(task_buckets):
+                        if segment:
+                            buckets[target].append(segment)
                     total_records += records
                     total_bytes += nbytes
-                span.set(records=total_records, bytes=total_bytes)
+                    total_batches += stats[0]
+                    total_batch_records += stats[1]
+                span.set(records=total_records, bytes=total_bytes,
+                         batches=total_batches)
             metrics.record_shuffle(total_records, total_bytes)
+            if total_batches:
+                metrics.record_shuffle_batches(total_batches,
+                                               total_batch_records)
             metrics.record_stage_timing(
                 f"{self.name}[{which}]", "shuffle",
                 time.perf_counter() - start, parent.num_partitions)
@@ -887,11 +1140,17 @@ class CoGroupedRDD(RDD):
         arity = len(self.dependencies)
         for which, parent in enumerate(self.dependencies):
             if self._parent_is_narrow(parent):
-                records = parent.iterator(index)
+                # one pseudo-segment: the parent partition itself
+                segments = [parent.iterator(index)]
             else:
-                records = self._fetch_parent_shuffle(which)[index]
-            for key, value in records:
-                if key not in groups:
-                    groups[key] = [[] for _ in range(arity)]
-                groups[key][which].append(value)
+                segments = self._fetch_parent_shuffle(which)[index]
+            for segment in segments:
+                if isinstance(segment, RecordBatch):
+                    rows = segment.records()
+                else:
+                    rows = segment
+                for key, value in rows:
+                    if key not in groups:
+                        groups[key] = [[] for _ in range(arity)]
+                    groups[key][which].append(value)
         return list(groups.items())

@@ -24,6 +24,12 @@ def estimate_size(obj) -> int:
     takes priority. Containers are measured recursively with a small
     per-element overhead to mimic serialization framing.
     """
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.hasobject:
+            # object arrays report pointer bytes only; recurse into the
+            # elements for the real payload
+            return 8 * obj.size + sum(estimate_size(o) for o in obj.flat)
+        return int(obj.nbytes)
     nbytes = getattr(obj, "nbytes", None)
     if nbytes is not None and isinstance(nbytes, (int, np.integer)):
         return int(nbytes)
@@ -48,5 +54,13 @@ def estimate_size(obj) -> int:
 
 
 def estimate_partition_size(records) -> int:
-    """Total size of an iterable of records (consumes nothing: pass a list)."""
+    """Total size of an iterable of records (consumes nothing: pass a list).
+
+    Packed shuffle blocks (:class:`~repro.engine.batches.RecordBatch`,
+    numpy arrays) advertise exact ``nbytes`` and are reported as such in
+    one step rather than sampled per record.
+    """
+    nbytes = getattr(records, "nbytes", None)
+    if nbytes is not None and isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
     return sum(estimate_size(record) for record in records)

@@ -167,12 +167,16 @@ def _result_meta(left, right) -> ArrayMetadata:
     )
 
 
-def _assemble(context, partials_rdd, meta, out_grid_rows) -> ArrayRDD:
-    """(row_block, col_block) partial sums → (chunk_id, Chunk) records."""
+def _assemble(context, partials_rdd, meta) -> ArrayRDD:
+    """(chunk_id, partial sum) records → (chunk_id, Chunk) records.
+
+    The gather shuffle upstream already keys partials by output chunk
+    ID (``rb + cb * out_grid_rows``) so its int keys ride the columnar
+    path; this step only densifies.
+    """
 
     def to_chunk(record):
-        (rb, cb), partial = record
-        chunk_id = rb + cb * out_grid_rows
+        chunk_id, partial = record
         flat = _partial_to_dense(partial).ravel(order="F")
         return chunk_id, Chunk.from_dense(flat, flat != 0)
 
@@ -196,9 +200,11 @@ def k_partitioners(left, right, num_partitions: int):
     grid_rows_left = left.grid_rows
     grid_rows_right = right.grid_rows
     left_part = ExplicitPartitioner(
-        num_partitions, lambda cid: cid // grid_rows_left, tag=tag)
+        num_partitions, lambda cid: cid // grid_rows_left, tag=tag,
+        array_func=lambda cids: cids // grid_rows_left)
     right_part = ExplicitPartitioner(
-        num_partitions, lambda cid: cid % grid_rows_right, tag=tag)
+        num_partitions, lambda cid: cid % grid_rows_right, tag=tag,
+        array_func=lambda cids: cids % grid_rows_right)
     return left_part, right_part
 
 
@@ -236,8 +242,12 @@ def block_matmul(left, right, local_join: bool = False):
     else:
         partials = _shuffled_partials(left, right)
 
-    summed = partials.reduce_by_key(_merge_partials)
-    return SpangleMatrix(_assemble(context, summed, meta, out_grid_rows))
+    # gather on the output chunk ID (an int) rather than the
+    # (row_block, col_block) tuple: the columnar shuffle packs it
+    summed = partials.map(
+        lambda kv: (kv[0][0] + kv[0][1] * out_grid_rows, kv[1])
+    ).reduce_by_key(_merge_partials)
+    return SpangleMatrix(_assemble(context, summed, meta))
 
 
 def _shuffled_partials(left, right):
@@ -362,6 +372,7 @@ def gram_matmul(matrix):
         return out
 
     partials = by_k.flat_map_values(emit).map(lambda kv: kv[1])
-    summed = partials.reduce_by_key(_merge_partials)
-    return SpangleMatrix(
-        _assemble(matrix.context, summed, meta, out_grid_rows))
+    summed = partials.map(
+        lambda kv: (kv[0][0] + kv[0][1] * out_grid_rows, kv[1])
+    ).reduce_by_key(_merge_partials)
+    return SpangleMatrix(_assemble(matrix.context, summed, meta))

@@ -1,0 +1,126 @@
+"""The Chunk value codec for the columnar shuffle (core ↔ engine)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayMetadata, Chunk, ChunkMode  # registers codec
+from repro.core.chunk_codec import ChunkValues, probe_chunks
+from repro.core.ingest import array_rdd_from_records
+from repro.engine import ClusterContext, HashPartitioner, disable_columnar
+from repro.engine.batches import pack_values
+
+
+def _chunk(mode, num_cells=256, seed=0):
+    rng = np.random.default_rng(seed)
+    density = {ChunkMode.DENSE: 0.9, ChunkMode.SPARSE: 0.1,
+               ChunkMode.SUPER_SPARSE: 0.002}[mode]
+    valid = rng.random(num_cells) < density
+    if not valid.any():
+        valid[3] = True
+    return Chunk.from_dense(rng.random(num_cells), valid, mode=mode)
+
+
+class TestChunkCodec:
+    @pytest.mark.parametrize("mode", list(ChunkMode))
+    def test_roundtrip_pickle_identical(self, mode):
+        chunks = [_chunk(mode, seed=s) for s in range(4)]
+        packed = pack_values(chunks)
+        assert isinstance(packed, ChunkValues)
+        out = packed.unpack()
+        assert pickle.dumps(out) == pickle.dumps(chunks)
+
+    def test_mixed_modes_in_one_column(self):
+        chunks = [_chunk(mode, seed=7) for mode in ChunkMode]
+        packed = pack_values(chunks)
+        assert isinstance(packed, ChunkValues)
+        assert pickle.dumps(packed.unpack()) == pickle.dumps(chunks)
+
+    def test_gather_matches_fancy_select(self):
+        chunks = [_chunk(mode, seed=s)
+                  for s, mode in enumerate(ChunkMode)]
+        packed = pack_values(chunks)
+        idx = np.array([2, 0, 1])
+        gathered = packed.gather(idx).unpack()
+        assert pickle.dumps(gathered) \
+            == pickle.dumps([chunks[i] for i in idx])
+
+    def test_exact_nbytes(self):
+        chunks = [_chunk(ChunkMode.SPARSE, seed=1)]
+        packed = pack_values(chunks)
+        # modes + num_cells + upper_lengths + payload column (data,
+        # lengths, shapes) + word column (data, lengths, shapes)
+        chunk = chunks[0]
+        expected = (1 + 8 + 8
+                    + chunk.payload.nbytes + 8 + 8
+                    + chunk.mask.nbytes + 8 + 8)
+        assert packed.nbytes == expected
+
+    def test_milestone_cache_refuses(self):
+        chunk = _chunk(ChunkMode.SPARSE, seed=2)
+        chunk.mask.rank(100)  # populates the milestone cache
+        assert probe_chunks([chunk]) is None
+
+    def test_hierarchical_milestone_cache_refuses(self):
+        chunk = _chunk(ChunkMode.SUPER_SPARSE, seed=3)
+        chunk.mask.rank(100)  # ranks the upper mask
+        assert probe_chunks([chunk]) is None
+
+    def test_large_chunks_ship_by_reference(self):
+        # one dense 4096-cell chunk is ~32KB of payload — the copies
+        # would dwarf the framing savings, so the codec refuses
+        assert probe_chunks([_chunk(ChunkMode.DENSE,
+                                    num_cells=4096)]) is None
+
+    def test_non_chunk_values_refuse(self):
+        assert probe_chunks([1.5]) is None
+        chunk = _chunk(ChunkMode.DENSE)
+        assert probe_chunks([chunk, "nope"]) is None
+
+
+class TestChunkShuffleByteIdentity:
+    def _shuffle(self, columnar):
+        import contextlib
+        toggle = disable_columnar() if not columnar \
+            else contextlib.nullcontext()
+        with toggle, ClusterContext(num_executors=4) as ctx:
+            chunks = [(cid, _chunk(mode, seed=cid))
+                      for cid in range(12)
+                      for mode in ChunkMode]
+            # chunk-keyed placement shuffle: the codec packs whole
+            # chunks into record batches
+            rdd = ctx.parallelize(chunks, 5) \
+                     .partition_by(HashPartitioner(3))
+            result = rdd.collect()
+            return result, ctx.metrics.snapshot()
+
+    def test_columnar_equals_generic_across_modes(self):
+        columnar_result, snap = self._shuffle(columnar=True)
+        generic_result, _ = self._shuffle(columnar=False)
+        assert pickle.dumps(columnar_result) \
+            == pickle.dumps(generic_result)
+        assert snap.shuffle_batches > 0
+        assert snap.shuffle_batch_records == snap.shuffle_records
+
+    def test_ingest_pipeline_byte_identity(self):
+        def run(columnar):
+            import contextlib
+            toggle = disable_columnar() if not columnar \
+                else contextlib.nullcontext()
+            with toggle, ClusterContext(num_executors=4) as ctx:
+                rng = np.random.default_rng(11)
+                meta = ArrayMetadata((30, 30), (8, 8),
+                                     dim_names=("x", "y"))
+                records = [((r, c), float(rng.random()))
+                           for r in range(30) for c in range(30)
+                           if rng.random() < 0.5]
+                arr = array_rdd_from_records(ctx, records, meta)
+                out = sorted(arr.rdd.collect(), key=lambda kv: kv[0])
+                return out, ctx.metrics.snapshot()
+
+        columnar_out, snap = run(True)
+        generic_out, _ = run(False)
+        assert pickle.dumps(columnar_out) == pickle.dumps(generic_out)
+        # the (offset, value) cell pairs ride packed batches
+        assert snap.shuffle_batches > 0

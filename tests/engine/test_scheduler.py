@@ -7,12 +7,18 @@ supports, including under fault injection. Task *ordering* and
 wall-clock observations are allowed to differ.
 """
 
+import contextlib
 import pickle
 import threading
 
 import pytest
 
-from repro.engine import ClusterContext, ExecutorPool, HashPartitioner
+from repro.engine import (
+    ClusterContext,
+    ExecutorPool,
+    HashPartitioner,
+    disable_columnar,
+)
 from repro.engine.explain import stage_breakdown
 from repro.errors import TaskFailure
 
@@ -24,6 +30,8 @@ LOGICAL_FIELDS = (
     "shuffle_records",
     "shuffle_bytes",
     "shuffles_performed",
+    "shuffle_batches",
+    "shuffle_batch_records",
     "disk_read_bytes",
     "disk_write_bytes",
     "recomputations",
@@ -120,8 +128,10 @@ SCENARIOS = {
 }
 
 
-def _run(use_threads, scenario):
-    with ClusterContext(num_executors=4, use_threads=use_threads) as ctx:
+def _run(use_threads, scenario, columnar=True):
+    toggle = contextlib.nullcontext() if columnar else disable_columnar()
+    with toggle, \
+            ClusterContext(num_executors=4, use_threads=use_threads) as ctx:
         before = ctx.metrics.snapshot()
         result = scenario(ctx)
         delta = ctx.metrics.snapshot() - before
@@ -129,16 +139,27 @@ def _run(use_threads, scenario):
 
 
 class TestDeterminismContract:
+    @pytest.mark.parametrize("columnar", [True, False],
+                             ids=["columnar", "generic"])
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
-    def test_serial_and_threaded_identical(self, name):
+    def test_serial_and_threaded_identical(self, name, columnar):
         scenario = SCENARIOS[name]
-        serial_result, serial_delta = _run(False, scenario)
-        threaded_result, threaded_delta = _run(True, scenario)
+        serial_result, serial_delta = _run(False, scenario, columnar)
+        threaded_result, threaded_delta = _run(True, scenario, columnar)
         # byte-identical results, ordering included
         assert pickle.dumps(serial_result) == pickle.dumps(threaded_result)
         for field_name in LOGICAL_FIELDS:
             assert getattr(serial_delta, field_name) \
                 == getattr(threaded_delta, field_name), field_name
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_columnar_matches_generic(self, name):
+        """The packed shuffle data plane is an invisible optimization:
+        switching it off must not change a single result byte."""
+        scenario = SCENARIOS[name]
+        columnar_result, _ = _run(False, scenario, columnar=True)
+        generic_result, _ = _run(False, scenario, columnar=False)
+        assert pickle.dumps(columnar_result) == pickle.dumps(generic_result)
 
     def test_narrowed_shuffle_moves_nothing_in_both_modes(self):
         for use_threads in (False, True):
