@@ -37,6 +37,7 @@ from repro.core.plan import (
     FilterKernel,
     MapValuesKernel,
     MaskAndKernel,
+    RepackKernel,
     ScalarOpKernel,
 )
 from repro.engine import HashPartitioner
@@ -237,6 +238,27 @@ class ArrayRDD:
         ).filter(lambda kv: kv[1].valid_count > 0)
         filtered.partitioner = self.rdd.partitioner
         return self._with_rdd(filtered)
+
+    def repack(self) -> "ArrayRDD":
+        """Re-apply the density mode policy to every chunk.
+
+        Filters and masks shrink validity without re-choosing the
+        storage mode; repacking re-runs :func:`~repro.core.chunk.choose_mode`
+        on each chunk's current density, so a DENSE chunk that a filter
+        left 5% valid re-encodes SPARSE (or SUPER_SPARSE). Fused, the
+        kernel merely retargets the final encode — zero extra passes;
+        ``chunks_repacked`` in the metrics counts the conversions.
+        """
+        if plan_mod.fusion_enabled():
+            return self._with_plan(RepackKernel())
+
+        def repack_one(chunk):
+            new, changed = chunk.repack()
+            if changed:
+                self.context.metrics.record_repack(1)
+            return new
+
+        return self._with_rdd(self.rdd.map_values(repack_one))
 
     def subarray(self, lo, hi) -> "ArrayRDD":
         """Keep cells inside the closed coordinate box ``[lo, hi]``.

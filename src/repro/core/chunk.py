@@ -244,9 +244,29 @@ class Chunk:
         return Chunk.from_sparse(self.num_cells, self.indices(),
                                  self.values(), mode=mode)
 
+    def to_mode(self, mode: ChunkMode) -> "Chunk":
+        """Alias for :meth:`convert` (the cache admission API)."""
+        return self.convert(mode)
+
+    def repack(self) -> tuple:
+        """Re-run the density policy on the *current* density.
+
+        Returns ``(chunk, changed)``: the chunk re-encoded in the mode
+        :func:`choose_mode` now picks (``self`` untouched when the mode
+        already matches). Filters shrink validity without changing the
+        encoding, so a chunk built DENSE can drift far below
+        :data:`DENSE_THRESHOLD`; repacking realizes the compression the
+        policy would have chosen had the chunk been built at this
+        density.
+        """
+        target = choose_mode(self.density)
+        if target is self.mode:
+            return self, False
+        return self.convert(target), True
+
     def recompress(self) -> "Chunk":
         """Re-apply the density policy (after filters shrink validity)."""
-        return self.convert(choose_mode(self.density))
+        return self.repack()[0]
 
     def map_values(self, func, mode: ChunkMode = None) -> "Chunk":
         """Apply a vectorized function to the valid values only."""
@@ -364,6 +384,72 @@ class Chunk:
             f"Chunk(mode={self.mode.value}, cells={self.num_cells}, "
             f"valid={self.valid_count}, {self.nbytes}B)"
         )
+
+
+def chunk_exact_size(obj) -> int:
+    """Exact resident bytes of a :class:`Chunk`, or None for other types.
+
+    Unlike :attr:`Chunk.nbytes` (payload + advertised mask bytes), this
+    also counts the lazily built milestone rank caches and the
+    hierarchical mask's stored prefix array — every array the chunk
+    actually pins in memory. Registered with the engine's size
+    estimator (:func:`repro.engine.sizing.register_sizer`) so cache
+    budgets and eviction scores see true footprints.
+    """
+    if type(obj) is not Chunk:
+        return None
+    mask = obj.mask
+    total = int(obj.payload.nbytes)
+    if isinstance(mask, HierarchicalBitmask):
+        total += int(mask._upper.words.nbytes)
+        total += int(mask._stored_words.nbytes)
+        total += int(mask._stored_prefix.nbytes)
+        if mask._upper._milestones is not None:
+            total += mask._upper._milestones.nbytes
+    else:
+        total += int(mask.words.nbytes)
+        if mask._milestones is not None:
+            total += mask._milestones.nbytes
+    return total
+
+
+def repack_records(records):
+    """Density-repack every chunk in a cached partition.
+
+    The block cache's admission repacker
+    (:func:`repro.engine.storage.register_repacker`): handles bare
+    Chunk records and ``(key, Chunk)`` pairs — the shapes ArrayRDD
+    partitions actually take. Returns ``(new_records, chunks_repacked,
+    bytes_saved)``, or None when no chunk changed mode (the partition
+    is admitted as-is and no counters move). ``bytes_saved`` is the net
+    exact-size reduction, so the cache ledger shrinks by the same
+    amount the counter reports.
+    """
+    out = None
+    count = 0
+    saved = 0
+    for i, record in enumerate(records):
+        if type(record) is Chunk:
+            new, changed = record.repack()
+            if changed:
+                if out is None:
+                    out = list(records)
+                saved += chunk_exact_size(record) - chunk_exact_size(new)
+                out[i] = new
+                count += 1
+        elif (type(record) is tuple and len(record) == 2
+              and type(record[1]) is Chunk):
+            new, changed = record[1].repack()
+            if changed:
+                if out is None:
+                    out = list(records)
+                saved += (chunk_exact_size(record[1])
+                          - chunk_exact_size(new))
+                out[i] = (record[0], new)
+                count += 1
+    if count == 0:
+        return None
+    return out, count, saved
 
 
 def _build_from_bools(num_cells: int, keep: np.ndarray,

@@ -121,8 +121,14 @@ def _mask_words(chunk: Chunk):
     return mask.words, 0
 
 
-def probe_chunks(values):
-    """``ChunkValues`` for a uniform column of chunks, or None."""
+def probe_chunks(values, byte_limit=VALUE_PACK_BYTE_LIMIT):
+    """``ChunkValues`` for a uniform column of chunks, or None.
+
+    ``byte_limit`` is the mean-bytes-per-chunk refusal threshold;
+    ``None`` packs unconditionally (the spill path wants exactly that —
+    a spilled partition is large by definition, and on disk a copied
+    compressed buffer always beats pickled objects).
+    """
     first = values[0]
     if type(first) is not Chunk:
         return None
@@ -152,10 +158,16 @@ def probe_chunks(values):
         payloads.append(payload)
         word_runs.append(run)
         total_bytes += payload.nbytes + run.nbytes
-    if total_bytes >= VALUE_PACK_BYTE_LIMIT * len(values):
+    if (byte_limit is not None
+            and total_bytes >= byte_limit * len(values)):
         return None
     return ChunkValues(modes, num_cells, _flat_column(payloads),
                        _flat_column(word_runs), upper_lengths)
+
+
+def probe_chunks_for_spill(values):
+    """The spill-path probe: the chunk codec with no byte limit."""
+    return probe_chunks(values, byte_limit=None)
 
 
 def register() -> None:

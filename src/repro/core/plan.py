@@ -43,6 +43,7 @@ __all__ = [
     "MapValuesKernel",
     "MaskAndKernel",
     "MaskApplySource",
+    "RepackKernel",
     "ScalarOpKernel",
     "disable_fusion",
     "enable_fusion",
@@ -105,7 +106,7 @@ class KernelState:
     """
 
     __slots__ = ("num_cells", "offsets", "values", "mode", "chunk",
-                 "rebuilt", "dropped", "eager_builds")
+                 "rebuilt", "dropped", "eager_builds", "repacked")
 
     def __init__(self, num_cells, offsets, values, mode, chunk=None):
         self.num_cells = num_cells
@@ -116,6 +117,7 @@ class KernelState:
         self.rebuilt = False
         self.dropped = False
         self.eager_builds = 0
+        self.repacked = 0
 
 
 def _encode(state: KernelState) -> Chunk:
@@ -338,6 +340,30 @@ class MaskAndKernel:
             state.dropped = True
 
 
+class RepackKernel:
+    """Re-apply the density policy to each chunk's *current* density.
+
+    The plan-level form of :meth:`Chunk.repack`: upstream kernels (a
+    filter, a mask AND) may leave a chunk far from the mode it was
+    built in; this kernel retargets the encode without an extra pass —
+    it only flips ``state.mode``, so in a fused pipeline repacking is
+    free. Chunks already in the policy's mode pass through untouched.
+    """
+
+    label = "repack"
+
+    def apply(self, chunk_id, state: KernelState) -> None:
+        if state.num_cells == 0:
+            return
+        target = choose_mode(state.offsets.size / state.num_cells)
+        if target is state.mode:
+            return
+        state.mode = target
+        state.rebuilt = True
+        state.eager_builds += 1
+        state.repacked += 1
+
+
 class DropEmpty:
     """Drop chunks with no valid cell (the memory-reduction policy).
 
@@ -428,6 +454,7 @@ class ChunkPlan:
             mode_counts = {}
             mode_bytes = {}
             avoided = 0
+            repacked = 0
             for chunk_id, value in part:
                 chunks_in += 1
                 if tracing:
@@ -437,6 +464,7 @@ class ChunkPlan:
                     kernel.apply(chunk_id, state)
                     if state.dropped:
                         break
+                repacked += state.repacked
                 if state.dropped:
                     avoided += state.eager_builds
                     continue
@@ -454,6 +482,8 @@ class ChunkPlan:
                 yield out
             if metrics is not None and avoided:
                 metrics.record_fused_chunks_avoided(avoided)
+            if metrics is not None and repacked:
+                metrics.record_repack(repacked)
             if tracing:
                 chunks_out = sum(mode_counts.values())
                 attrs = {"chunks_in": chunks_in,
@@ -461,6 +491,8 @@ class ChunkPlan:
                          "chunk_builds_avoided": avoided,
                          "chunk_ids": [list(cid) if isinstance(cid, tuple)
                                        else cid for cid in chunk_ids]}
+                if repacked:
+                    attrs["chunks_repacked"] = repacked
                 for mode, count in mode_counts.items():
                     attrs[f"chunks_{mode}"] = count
                     attrs[f"payload_bytes_{mode}"] = mode_bytes[mode]

@@ -10,8 +10,9 @@ slice of Spark that Spangle needs, in pure Python:
 - pair-RDD operations (:mod:`repro.engine.pairs`) — ``reduce_by_key``,
   ``join``, ``cogroup``... implemented over a real shuffle with byte
   accounting.
-- :mod:`repro.engine.storage` — block cache with a memory budget and
-  LRU eviction (persist / unpersist).
+- :mod:`repro.engine.storage` — block cache with a running byte
+  ledger, pluggable eviction (LRU or cost-aware), real compressed
+  spill to disk, and density-adaptive chunk repacking on admission.
 - :mod:`repro.engine.lineage` — fault injection and lineage-based
   recomputation.
 - :mod:`repro.engine.costmodel` — converts measured metrics (shuffle
@@ -34,18 +35,27 @@ from repro.engine.batches import (
 )
 from repro.engine.context import ClusterContext
 from repro.engine.costmodel import ClusterCostModel, CostReport
+from repro.engine.explain import memory_report
 from repro.engine.metrics import MetricsRegistry, MetricsSnapshot, StageTiming
 from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.engine.rdd import RDD
 from repro.engine.scheduler import ExecutorPool, StageScheduler
-from repro.engine.storage import StorageLevel
+from repro.engine.storage import (
+    CacheManager,
+    CostAwareEviction,
+    LRUEviction,
+    StorageLevel,
+)
 from repro.engine.tracing import JobProfile, Span, Tracer
 
 __all__ = [
+    "CacheManager",
     "ClusterContext",
     "ClusterCostModel",
+    "CostAwareEviction",
     "CostReport",
     "ExecutorPool",
+    "LRUEviction",
     "HashPartitioner",
     "JobProfile",
     "MetricsRegistry",
@@ -62,4 +72,5 @@ __all__ = [
     "columnar_enabled",
     "disable_columnar",
     "enable_columnar",
+    "memory_report",
 ]

@@ -35,6 +35,18 @@ class ClusterContext:
     use_threads:
         Execute tasks of a job concurrently with a thread pool. numpy
         kernels release the GIL, so chunk-heavy jobs do overlap.
+    eviction_policy:
+        ``"lru"`` (default) or ``"cost"`` — how the block cache picks
+        victims when over budget. The cost-aware policy prices each
+        block's bring-back (spill reload vs lineage recompute) with
+        this context's cost model and evicts the cheapest per byte.
+    spill_dir:
+        Directory for spilled blocks (default: a private temp dir,
+        removed with the context).
+    repack_on_admission:
+        Re-run the chunk mode policy on each cached chunk's current
+        density at admission, shrinking stale encodings. Off by
+        default: it rewrites explicitly forced chunk modes.
     trace:
         Record a structured span tree for every job
         (:mod:`repro.engine.tracing`). Off by default; when off, the
@@ -44,7 +56,9 @@ class ClusterContext:
     def __init__(self, num_executors: int = 4, default_parallelism=None,
                  cache_budget_bytes=None, use_threads: bool = False,
                  cost_model: ClusterCostModel = None,
-                 task_retries: int = 3, trace: bool = False):
+                 task_retries: int = 3, trace: bool = False,
+                 eviction_policy: str = "lru", spill_dir=None,
+                 repack_on_admission: bool = False):
         if num_executors <= 0:
             raise EngineError("num_executors must be positive")
         if task_retries < 0:
@@ -53,11 +67,15 @@ class ClusterContext:
         self.default_parallelism = default_parallelism or num_executors
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(enabled=trace, num_executors=num_executors)
+        self.cost_model = cost_model or ClusterCostModel()
         self.cache = CacheManager(self.metrics,
                                   budget_bytes=cache_budget_bytes,
-                                  tracer=self.tracer)
+                                  tracer=self.tracer,
+                                  eviction_policy=eviction_policy,
+                                  cost_model=self.cost_model,
+                                  spill_dir=spill_dir,
+                                  repack_on_admission=repack_on_admission)
         self.use_threads = use_threads
-        self.cost_model = cost_model or ClusterCostModel()
         self.task_retries = task_retries
         self._rdd_counter = 0
         # the executor pool is persistent: created lazily on the first

@@ -50,14 +50,49 @@ class CostReport:
 
 
 class ClusterCostModel:
-    """Turns a metrics delta plus wall time into a :class:`CostReport`."""
+    """Turns a metrics delta plus wall time into a :class:`CostReport`.
+
+    The same rates also price individual cache blocks for the
+    cost-aware eviction policy (:mod:`repro.engine.storage`): what
+    bringing a block back would cost, either by reloading its spill
+    file or by recomputing it through its lineage.
+    """
 
     def __init__(self, network_bandwidth_bytes_s: float = 117e6,
                  disk_bandwidth_bytes_s: float = 150e6,
-                 task_overhead_s: float = 0.005):
+                 task_overhead_s: float = 0.005,
+                 recompute_bandwidth_bytes_s: float = 1e9):
         self.network_bandwidth_bytes_s = network_bandwidth_bytes_s
         self.disk_bandwidth_bytes_s = disk_bandwidth_bytes_s
         self.task_overhead_s = task_overhead_s
+        # effective in-memory production rate of one lineage level:
+        # recomputing a block re-runs roughly depth passes over its bytes
+        self.recompute_bandwidth_bytes_s = recompute_bandwidth_bytes_s
+
+    # ------------------------------------------------------------------
+    # per-block rates (cost-aware eviction)
+    # ------------------------------------------------------------------
+
+    def reload_seconds(self, nbytes: int) -> float:
+        """Modeled time to read a spilled block back from disk."""
+        return nbytes / self.disk_bandwidth_bytes_s
+
+    def spill_seconds(self, nbytes: int) -> float:
+        """Modeled time to write a victim block to disk."""
+        return nbytes / self.disk_bandwidth_bytes_s
+
+    def recompute_seconds(self, nbytes: int, lineage_depth: int,
+                          shuffle_depth: int) -> float:
+        """Modeled time to rebuild a block from its lineage.
+
+        Each lineage level is one pass over the block's bytes; every
+        wide dependency below it additionally moves the bytes across
+        the network and launches tasks.
+        """
+        compute = lineage_depth * nbytes / self.recompute_bandwidth_bytes_s
+        shuffle = shuffle_depth * (nbytes / self.network_bandwidth_bytes_s
+                                   + self.task_overhead_s)
+        return compute + shuffle
 
     def report(self, wall_clock_s: float,
                delta: MetricsSnapshot) -> CostReport:

@@ -138,6 +138,35 @@ def stage_breakdown(stage_timings, task_times=None) -> str:
     return "\n".join(lines)
 
 
+def memory_report(context) -> str:
+    """A printable report of the context's memory tier.
+
+    One line each for the cache ledger (resident bytes against the
+    budget, block counts), the spill tier (blocks on disk and their
+    encoded bytes), and the adaptive-memory counters — evictions,
+    spills, reloads, and density repacking (``chunks_repacked`` /
+    ``repack_bytes_saved``).
+    """
+    cache = context.cache
+    counters = context.metrics.snapshot()
+    budget = cache.budget_bytes
+    budget_text = f"{budget:,} B" if budget is not None else "unbounded"
+    lines = [
+        "Memory report",
+        f"  policy: {cache.eviction_policy}   budget: {budget_text}",
+        f"  resident: {cache.used_bytes():,} B in "
+        f"{cache.block_count()} blocks",
+        f"  spilled:  {cache.spilled_bytes():,} B in "
+        f"{cache.spilled_count()} blocks",
+        f"  evictions: {counters.cache_evictions}   "
+        f"spills: {counters.cache_spills}   "
+        f"reloads: {counters.cache_reloads}",
+        f"  chunks_repacked: {counters.chunks_repacked}   "
+        f"repack_bytes_saved: {counters.repack_bytes_saved:,} B",
+    ]
+    return "\n".join(lines)
+
+
 def explain(rdd: RDD) -> str:
     """A printable stage plan."""
     lines = []

@@ -50,6 +50,10 @@ class MetricsSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_spills: int = 0
+    cache_reloads: int = 0
+    chunks_repacked: int = 0
+    repack_bytes_saved: int = 0
     recomputations: int = 0
     task_retries: int = 0
     kernels_fused: int = 0
@@ -113,6 +117,14 @@ class MetricsRegistry:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    # the memory tier (repro.engine.storage): victims written to the
+    # spill directory, spilled blocks decoded back on access, and chunks
+    # re-encoded by the density policy on cache admission (net payload
+    # bytes the repacking shed)
+    cache_spills: int = 0
+    cache_reloads: int = 0
+    chunks_repacked: int = 0
+    repack_bytes_saved: int = 0
     recomputations: int = 0
     task_retries: int = 0
     # chunk-kernel fusion (repro.core.plan): kernels compiled into fused
@@ -194,6 +206,21 @@ class MetricsRegistry:
     def record_eviction(self) -> None:
         with self._lock:
             self.cache_evictions += 1
+
+    def record_spill(self) -> None:
+        with self._lock:
+            self.cache_spills += 1
+
+    def record_reload(self) -> None:
+        with self._lock:
+            self.cache_reloads += 1
+
+    def record_repack(self, count: int, bytes_saved: int = 0) -> None:
+        """``count`` chunks re-encoded by the density policy; positive
+        ``bytes_saved`` means the new encodings are smaller."""
+        with self._lock:
+            self.chunks_repacked += count
+            self.repack_bytes_saved += bytes_saved
 
     def record_recomputation(self) -> None:
         with self._lock:

@@ -87,6 +87,7 @@ class RDD:
         self._checkpoint_lock = threading.Lock()
         self._compute_locks = {}
         self._compute_locks_guard = threading.Lock()
+        self._lineage_hint_cache = None
 
     # ------------------------------------------------------------------
     # computation and caching
@@ -124,9 +125,11 @@ class RDD:
             if index in self._cached_indices:
                 self.context.metrics.record_recomputation()
             data = list(self.compute(index))
+            depth, wide = self.lineage_hint()
             cache.put(self.rdd_id, index, data,
                       allow_spill=self.storage_level
-                      is StorageLevel.MEMORY_AND_DISK)
+                      is StorageLevel.MEMORY_AND_DISK,
+                      lineage_depth=depth, shuffle_depth=wide)
             self._cached_indices.add(index)
         return data
 
@@ -180,6 +183,35 @@ class RDD:
     @property
     def is_checkpointed(self) -> bool:
         return self._checkpoint_data is not None
+
+    def _own_wide_count(self) -> int:
+        """Wide dependencies this RDD itself introduces (0 for narrow)."""
+        return 0
+
+    def lineage_hint(self) -> tuple:
+        """``(lineage_depth, shuffle_depth)`` — how dear a recompute is.
+
+        ``lineage_depth`` is the longest chain of narrow ancestors;
+        ``shuffle_depth`` counts wide dependencies on that chain. The
+        block cache stores both with every cached partition so the
+        cost-aware eviction policy can price recomputation: shallow
+        narrow results are cheap to lose, shuffle outputs are not.
+        Checkpoints cut the lineage here exactly as they do for
+        recovery. Memoized — the DAG beneath an RDD never changes.
+        """
+        if self._lineage_hint_cache is None:
+            if self.is_checkpointed or not self.dependencies:
+                depth, wide = 1, self._own_wide_count()
+            else:
+                depth, wide = 0, 0
+                for dep in self.dependencies:
+                    dep_depth, dep_wide = dep.lineage_hint()
+                    depth = max(depth, dep_depth)
+                    wide = max(wide, dep_wide)
+                depth += 1
+                wide += self._own_wide_count()
+            self._lineage_hint_cache = (depth, wide)
+        return self._lineage_hint_cache
 
     def lineage(self) -> dict:
         """A nested description of how this RDD derives from its parents.
@@ -716,6 +748,9 @@ class ShuffledRDD(RDD):
             and parent.partitioner == self.partitioner
         )
 
+    def _own_wide_count(self) -> int:
+        return 0 if self.is_narrow else 1
+
     def _combine_partition(self, records) -> dict:
         combined = {}
         for key, value in records:
@@ -1020,6 +1055,10 @@ class CoGroupedRDD(RDD):
             parent.partitioner is not None
             and parent.partitioner == self.partitioner
         )
+
+    def _own_wide_count(self) -> int:
+        return sum(1 for parent in self.dependencies
+                   if not self._parent_is_narrow(parent))
 
     def is_parent_materialized(self, which: int) -> bool:
         return self._buckets[which] is not None

@@ -15,14 +15,29 @@ import numpy as np
 
 _PRIMITIVE_SIZE = {int: 8, float: 8, bool: 1, complex: 16}
 
+#: exact sizers registered by higher layers; each probe returns a byte
+#: count or None to decline. ``repro.core`` registers a chunk-exact
+#: sizer (payload + mask words + milestone caches) so budget accounting
+#: and the eviction score see true chunk footprints.
+_SIZERS = []
+
+
+def register_sizer(probe) -> None:
+    """Register ``probe(obj) -> int | None`` tried before the generic
+    ``nbytes`` path. Used by higher layers so the engine never imports
+    them (the same inversion as the shuffle value codecs)."""
+    _SIZERS.append(probe)
+
 
 def estimate_size(obj) -> int:
     """Best-effort deep size of ``obj`` in bytes.
 
-    Objects may advertise their payload size with a ``nbytes`` attribute
-    (numpy arrays do; so do the library's Bitmask and Chunk classes), which
-    takes priority. Containers are measured recursively with a small
-    per-element overhead to mimic serialization framing.
+    Registered exact sizers win first (chunks report payload + mask +
+    rank caches). Otherwise objects may advertise their payload size
+    with a ``nbytes`` attribute (numpy arrays do; so do the library's
+    Bitmask and Chunk classes), which takes priority. Containers are
+    measured recursively with a small per-element overhead to mimic
+    serialization framing.
     """
     if isinstance(obj, np.ndarray):
         if obj.dtype.hasobject:
@@ -30,6 +45,10 @@ def estimate_size(obj) -> int:
             # elements for the real payload
             return 8 * obj.size + sum(estimate_size(o) for o in obj.flat)
         return int(obj.nbytes)
+    for probe in _SIZERS:
+        exact = probe(obj)
+        if exact is not None:
+            return exact
     nbytes = getattr(obj, "nbytes", None)
     if nbytes is not None and isinstance(nbytes, (int, np.integer)):
         return int(nbytes)

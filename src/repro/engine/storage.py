@@ -1,19 +1,50 @@
 """Block cache: the engine's answer to Spark's BlockManager.
 
 Persisted RDD partitions are stored here as blocks keyed by
-``(rdd_id, partition_index)``. The cache has a configurable memory budget;
-when it overflows, least-recently-used blocks are evicted (and counted as
-disk spills so the cost model can charge for them, mirroring Spark's
-MEMORY_AND_DISK behaviour).
+``(rdd_id, partition_index)``. The cache is a real memory tier:
+
+- a **running byte ledger** — ``used_bytes()`` is O(1); every put,
+  eviction, and drop adjusts the total instead of re-summing.
+- a **pluggable eviction policy** — LRU (the default) or cost-aware
+  (:class:`CostAwareEviction`), which scores each block by what
+  bringing it back would cost per byte freed, priced with the
+  context's :class:`~repro.engine.costmodel.ClusterCostModel` rates
+  and the block's lineage depth. Cheap-to-recompute narrow results go
+  first; expensive shuffle outputs stay hot.
+- **real spill** — ``MEMORY_AND_DISK`` victims are serialized
+  (:mod:`repro.engine.spill`; chunk partitions reuse the compressed
+  chunk codec), written to a per-context spill directory, freed from
+  RAM, and decoded back on access. Disk bytes are the true encoded
+  sizes and flow into the metrics, the cost model, and the trace.
+- **density-adaptive repacking** — when enabled, admission re-runs the
+  paper's chunk mode policy on each chunk's current density via a
+  repacker registered by ``repro.core``, shrinking stale encodings
+  (``chunks_repacked`` / ``repack_bytes_saved`` counters).
 """
 
 from __future__ import annotations
 
 import enum
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 
+from repro.engine import spill as spill_mod
 from repro.engine.sizing import estimate_partition_size
+
+#: the admission repacker registered by ``repro.core``:
+#: ``func(records) -> (new_records, chunks_repacked, bytes_saved) | None``
+_REPACKER = {"func": None}
+
+
+def register_repacker(func) -> None:
+    """Register the density-driven chunk repacker (one, engine-wide).
+
+    ``repro.core`` registers :func:`repro.core.chunk.repack_records`
+    here so the cache never imports the array layer.
+    """
+    _REPACKER["func"] = func
 
 
 class StorageLevel(enum.Enum):
@@ -24,21 +55,110 @@ class StorageLevel(enum.Enum):
     MEMORY_AND_DISK = "memory_and_disk"
 
 
+class BlockInfo:
+    """Per-block accounting the eviction policy scores with."""
+
+    __slots__ = ("size", "allow_spill", "lineage_depth", "shuffle_depth")
+
+    def __init__(self, size: int, allow_spill: bool,
+                 lineage_depth: int = 1, shuffle_depth: int = 0):
+        self.size = size
+        self.allow_spill = allow_spill
+        self.lineage_depth = lineage_depth
+        self.shuffle_depth = shuffle_depth
+
+
+class LRUEviction:
+    """Evict the least-recently-used block (Spark's default)."""
+
+    name = "lru"
+
+    def select_victim(self, blocks: "OrderedDict", infos: dict):
+        return next(iter(blocks))
+
+
+class CostAwareEviction:
+    """Evict the block that is cheapest per byte to bring back.
+
+    Score = ``reload_or_recompute_cost / size``: a spillable block costs
+    one disk write now plus one read later; a memory-only block costs a
+    lineage recomputation (deeper lineage and shuffle ancestry make it
+    dearer). Ties (and the ordering of equal scores) resolve to the
+    least recently used, so the policy degrades to LRU over uniform
+    blocks and stays deterministic.
+    """
+
+    name = "cost"
+
+    def __init__(self, cost_model):
+        self.cost_model = cost_model
+
+    def block_cost_s(self, info: BlockInfo) -> float:
+        """Modeled seconds to bring one evicted block back."""
+        if info.allow_spill:
+            return (self.cost_model.spill_seconds(info.size)
+                    + self.cost_model.reload_seconds(info.size))
+        return self.cost_model.recompute_seconds(
+            info.size, info.lineage_depth, info.shuffle_depth)
+
+    def select_victim(self, blocks: "OrderedDict", infos: dict):
+        best_key = None
+        best_score = None
+        for key in blocks:
+            info = infos[key]
+            score = self.block_cost_s(info) / max(info.size, 1)
+            if best_score is None or score < best_score:
+                best_key = key
+                best_score = score
+        return best_key
+
+
+def make_eviction_policy(name, cost_model=None):
+    """``"lru"`` | ``"cost"`` | an object with ``select_victim``."""
+    if name is None or name == "lru":
+        return LRUEviction()
+    if name == "cost":
+        return CostAwareEviction(cost_model)
+    if hasattr(name, "select_victim"):
+        return name
+    raise ValueError(
+        f"unknown eviction policy {name!r}; expected 'lru', 'cost', or "
+        f"an object with select_victim()")
+
+
+class _SpilledBlock:
+    """One on-disk block: its file and the exact encoded byte count."""
+
+    __slots__ = ("path", "nbytes")
+
+    def __init__(self, path: str, nbytes: int):
+        self.path = path
+        self.nbytes = nbytes
+
+
 class CacheManager:
-    """LRU block store with a byte budget.
+    """Block store with a byte budget, spill tier, and eviction policy.
 
     ``budget_bytes=None`` means unbounded (the default for tests). The
     manager is thread-safe because the scheduler may compute partitions
     concurrently.
     """
 
-    def __init__(self, metrics, budget_bytes=None, tracer=None):
+    def __init__(self, metrics, budget_bytes=None, tracer=None,
+                 eviction_policy="lru", cost_model=None, spill_dir=None,
+                 repack_on_admission: bool = False):
         self._metrics = metrics
         self._budget_bytes = budget_bytes
         self._tracer = tracer
+        self._policy = make_eviction_policy(eviction_policy, cost_model)
+        self._repack = repack_on_admission
         self._blocks = OrderedDict()
-        self._sizes = {}
+        self._infos = {}
         self._spilled = {}
+        self._used_bytes = 0
+        self._spill_seq = 0
+        self._spill_dir = spill_dir
+        self._spill_tmp = None     # owned TemporaryDirectory, if lazy
         self._lock = threading.RLock()
 
     def _trace(self, name: str, rdd_id: int, partition_index: int,
@@ -52,16 +172,71 @@ class CacheManager:
     def budget_bytes(self):
         return self._budget_bytes
 
+    @property
+    def eviction_policy(self) -> str:
+        return self._policy.name
+
     def used_bytes(self) -> int:
+        """Resident (in-memory) bytes — a running total, O(1)."""
         with self._lock:
-            return sum(self._sizes.values())
+            return self._used_bytes
+
+    def spilled_bytes(self) -> int:
+        """Total encoded bytes currently sitting in the spill tier."""
+        with self._lock:
+            return sum(block.nbytes for block in self._spilled.values())
 
     def block_count(self) -> int:
         with self._lock:
             return len(self._blocks)
 
+    def spilled_count(self) -> int:
+        with self._lock:
+            return len(self._spilled)
+
+    # ------------------------------------------------------------------
+    # spill tier
+    # ------------------------------------------------------------------
+
+    def spill_directory(self) -> str:
+        """The spill directory, created lazily on first use."""
+        if self._spill_dir is None:
+            self._spill_tmp = tempfile.TemporaryDirectory(
+                prefix="spangle-spill-")
+            self._spill_dir = self._spill_tmp.name
+        return self._spill_dir
+
+    def _write_spill(self, key, data) -> _SpilledBlock:
+        self._spill_seq += 1
+        encoded = spill_mod.encode_block(data)
+        path = os.path.join(
+            self.spill_directory(),
+            f"block-{key[0]}-{key[1]}-{self._spill_seq}.spill")
+        with open(path, "wb") as handle:
+            handle.write(encoded)
+        return _SpilledBlock(path, len(encoded))
+
+    def _read_spill(self, block: _SpilledBlock):
+        with open(block.path, "rb") as handle:
+            return spill_mod.decode_block(handle.read())
+
+    def _purge_spill(self, key) -> bool:
+        """Drop ``key``'s spill file, if any (stale after a re-put)."""
+        block = self._spilled.pop(key, None)
+        if block is None:
+            return False
+        try:
+            os.unlink(block.path)
+        except OSError:
+            pass
+        return True
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
     def get(self, rdd_id: int, partition_index: int):
-        """Return ``(found, value)``; spilled blocks count as disk reads."""
+        """Return ``(found, value)``; spilled blocks decode from disk."""
         key = (rdd_id, partition_index)
         with self._lock:
             if key in self._blocks:
@@ -70,13 +245,13 @@ class CacheManager:
                 self._trace("cache_hit", rdd_id, partition_index)
                 return True, self._blocks[key]
             if key in self._spilled:
-                data = self._spilled[key]
+                block = self._spilled[key]
+                data = self._read_spill(block)
                 self._metrics.record_cache_hit()
-                self._metrics.record_disk_read(
-                    estimate_partition_size(data)
-                )
-                self._trace("cache_hit", rdd_id, partition_index,
-                            spilled=True)
+                self._metrics.record_reload()
+                self._metrics.record_disk_read(block.nbytes)
+                self._trace("cache_reload", rdd_id, partition_index,
+                            bytes=block.nbytes)
                 return True, data
             self._metrics.record_cache_miss()
             self._trace("cache_miss", rdd_id, partition_index)
@@ -96,33 +271,63 @@ class CacheManager:
                 self._blocks.move_to_end(key)
                 return True, self._blocks[key]
             if key in self._spilled:
-                return True, self._spilled[key]
+                return True, self._read_spill(self._spilled[key])
             return False, None
 
-    def put(self, rdd_id: int, partition_index: int, data,
-            allow_spill: bool = True) -> None:
-        key = (rdd_id, partition_index)
-        size = estimate_partition_size(data)
-        with self._lock:
-            self._blocks[key] = data
-            self._sizes[key] = size
-            self._blocks.move_to_end(key)
-            if self._budget_bytes is not None:
-                self._evict_to_budget(allow_spill)
+    # ------------------------------------------------------------------
+    # admission and eviction
+    # ------------------------------------------------------------------
 
-    def _evict_to_budget(self, allow_spill: bool) -> None:
-        while (
-            sum(self._sizes.values()) > self._budget_bytes
-            and len(self._blocks) > 1
-        ):
-            victim_key, victim_data = self._blocks.popitem(last=False)
-            size = self._sizes.pop(victim_key)
+    def put(self, rdd_id: int, partition_index: int, data,
+            allow_spill: bool = True, lineage_depth: int = 1,
+            shuffle_depth: int = 0) -> None:
+        key = (rdd_id, partition_index)
+        with self._lock:
+            # a re-persisted block supersedes any spilled copy; leaving
+            # the old file behind would leak disk and resurrect stale
+            # data after the live copy is dropped
+            self._purge_spill(key)
+            if self._repack and _REPACKER["func"] is not None:
+                repacked = _REPACKER["func"](data)
+                if repacked is not None:
+                    data, count, saved = repacked
+                    self._metrics.record_repack(count, saved)
+                    self._trace("cache_repack", rdd_id, partition_index,
+                                chunks=count, bytes_saved=saved)
+            size = estimate_partition_size(data)
+            if key in self._blocks:
+                self._used_bytes -= self._infos[key].size
+            self._blocks[key] = data
+            self._infos[key] = BlockInfo(size, allow_spill,
+                                         lineage_depth, shuffle_depth)
+            self._blocks.move_to_end(key)
+            self._used_bytes += size
+            if self._budget_bytes is not None:
+                self._evict_to_budget()
+
+    def _evict_to_budget(self) -> None:
+        while (self._used_bytes > self._budget_bytes
+               and len(self._blocks) > 1):
+            victim_key = self._policy.select_victim(self._blocks,
+                                                    self._infos)
+            victim_data = self._blocks.pop(victim_key)
+            info = self._infos.pop(victim_key)
+            self._used_bytes -= info.size
             self._metrics.record_eviction()
-            self._trace("cache_evict", victim_key[0], victim_key[1],
-                        bytes=size, spilled=allow_spill)
-            if allow_spill:
-                self._spilled[victim_key] = victim_data
-                self._metrics.record_disk_write(size)
+            if info.allow_spill:
+                block = self._write_spill(victim_key, victim_data)
+                self._spilled[victim_key] = block
+                self._metrics.record_spill()
+                self._metrics.record_disk_write(block.nbytes)
+                self._trace("cache_spill", victim_key[0], victim_key[1],
+                            bytes=info.size, disk_bytes=block.nbytes)
+            else:
+                self._trace("cache_evict", victim_key[0], victim_key[1],
+                            bytes=info.size, spilled=False)
+
+    # ------------------------------------------------------------------
+    # removal
+    # ------------------------------------------------------------------
 
     def drop_partition(self, rdd_id: int, partition_index: int) -> bool:
         """Simulate an executor failure losing one cached block.
@@ -133,8 +338,10 @@ class CacheManager:
         key = (rdd_id, partition_index)
         with self._lock:
             dropped = self._blocks.pop(key, None) is not None
-            self._sizes.pop(key, None)
-            dropped = self._spilled.pop(key, None) is not None or dropped
+            info = self._infos.pop(key, None)
+            if info is not None:
+                self._used_bytes -= info.size
+            dropped = self._purge_spill(key) or dropped
             return dropped
 
     def drop_rdd(self, rdd_id: int) -> int:
@@ -143,10 +350,12 @@ class CacheManager:
             keys = [k for k in self._blocks if k[0] == rdd_id]
             for key in keys:
                 del self._blocks[key]
-                self._sizes.pop(key, None)
+                info = self._infos.pop(key, None)
+                if info is not None:
+                    self._used_bytes -= info.size
             spilled_keys = [k for k in self._spilled if k[0] == rdd_id]
             for key in spilled_keys:
-                del self._spilled[key]
+                self._purge_spill(key)
             return len(keys) + len(spilled_keys)
 
     def contains(self, rdd_id: int, partition_index: int) -> bool:
@@ -157,5 +366,7 @@ class CacheManager:
     def clear(self) -> None:
         with self._lock:
             self._blocks.clear()
-            self._sizes.clear()
-            self._spilled.clear()
+            self._infos.clear()
+            for key in list(self._spilled):
+                self._purge_spill(key)
+            self._used_bytes = 0

@@ -6,10 +6,12 @@ shuffle volume, chunk-mode choices, rank-query costs. Flat counters
 "where": a :class:`Tracer` owned by the
 :class:`~repro.engine.context.ClusterContext` records a span tree —
 job → stage → task — plus annotated spans for shuffle materialization,
-checkpoints, broadcasts, cache hits/misses, and compiled ChunkPlan
-passes (whose attributes carry kernel labels, chunk modes, payload
-bytes, and the bitmask rank-query counts from
-:func:`repro.bitmask.rank_counts`).
+checkpoints, broadcasts, cache traffic (hits/misses, and the memory
+tier's ``cache_spill`` / ``cache_reload`` / ``cache_repack`` /
+``cache_evict`` events with their in-memory and on-disk byte counts),
+and compiled ChunkPlan passes (whose attributes carry kernel labels,
+chunk modes, payload bytes, repack counts, and the bitmask rank-query
+counts from :func:`repro.bitmask.rank_counts`).
 
 Design constraints, in order:
 
