@@ -152,6 +152,13 @@ def scalar_aggregator(name, initialize, accumulate_one, merge,
         def evaluate(self, state):
             return evaluate(state) if evaluate is not None else state
 
+        def __reduce__(self):
+            # the class is function-local, so pickling rebuilds the
+            # aggregator from its user functions instead (the task
+            # pickler ships lambdas among them by value)
+            return (scalar_aggregator,
+                    (name, initialize, accumulate_one, merge, evaluate))
+
     _UserAggregator.name = name
     return _UserAggregator()
 

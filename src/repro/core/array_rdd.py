@@ -44,6 +44,243 @@ from repro.engine import HashPartitioner
 from repro.errors import ArrayError, ShapeMismatchError
 
 
+# ----------------------------------------------------------------------
+# module-level task callables
+# ----------------------------------------------------------------------
+# The eager (fusion-disabled) operator path used to build its per-chunk
+# transforms as local closures. Local closures ship to worker processes
+# by value — workable, but heavy — and the repack closure captured the
+# ClusterContext, which cannot cross a process boundary at all. These
+# wrappers are module-level, so tasks pickle them by reference; each
+# exposes the wrapped user callable as ``func`` so the worker's
+# context-binding walk recurses through it (see repro.engine.rdd).
+
+class _MapChunkValues:
+    """Eager ``map_values``: vectorized function over one chunk."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, chunk):
+        return chunk.map_values(self.func)
+
+
+class _FilterChunk:
+    """Eager ``filter``: vectorized predicate over one chunk."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, predicate):
+        self.func = predicate
+
+    def __call__(self, chunk):
+        return chunk.filter(self.func)
+
+
+class _BoundScalarOp:
+    """Eager scalar arithmetic: ``op(values, scalar)`` (or reflected)."""
+
+    __slots__ = ("func", "scalar", "reflected")
+
+    def __init__(self, op, scalar, reflected):
+        self.func = op
+        self.scalar = scalar
+        self.reflected = reflected
+
+    def __call__(self, values):
+        if self.reflected:
+            return self.func(self.scalar, values)
+        return self.func(values, self.scalar)
+
+
+class _RepackOne:
+    """Eager ``repack``: re-choose one chunk's mode, counting changes.
+
+    Records conversions through whichever engine context the task runs
+    under: the driver's metrics in-process, the worker's metrics (merged
+    back with the task reply) under ``backend="process"``. The metrics
+    handle is dropped from the pickled state and re-attached by the
+    worker's context-binding walk.
+    """
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def __getstate__(self) -> dict:
+        return {"metrics": None}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def bind_engine_context(self, context) -> None:
+        self.metrics = getattr(context, "metrics", None)
+
+    def __call__(self, chunk):
+        new, changed = chunk.repack()
+        if changed and self.metrics is not None:
+            self.metrics.record_repack(1)
+        return new
+
+
+class _RestrictToBox:
+    """Eager ``subarray``: chunk-ID pruning + bitmask AND per partition."""
+
+    __slots__ = ("meta", "lo", "hi", "wanted")
+
+    def __init__(self, meta, lo, hi):
+        self.meta = meta
+        self.lo = lo
+        self.hi = hi
+        self.wanted = frozenset(mapper.chunk_ids_in_range(meta, lo, hi))
+
+    def __call__(self, index, part):
+        for chunk_id, chunk in part:
+            if chunk_id not in self.wanted:
+                continue
+            if mapper.chunk_fully_inside(self.meta, chunk_id, self.lo,
+                                         self.hi):
+                yield chunk_id, chunk
+                continue
+            virtual = Bitmask.from_bools(
+                mapper.range_mask_for_chunk(self.meta, chunk_id,
+                                            self.lo, self.hi)
+            )
+            restricted = chunk.and_mask(virtual)
+            if restricted.valid_count > 0:
+                yield chunk_id, restricted
+
+
+class _MergeAnd:
+    """Eager and-join merge of one joined chunk pair."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, op):
+        self.func = op
+
+    def __call__(self, pair):
+        left, right = pair
+        return left.elementwise(right, self.func, how="and")
+
+
+class _MergeOr:
+    """Eager or-join merge; ``fill`` stands in for a missing side."""
+
+    __slots__ = ("func", "cells", "dtype", "fill")
+
+    def __init__(self, op, cells, dtype, fill):
+        self.func = op
+        self.cells = cells
+        self.dtype = dtype
+        self.fill = fill
+
+    def __call__(self, pair):
+        left, right = pair
+        if left is None:
+            left = Chunk.empty(self.cells, dtype=self.dtype)
+        if right is None:
+            right = Chunk.empty(self.cells, dtype=self.dtype)
+        return left.elementwise(right, self.func, how="or",
+                                fill=self.fill)
+
+
+class _ChunkAggregate:
+    """Map side of ``aggregate``: one partial state per partition."""
+
+    __slots__ = ("agg",)
+
+    def __init__(self, agg):
+        self.agg = agg
+
+    def __call__(self, part):
+        agg = self.agg
+        state = agg.initialize()
+        for _chunk_id, chunk in part:
+            state = agg.accumulate(state, chunk.values())
+        return [state]
+
+
+class _GroupPartials:
+    """Map side of ``aggregate_by``: per-group partial states per chunk."""
+
+    __slots__ = ("meta", "axes", "agg", "axis_sizes", "axis_starts",
+                 "linear_keys")
+
+    def __init__(self, meta, axes, agg, axis_sizes, axis_starts,
+                 linear_keys):
+        self.meta = meta
+        self.axes = axes
+        self.agg = agg
+        self.axis_sizes = axis_sizes
+        self.axis_starts = axis_starts
+        self.linear_keys = linear_keys
+
+    def __call__(self, part):
+        meta = self.meta
+        agg = self.agg
+        axes = self.axes
+        for chunk_id, chunk in part:
+            offsets = chunk.indices()
+            if offsets.size == 0:
+                continue
+            coords = mapper.coords_for_offsets_array(meta, chunk_id,
+                                                     offsets)
+            labels = coords[:, list(axes)]
+            values = chunk.values()
+            order = np.lexsort(labels.T[::-1])
+            labels = labels[order]
+            values = values[order]
+            if self.linear_keys:
+                encoded = np.zeros(labels.shape[0], dtype=np.int64)
+                for j, (size, base) in enumerate(
+                        zip(self.axis_sizes, self.axis_starts)):
+                    encoded = encoded * size + (labels[:, j] - base)
+            boundaries = np.ones(labels.shape[0], dtype=bool)
+            boundaries[1:] = (labels[1:] != labels[:-1]).any(axis=1)
+            group_starts = np.nonzero(boundaries)[0]
+            group_ends = np.append(group_starts[1:], labels.shape[0])
+            for start, end in zip(group_starts, group_ends):
+                state = agg.accumulate(agg.initialize(),
+                                       values[start:end])
+                if self.linear_keys:
+                    yield int(encoded[start]), state
+                else:
+                    yield tuple(labels[start]), state
+
+
+class _DecodeGroupKey:
+    """Reduce side of ``aggregate_by``: mixed-radix key → coordinates."""
+
+    __slots__ = ("axis_sizes", "axis_starts")
+
+    def __init__(self, axis_sizes, axis_starts):
+        self.axis_sizes = axis_sizes
+        self.axis_starts = axis_starts
+
+    def __call__(self, record):
+        key, value = record
+        sizes = self.axis_sizes
+        coords = [0] * len(sizes)
+        for j in range(len(sizes) - 1, -1, -1):
+            key, remainder = divmod(key, sizes[j])
+            coords[j] = remainder + self.axis_starts[j]
+        return tuple(coords), value
+
+
+def _has_valid_cells(kv) -> bool:
+    return kv[1].valid_count > 0
+
+
+def _chunk_valid_count(kv) -> int:
+    return kv[1].valid_count
+
+
+def _chunk_nbytes(kv) -> int:
+    return kv[1].nbytes
+
+
 class ArrayRDD:
     """A lazily-evaluated, chunked, distributed array."""
 
@@ -161,13 +398,13 @@ class ArrayRDD:
         return self.rdd.count()
 
     def count_valid(self) -> int:
-        return self.rdd.map(lambda kv: kv[1].valid_count).fold(
+        return self.rdd.map(_chunk_valid_count).fold(
             0, lambda a, b: a + b
         )
 
     def memory_bytes(self) -> int:
         """Total in-memory footprint of all chunks (payloads + masks)."""
-        return self.rdd.map(lambda kv: kv[1].nbytes).fold(
+        return self.rdd.map(_chunk_nbytes).fold(
             0, lambda a, b: a + b
         )
 
@@ -222,7 +459,7 @@ class ArrayRDD:
         if plan_mod.fusion_enabled():
             return self._with_plan(MapValuesKernel(func))
         return self._with_rdd(
-            self.rdd.map_values(lambda chunk: chunk.map_values(func))
+            self.rdd.map_values(_MapChunkValues(func))
         )
 
     def filter(self, predicate) -> "ArrayRDD":
@@ -234,8 +471,8 @@ class ArrayRDD:
         if plan_mod.fusion_enabled():
             return self._with_plan(FilterKernel(predicate))
         filtered = self.rdd.map_values(
-            lambda chunk: chunk.filter(predicate)
-        ).filter(lambda kv: kv[1].valid_count > 0)
+            _FilterChunk(predicate)
+        ).filter(_has_valid_cells)
         filtered.partitioner = self.rdd.partitioner
         return self._with_rdd(filtered)
 
@@ -251,14 +488,9 @@ class ArrayRDD:
         """
         if plan_mod.fusion_enabled():
             return self._with_plan(RepackKernel())
-
-        def repack_one(chunk):
-            new, changed = chunk.repack()
-            if changed:
-                self.context.metrics.record_repack(1)
-            return new
-
-        return self._with_rdd(self.rdd.map_values(repack_one))
+        return self._with_rdd(
+            self.rdd.map_values(_RepackOne(self.context.metrics))
+        )
 
     def subarray(self, lo, hi) -> "ArrayRDD":
         """Keep cells inside the closed coordinate box ``[lo, hi]``.
@@ -269,25 +501,8 @@ class ArrayRDD:
         """
         if plan_mod.fusion_enabled():
             return self._with_plan(MaskAndKernel(self.meta, lo, hi))
-        wanted = set(mapper.chunk_ids_in_range(self.meta, lo, hi))
-        meta = self.meta
-
-        def restrict(index, part):
-            for chunk_id, chunk in part:
-                if chunk_id not in wanted:
-                    continue
-                if mapper.chunk_fully_inside(meta, chunk_id, lo, hi):
-                    yield chunk_id, chunk
-                    continue
-                virtual = Bitmask.from_bools(
-                    mapper.range_mask_for_chunk(meta, chunk_id, lo, hi)
-                )
-                restricted = chunk.and_mask(virtual)
-                if restricted.valid_count > 0:
-                    yield chunk_id, restricted
-
         out = self.rdd.map_partitions_with_index(
-            restrict, preserves_partitioning=True
+            _RestrictToBox(self.meta, lo, hi), preserves_partitioning=True
         )
         return self._with_rdd(out)
 
@@ -328,23 +543,10 @@ class ArrayRDD:
             return ArrayRDD(joined, self.meta, self.context,
                             plan=ChunkPlan(source, (DropEmpty(),)))
         if how == "and":
-
-            def merge(pair):
-                left, right = pair
-                return left.elementwise(right, op, how="and")
-
+            merge = _MergeAnd(op)
         else:
-
-            def merge(pair):
-                left, right = pair
-                if left is None:
-                    left = Chunk.empty(cells, dtype=dtype)
-                if right is None:
-                    right = Chunk.empty(cells, dtype=dtype)
-                return left.elementwise(right, op, how="or", fill=fill)
-
-        out = joined.map_values(merge) \
-                    .filter(lambda kv: kv[1].valid_count > 0)
+            merge = _MergeOr(op, cells, dtype, fill)
+        out = joined.map_values(merge).filter(_has_valid_cells)
         # the engine's filter preserves partitioning, but keep the
         # contract explicit (matches the filter() operator above) so
         # downstream joins stay narrow
@@ -354,14 +556,7 @@ class ArrayRDD:
     def aggregate(self, aggregator="sum"):
         """Collapse the whole array to one value with an Aggregator."""
         agg = resolve_aggregator(aggregator)
-
-        def per_chunk(part):
-            state = agg.initialize()
-            for _chunk_id, chunk in part:
-                state = agg.accumulate(state, chunk.values())
-            return [state]
-
-        states = self.rdd.map_partitions(per_chunk).collect()
+        states = self.rdd.map_partitions(_ChunkAggregate(agg)).collect()
         merged = agg.initialize()
         for state in states:
             merged = agg.merge(merged, state)
@@ -395,49 +590,14 @@ class ArrayRDD:
             group_space *= size
         linear_keys = group_space < (1 << 62)
 
-        def partials(part):
-            for chunk_id, chunk in part:
-                offsets = chunk.indices()
-                if offsets.size == 0:
-                    continue
-                coords = mapper.coords_for_offsets_array(
-                    meta, chunk_id, offsets)
-                labels = coords[:, list(axes)]
-                values = chunk.values()
-                order = np.lexsort(labels.T[::-1])
-                labels = labels[order]
-                values = values[order]
-                if linear_keys:
-                    encoded = np.zeros(labels.shape[0], dtype=np.int64)
-                    for j, (size, base) in enumerate(
-                            zip(axis_sizes, axis_starts)):
-                        encoded = encoded * size + (labels[:, j] - base)
-                boundaries = np.ones(labels.shape[0], dtype=bool)
-                boundaries[1:] = (labels[1:] != labels[:-1]).any(axis=1)
-                group_starts = np.nonzero(boundaries)[0]
-                group_ends = np.append(group_starts[1:], labels.shape[0])
-                for start, end in zip(group_starts, group_ends):
-                    state = agg.accumulate(agg.initialize(),
-                                           values[start:end])
-                    if linear_keys:
-                        yield int(encoded[start]), state
-                    else:
-                        yield tuple(labels[start]), state
-
-        def decode(record):
-            key, value = record
-            coords = [0] * len(axis_sizes)
-            for j in range(len(axis_sizes) - 1, -1, -1):
-                key, remainder = divmod(key, axis_sizes[j])
-                coords[j] = remainder + axis_starts[j]
-            return tuple(coords), value
-
+        partials = _GroupPartials(meta, axes, agg, axis_sizes,
+                                  axis_starts, linear_keys)
         merged = self.rdd.map_partitions(partials) \
                          .reduce_by_key(agg.merge,
                                         combine_kernel=combine_kernel_for(agg)) \
                          .map_values(agg.evaluate)
         if linear_keys:
-            merged = merged.map(decode)
+            merged = merged.map(_DecodeGroupKey(axis_sizes, axis_starts))
 
         new_shape = tuple(self.meta.shape[a] for a in axes)
         new_starts = tuple(self.meta.starts[a] for a in axes)
@@ -517,9 +677,7 @@ class ArrayRDD:
         if plan_mod.fusion_enabled():
             return self._with_plan(
                 ScalarOpKernel(op, scalar, reflected=reflected, name=name))
-        if reflected:
-            return self.map_values(lambda xs: op(scalar, xs))
-        return self.map_values(lambda xs: op(xs, scalar))
+        return self.map_values(_BoundScalarOp(op, scalar, reflected))
 
     def _binary_op(self, other, op, name):
         if isinstance(other, ArrayRDD):

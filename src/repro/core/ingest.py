@@ -19,20 +19,20 @@ from repro.engine import HashPartitioner
 from repro.errors import IngestError
 
 
-def array_rdd_from_cell_rdd(context, cell_rdd, meta: ArrayMetadata,
-                            num_partitions=None) -> ArrayRDD:
-    """Build an ArrayRDD from an engine RDD of ``(coords, value)`` records.
+# module-level task callables: tasks ship these to worker processes by
+# qualified name instead of serializing closure cells (see the note in
+# repro.engine.rdd)
 
-    The pipeline maps each record to ``(chunk_id, (offset, value))``,
-    shuffles by chunk ID, and assembles one chunk per group — the
-    map-then-reduce creation path of Section III-A.
-    """
-    if num_partitions is None:
-        num_partitions = context.default_parallelism
-    partitioner = HashPartitioner(num_partitions)
-    cells_per_chunk = meta.cells_per_chunk
+class _AssignChunkIds:
+    """Map one partition of cell records to ``(chunk_id, (offset, value))``."""
 
-    def assign(part):
+    __slots__ = ("meta",)
+
+    def __init__(self, meta):
+        self.meta = meta
+
+    def __call__(self, part):
+        meta = self.meta
         part = list(part)
         if not part:
             return
@@ -52,16 +52,38 @@ def array_rdd_from_cell_rdd(context, cell_rdd, meta: ArrayMetadata,
         for chunk_id, offset, value in zip(chunk_ids, offsets, values):
             yield int(chunk_id), (int(offset), value)
 
-    def build_chunk(pairs):
+
+class _BuildChunk:
+    """Assemble one chunk from its grouped ``(offset, value)`` pairs."""
+
+    __slots__ = ("meta",)
+
+    def __init__(self, meta):
+        self.meta = meta
+
+    def __call__(self, pairs):
         offsets = np.fromiter((p[0] for p in pairs), dtype=np.int64,
                               count=len(pairs))
-        values = np.array([p[1] for p in pairs], dtype=meta.dtype)
-        return Chunk.from_sparse(cells_per_chunk, offsets, values)
+        values = np.array([p[1] for p in pairs], dtype=self.meta.dtype)
+        return Chunk.from_sparse(self.meta.cells_per_chunk, offsets,
+                                 values)
 
+
+def array_rdd_from_cell_rdd(context, cell_rdd, meta: ArrayMetadata,
+                            num_partitions=None) -> ArrayRDD:
+    """Build an ArrayRDD from an engine RDD of ``(coords, value)`` records.
+
+    The pipeline maps each record to ``(chunk_id, (offset, value))``,
+    shuffles by chunk ID, and assembles one chunk per group — the
+    map-then-reduce creation path of Section III-A.
+    """
+    if num_partitions is None:
+        num_partitions = context.default_parallelism
+    partitioner = HashPartitioner(num_partitions)
     chunks = (
-        cell_rdd.map_partitions(assign)
+        cell_rdd.map_partitions(_AssignChunkIds(meta))
         .group_by_key(partitioner=partitioner)
-        .map_values(build_chunk)
+        .map_values(_BuildChunk(meta))
     )
     chunks.partitioner = partitioner
     return ArrayRDD(chunks, meta, context)

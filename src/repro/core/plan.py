@@ -32,6 +32,7 @@ from repro.bitmask.popcount import rank_counts
 from repro.core import mapper
 from repro.core.chunk import Chunk, ChunkMode, choose_mode, \
     _build_from_bools
+from repro.engine.worker import register_task_state
 from repro.errors import ArrayError
 
 __all__ = [
@@ -72,6 +73,19 @@ class _FusionToggle:
 
 
 _STATE = {"enabled": True}
+
+
+def _capture_fusion():
+    return _STATE["enabled"]
+
+
+def _apply_fusion(value):
+    _STATE["enabled"] = value
+
+
+# ship the fusion toggle to worker processes alongside each task, so a
+# ``with disable_fusion():`` block on the driver governs the workers too
+register_task_state("fusion", _capture_fusion, _apply_fusion)
 
 
 def fusion_enabled() -> bool:
@@ -385,6 +399,104 @@ class DropEmpty:
 _CHUNK_SOURCE = ChunkSource()
 
 
+class _CompiledPlanPass:
+    """The lowered form of a plan: one callable running the whole
+    kernel chain over a partition.
+
+    A module-level class (not a closure) so compiled passes pickle by
+    construction when a task ships to a worker process. The driver-side
+    tracer and metrics references are dropped from the pickled state
+    (``__getstate__``) and the worker's context-binding walk re-attaches
+    its own via :meth:`bind_engine_context`, so per-pass counters and
+    ``plan`` spans flow through the worker's registries and merge back
+    with the task reply.
+    """
+
+    def __init__(self, source, kernels, labels, pipeline, tracer,
+                 metrics):
+        self.source = source
+        self.kernels = kernels
+        self.labels = labels
+        self.pipeline = pipeline
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        state["metrics"] = None
+        return state
+
+    def bind_engine_context(self, context) -> None:
+        self.tracer = getattr(context, "tracer", None)
+        self.metrics = getattr(context, "metrics", None)
+
+    def __call__(self, _index, part):
+        source = self.source
+        kernels = self.kernels
+        metrics = self.metrics
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            span = tracer.start(self.pipeline, "plan", partition=_index,
+                                kernels=list(self.labels))
+            ranks_before = rank_counts()
+        chunks_in = 0
+        chunk_ids = []
+        mode_counts = {}
+        mode_bytes = {}
+        avoided = 0
+        repacked = 0
+        for chunk_id, value in part:
+            chunks_in += 1
+            if tracing:
+                chunk_ids.append(chunk_id)
+            state = source.begin(chunk_id, value)
+            for kernel in kernels:
+                kernel.apply(chunk_id, state)
+                if state.dropped:
+                    break
+            repacked += state.repacked
+            if state.dropped:
+                avoided += state.eager_builds
+                continue
+            if state.rebuilt:
+                avoided += state.eager_builds - 1
+                out = chunk_id, _encode(state)
+            else:
+                avoided += state.eager_builds
+                out = chunk_id, state.chunk
+            if tracing:
+                mode = out[1].mode.value
+                mode_counts[mode] = mode_counts.get(mode, 0) + 1
+                mode_bytes[mode] = (mode_bytes.get(mode, 0)
+                                    + int(out[1].payload.nbytes))
+            yield out
+        if metrics is not None and avoided:
+            metrics.record_fused_chunks_avoided(avoided)
+        if metrics is not None and repacked:
+            metrics.record_repack(repacked)
+        if tracing:
+            chunks_out = sum(mode_counts.values())
+            attrs = {"chunks_in": chunks_in,
+                     "chunks_out": chunks_out,
+                     "chunk_builds_avoided": avoided,
+                     "chunk_ids": [list(cid) if isinstance(cid, tuple)
+                                   else cid for cid in chunk_ids]}
+            if repacked:
+                attrs["chunks_repacked"] = repacked
+            for mode, count in mode_counts.items():
+                attrs[f"chunks_{mode}"] = count
+                attrs[f"payload_bytes_{mode}"] = mode_bytes[mode]
+            ranks_after = rank_counts()
+            for name, before in ranks_before.items():
+                delta = ranks_after[name] - before
+                if delta:
+                    attrs[name] = delta
+            span.set(**attrs)
+            tracer.finish(span)
+
+
 class ChunkPlan:
     """An immutable chain of chunk kernels over an optional source.
 
@@ -435,75 +547,13 @@ class ChunkPlan:
         """
         if self.is_identity:
             return base_rdd
-        source = self.source
-        kernels = self.kernels
         labels = self.stage_labels()
-        pipeline = self.label()
-        tracer = getattr(base_rdd.context, "tracer", None)
         if metrics is not None and len(labels) >= 2:
             metrics.record_kernels_fused(len(labels))
-
-        def run(_index, part):
-            tracing = tracer is not None and tracer.enabled
-            if tracing:
-                span = tracer.start(pipeline, "plan", partition=_index,
-                                    kernels=list(labels))
-                ranks_before = rank_counts()
-            chunks_in = 0
-            chunk_ids = []
-            mode_counts = {}
-            mode_bytes = {}
-            avoided = 0
-            repacked = 0
-            for chunk_id, value in part:
-                chunks_in += 1
-                if tracing:
-                    chunk_ids.append(chunk_id)
-                state = source.begin(chunk_id, value)
-                for kernel in kernels:
-                    kernel.apply(chunk_id, state)
-                    if state.dropped:
-                        break
-                repacked += state.repacked
-                if state.dropped:
-                    avoided += state.eager_builds
-                    continue
-                if state.rebuilt:
-                    avoided += state.eager_builds - 1
-                    out = chunk_id, _encode(state)
-                else:
-                    avoided += state.eager_builds
-                    out = chunk_id, state.chunk
-                if tracing:
-                    mode = out[1].mode.value
-                    mode_counts[mode] = mode_counts.get(mode, 0) + 1
-                    mode_bytes[mode] = (mode_bytes.get(mode, 0)
-                                        + int(out[1].payload.nbytes))
-                yield out
-            if metrics is not None and avoided:
-                metrics.record_fused_chunks_avoided(avoided)
-            if metrics is not None and repacked:
-                metrics.record_repack(repacked)
-            if tracing:
-                chunks_out = sum(mode_counts.values())
-                attrs = {"chunks_in": chunks_in,
-                         "chunks_out": chunks_out,
-                         "chunk_builds_avoided": avoided,
-                         "chunk_ids": [list(cid) if isinstance(cid, tuple)
-                                       else cid for cid in chunk_ids]}
-                if repacked:
-                    attrs["chunks_repacked"] = repacked
-                for mode, count in mode_counts.items():
-                    attrs[f"chunks_{mode}"] = count
-                    attrs[f"payload_bytes_{mode}"] = mode_bytes[mode]
-                ranks_after = rank_counts()
-                for name, before in ranks_before.items():
-                    delta = ranks_after[name] - before
-                    if delta:
-                        attrs[name] = delta
-                span.set(**attrs)
-                tracer.finish(span)
-
+        run = _CompiledPlanPass(self.source, self.kernels, labels,
+                                self.label(),
+                                getattr(base_rdd.context, "tracer", None),
+                                metrics)
         compiled = base_rdd.map_partitions_with_index(
             run, preserves_partitioning=True)
         return compiled.rename(self.label())

@@ -25,6 +25,12 @@ slice of Spark that Spangle needs, in pure Python:
   :class:`~repro.engine.batches.RecordBatch` shuffle blocks, vectorized
   partitioning, and reduceat-style combine kernels, byte-identical to
   the per-record path (``disable_columnar`` switches back).
+- :mod:`repro.engine.worker` — the process execution backend
+  (``ClusterContext(backend="process")``): forked worker processes run
+  task bodies for true multi-core parallelism, with tasks serialized by
+  :mod:`repro.engine.closure` (lambdas ship by value) and shuffle
+  blocks / cached chunks exchanged zero-copy through
+  ``multiprocessing`` shared memory (:mod:`repro.engine.shm`).
 """
 
 from repro.engine.batches import (

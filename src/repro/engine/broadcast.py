@@ -51,11 +51,26 @@ class CounterAccumulator:
     """A driver-visible additive counter usable from tasks.
 
     Thread-safe (tasks may run concurrently under ``use_threads``).
+
+    Under ``backend="process"`` a counter captured by a task closure is
+    *copied* into the worker: additions made there mutate the copy and
+    do not flow back to the driver's counter. Use metrics counters (or
+    an explicit reduce) for statistics that must survive the process
+    boundary.
     """
 
     def __init__(self, initial=0, name: str = None):
         self._value = initial
         self._name = name or "counter"
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
         self._lock = threading.Lock()
 
     def add(self, amount) -> None:

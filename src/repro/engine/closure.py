@@ -1,0 +1,136 @@
+"""Task serialization for the process backend: a closure pickler.
+
+Plain pickle refuses lambdas, local functions, and anything whose
+closure they ride in — which is most of an RDD program. This module
+ships them anyway, the way cloudpickle does but in miniature:
+
+- functions importable by their qualified name pickle **by reference**
+  (the forked worker shares the driver's module table, so the name
+  resolves to the same code);
+- everything else — lambdas, nested functions, comprehension helpers —
+  pickles **by value**: marshaled code object, defaults, closure cell
+  contents, and the referenced slice of the function's globals
+  (modules by import name, nested non-importable functions recursively
+  by value).
+
+The engine's own hot-path callables were refactored into module-level
+classes precisely so they take the cheap by-reference path; the
+by-value path exists for *user* UDFs, which stay ergonomic lambdas.
+
+``task_dumps``/``task_loads`` wrap a whole task payload; the worker
+side is plain ``pickle.loads`` because by-value functions reduce to
+:func:`_rebuild_function` calls, which is importable.
+"""
+
+from __future__ import annotations
+
+import builtins
+import importlib
+import io
+import marshal
+import pickle
+import sys
+import types
+
+_EMPTY_CELL = object()   # sentinel for not-yet-filled closure cells
+
+
+def _is_importable(func) -> bool:
+    """Whether ``func`` resolves to itself via its module + qualname."""
+    module_name = getattr(func, "__module__", None)
+    qualname = getattr(func, "__qualname__", None)
+    if not module_name or not qualname or "<" in qualname:
+        return False
+    module = sys.modules.get(module_name)
+    if module is None:
+        return False
+    obj = module
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is func
+
+
+def _referenced_globals(code, func_globals) -> dict:
+    """The slice of ``func_globals`` the code object can actually name.
+
+    Walks nested code objects (inner lambdas, comprehensions) so their
+    references ship too.
+    """
+    names = set()
+
+    def walk(code_obj):
+        names.update(code_obj.co_names)
+        for const in code_obj.co_consts:
+            if isinstance(const, types.CodeType):
+                walk(const)
+
+    walk(code)
+    return {name: func_globals[name]
+            for name in names if name in func_globals}
+
+
+def _make_cell(value):
+    if value is _EMPTY_CELL:
+        return types.CellType()
+    return types.CellType(value)
+
+
+def _rebuild_function(code_bytes, module_name, qualname, defaults,
+                      kwdefaults, cell_values, globals_slice):
+    """Reassemble a by-value function in the worker process."""
+    code = marshal.loads(code_bytes)
+    func_globals = {"__builtins__": builtins.__dict__,
+                    "__name__": module_name}
+    func_globals.update(globals_slice)
+    closure = None
+    if cell_values is not None:
+        closure = tuple(_make_cell(value) for value in cell_values)
+    func = types.FunctionType(code, func_globals, code.co_name,
+                              defaults, closure)
+    func.__kwdefaults__ = kwdefaults
+    func.__module__ = module_name
+    func.__qualname__ = qualname
+    return func
+
+
+class TaskPickler(pickle.Pickler):
+    """Pickler that serializes non-importable functions by value."""
+
+    def reducer_override(self, obj):
+        if isinstance(obj, types.FunctionType):
+            if _is_importable(obj):
+                return NotImplemented   # by-reference, the default
+            cell_values = None
+            if obj.__closure__ is not None:
+                cell_values = []
+                for cell in obj.__closure__:
+                    try:
+                        cell_values.append(cell.cell_contents)
+                    except ValueError:   # unfilled (self-recursive)
+                        cell_values.append(_EMPTY_CELL)
+                cell_values = tuple(cell_values)
+            return (_rebuild_function, (
+                marshal.dumps(obj.__code__),
+                obj.__module__,
+                obj.__qualname__,
+                obj.__defaults__,
+                obj.__kwdefaults__,
+                cell_values,
+                _referenced_globals(obj.__code__, obj.__globals__),
+            ))
+        if isinstance(obj, types.ModuleType):
+            return (importlib.import_module, (obj.__name__,))
+        return NotImplemented
+
+
+def task_dumps(obj) -> bytes:
+    """Serialize a task payload, closures included."""
+    buffer = io.BytesIO()
+    TaskPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buffer.getvalue()
+
+
+def task_loads(data: bytes):
+    return pickle.loads(data)

@@ -35,6 +35,15 @@ class ClusterContext:
     use_threads:
         Execute tasks of a job concurrently with a thread pool. numpy
         kernels release the GIL, so chunk-heavy jobs do overlap.
+    backend:
+        ``"thread"`` (default) or ``"process"``. The process backend
+        runs task bodies in forked worker processes — true multi-core
+        parallelism for Python-heavy kernels — exchanging shuffle
+        blocks and cached chunks through ``multiprocessing``
+        shared-memory segments (:mod:`repro.engine.shm`). Tasks and
+        their UDF closures must be picklable
+        (:mod:`repro.engine.closure` ships lambdas by value). Implies
+        parallel execution; ``use_threads`` is not required.
     eviction_policy:
         ``"lru"`` (default) or ``"cost"`` — how the block cache picks
         victims when over budget. The cost-aware policy prices each
@@ -58,11 +67,16 @@ class ClusterContext:
                  cost_model: ClusterCostModel = None,
                  task_retries: int = 3, trace: bool = False,
                  eviction_policy: str = "lru", spill_dir=None,
-                 repack_on_admission: bool = False):
+                 repack_on_admission: bool = False,
+                 backend: str = "thread"):
         if num_executors <= 0:
             raise EngineError("num_executors must be positive")
         if task_retries < 0:
             raise EngineError("task_retries must be >= 0")
+        if backend not in ("thread", "process"):
+            raise EngineError(
+                f"unknown backend {backend!r}: expected 'thread' or "
+                f"'process'")
         self.num_executors = num_executors
         self.default_parallelism = default_parallelism or num_executors
         self.metrics = MetricsRegistry()
@@ -76,13 +90,33 @@ class ClusterContext:
                                   spill_dir=spill_dir,
                                   repack_on_admission=repack_on_admission)
         self.use_threads = use_threads
+        self.backend = backend
         self.task_retries = task_retries
         self._rdd_counter = 0
         # the executor pool is persistent: created lazily on the first
         # parallel job and reused by every job after it (Spark keeps
         # executors alive across jobs; so do we)
         self.executor_pool = ExecutorPool(num_executors)
+        # the shared-memory plane: a registry of segments this context
+        # created (or adopted from its workers), metered and unlinked
+        # at shutdown / interpreter exit
+        from repro.engine.shm import SharedSegmentRegistry
+
+        self.shm_registry = SharedSegmentRegistry(self.metrics)
+        self.process_runner = None
+        if backend == "process":
+            from repro.engine.worker import ProcessTaskRunner
+
+            self.process_runner = ProcessTaskRunner(self)
+            # fork every worker NOW, from this thread — forking later,
+            # from a dispatcher thread, risks cloning held locks
+            self.process_runner.ensure_started()
         self.scheduler = StageScheduler(self)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether jobs run their tasks concurrently (either backend)."""
+        return self.use_threads or self.process_runner is not None
 
     def _next_rdd_id(self) -> int:
         self._rdd_counter += 1
@@ -194,9 +228,15 @@ class ClusterContext:
     # ------------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop the executor pool. The context remains usable: the next
-        parallel job lazily restarts the pool."""
+        """Stop the executor pool, the worker processes, and unlink any
+        shared-memory segments. An *idle* context remains usable: the
+        next parallel job lazily restarts the pools (shared-memory
+        block handles exported to workers are invalidated, so cached
+        blocks re-export on the next job)."""
         self.executor_pool.shutdown()
+        if self.process_runner is not None:
+            self.process_runner.shutdown()
+        self.shm_registry.shutdown()
 
     def __enter__(self) -> "ClusterContext":
         return self

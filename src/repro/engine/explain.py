@@ -145,7 +145,10 @@ def memory_report(context) -> str:
     budget, block counts), the spill tier (blocks on disk and their
     encoded bytes), and the adaptive-memory counters — evictions,
     spills, reloads, and density repacking (``chunks_repacked`` /
-    ``repack_bytes_saved``).
+    ``repack_bytes_saved``). Contexts with a shared-memory plane (the
+    process backend's block-exchange tier) add a line accounting for
+    shm residency: live segments and their bytes, segments created and
+    bytes mapped over the context's lifetime, and worker respawns.
     """
     cache = context.cache
     counters = context.metrics.snapshot()
@@ -164,6 +167,17 @@ def memory_report(context) -> str:
         f"  chunks_repacked: {counters.chunks_repacked}   "
         f"repack_bytes_saved: {counters.repack_bytes_saved:,} B",
     ]
+    registry = getattr(context, "shm_registry", None)
+    if registry is not None:
+        backend = getattr(context, "backend", "thread")
+        lines.append(
+            f"  backend: {backend}   shm resident: "
+            f"{registry.resident_bytes():,} B in "
+            f"{registry.segment_count()} segments")
+        lines.append(
+            f"  shm_segments_created: {counters.shm_segments_created}   "
+            f"shm_bytes_mapped: {counters.shm_bytes_mapped:,} B   "
+            f"worker_respawns: {counters.worker_respawns}")
     return "\n".join(lines)
 
 

@@ -58,6 +58,9 @@ class MetricsSnapshot:
     task_retries: int = 0
     kernels_fused: int = 0
     fused_chunks_avoided: int = 0
+    shm_segments_created: int = 0
+    shm_bytes_mapped: int = 0
+    worker_respawns: int = 0
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         deltas = {
@@ -131,6 +134,13 @@ class MetricsRegistry:
     # passes, and intermediate Chunk builds the eager path would have done
     kernels_fused: int = 0
     fused_chunks_avoided: int = 0
+    # the process backend (repro.engine.worker / repro.engine.shm):
+    # shared-memory segments created for shuffle blocks and cached
+    # chunks, bytes of those segments mapped into worker/driver address
+    # spaces, and worker pools respawned after a process died mid-task
+    shm_segments_created: int = 0
+    shm_bytes_mapped: int = 0
+    worker_respawns: int = 0
     _history: list = field(default_factory=list, repr=False)
     # wall-clock observations (not part of MetricsSnapshot, which holds
     # only logical counters that must be identical between the serial
@@ -239,6 +249,32 @@ class MetricsRegistry:
         """Intermediate Chunk builds skipped by a fused pass."""
         with self._lock:
             self.fused_chunks_avoided += count
+
+    def record_shm_segment(self) -> None:
+        """One shared-memory segment created for block exchange."""
+        with self._lock:
+            self.shm_segments_created += 1
+
+    def record_shm_mapped(self, size_bytes: int) -> None:
+        """A segment of ``size_bytes`` mapped into an address space."""
+        with self._lock:
+            self.shm_bytes_mapped += size_bytes
+
+    def record_worker_respawn(self) -> None:
+        """A worker pool replaced after a process died mid-task."""
+        with self._lock:
+            self.worker_respawns += 1
+
+    def merge_counters(self, deltas: dict) -> None:
+        """Fold a worker task's counter deltas into this registry.
+
+        Only known :data:`COUNTER_FIELDS` keys are applied; a worker
+        reply produced by a newer/older build cannot corrupt state.
+        """
+        with self._lock:
+            for name, value in deltas.items():
+                if name in COUNTER_FIELDS and value:
+                    setattr(self, name, getattr(self, name) + value)
 
     # ------------------------------------------------------------------
     # wall-clock observations

@@ -17,7 +17,44 @@ execution.
 from __future__ import annotations
 
 from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
-from repro.engine.rdd import RDD, CoGroupedRDD, ShuffledRDD
+from repro.engine.rdd import (
+    RDD,
+    CoGroupedRDD,
+    ShuffledRDD,
+    _append_value,
+    _extend_list,
+    _first_element,
+    _identity,
+    _singleton_list,
+)
+
+
+# module-level task callables: these ship across the process boundary
+# by qualified name (see the note in repro.engine.rdd)
+
+def _emit_inner(groups):
+    left_values, right_values = groups
+    return [(lv, rv) for lv in left_values for rv in right_values]
+
+
+def _emit_left_outer(groups):
+    left_values, right_values = groups
+    if not right_values:
+        return [(lv, None) for lv in left_values]
+    return [(lv, rv) for lv in left_values for rv in right_values]
+
+
+def _emit_full_outer(groups):
+    left_values, right_values = groups
+    if not left_values:
+        return [(None, rv) for rv in right_values]
+    if not right_values:
+        return [(lv, None) for lv in left_values]
+    return [(lv, rv) for lv in left_values for rv in right_values]
+
+
+def _sort_partition(part):
+    return sorted(part, key=_first_element)
 
 
 def _default_partitioner(rdd: RDD, partitioner) -> Partitioner:
@@ -52,18 +89,10 @@ def partition_by(rdd: RDD, partitioner: Partitioner) -> RDD:
     """
     if rdd.partitioner is not None and rdd.partitioner == partitioner:
         return rdd
-
-    def merge(acc, value):
-        acc.append(value)
-        return acc
-
-    def merge_combiners(a, b):
-        a.extend(b)
-        return a
-
-    grouped = ShuffledRDD(rdd, partitioner, lambda v: [v], merge,
-                          merge_combiners, map_side_combine=False)
-    flattened = grouped.flat_map_values(lambda values: values)
+    grouped = ShuffledRDD(rdd, partitioner, _singleton_list,
+                          _append_value, _extend_list,
+                          map_side_combine=False)
+    flattened = grouped.flat_map_values(_identity)
     flattened.partitioner = partitioner
     return flattened.rename("partition_by")
 
@@ -86,27 +115,14 @@ def cogroup(rdds, partitioner=None) -> RDD:
 def join(left: RDD, right: RDD, partitioner=None) -> RDD:
     """Inner join: ``(key, (left_value, right_value))`` per match pair."""
     grouped = cogroup([left, right], partitioner)
-
-    def emit(groups):
-        left_values, right_values = groups
-        return [
-            (lv, rv) for lv in left_values for rv in right_values
-        ]
-
-    return grouped.flat_map_values(emit).rename("join")
+    return grouped.flat_map_values(_emit_inner).rename("join")
 
 
 def left_outer_join(left: RDD, right: RDD, partitioner=None) -> RDD:
     """``(key, (left_value, right_value_or_None))``."""
     grouped = cogroup([left, right], partitioner)
-
-    def emit(groups):
-        left_values, right_values = groups
-        if not right_values:
-            return [(lv, None) for lv in left_values]
-        return [(lv, rv) for lv in left_values for rv in right_values]
-
-    return grouped.flat_map_values(emit).rename("left_outer_join")
+    return grouped.flat_map_values(
+        _emit_left_outer).rename("left_outer_join")
 
 
 def full_outer_join(left: RDD, right: RDD, partitioner=None) -> RDD:
@@ -116,16 +132,8 @@ def full_outer_join(left: RDD, right: RDD, partitioner=None) -> RDD:
     side survives.
     """
     grouped = cogroup([left, right], partitioner)
-
-    def emit(groups):
-        left_values, right_values = groups
-        if not left_values:
-            return [(None, rv) for rv in right_values]
-        if not right_values:
-            return [(lv, None) for lv in left_values]
-        return [(lv, rv) for lv in left_values for rv in right_values]
-
-    return grouped.flat_map_values(emit).rename("full_outer_join")
+    return grouped.flat_map_values(
+        _emit_full_outer).rename("full_outer_join")
 
 
 def sort_by_key(rdd: RDD, num_partitions=None) -> RDD:
@@ -136,6 +144,6 @@ def sort_by_key(rdd: RDD, num_partitions=None) -> RDD:
     partitioner = RangePartitioner.from_keys(sample, num_partitions)
     repartitioned = partition_by(rdd, partitioner)
     return repartitioned.map_partitions(
-        lambda part: sorted(part, key=lambda kv: kv[0]),
+        _sort_partition,
         preserves_partitioning=True,
     ).rename("sort_by_key")

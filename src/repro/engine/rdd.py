@@ -13,6 +13,7 @@ the cache manager and verify results are rebuilt transparently.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import random
 import threading
@@ -21,6 +22,7 @@ import time
 import numpy as np
 
 from repro.engine import batches
+from repro.engine import shm as shm_mod
 from repro.engine.batches import (
     BatchSegment,
     RecordBatch,
@@ -60,6 +62,261 @@ def run_task_with_retries(context, index, attempt_func):
         metrics.record_task_time(time.perf_counter() - start)
         return result
     raise TaskFailure(index, last_error) from last_error
+
+
+# ----------------------------------------------------------------------
+# task callables
+#
+# The engine's own per-partition functions are module-level classes, not
+# lambdas, so a task crossing the process boundary pickles them by
+# reference (a qualified name) instead of marshaling code by value —
+# only the *user's* UDF inside them ever needs the by-value path of
+# repro.engine.closure. Each wrapper exposes the wrapped callable as
+# ``func`` so the worker's context-binding walk can reach through
+# arbitrarily nested wrappers.
+# ----------------------------------------------------------------------
+
+class _IgnoreIndex:
+    """Adapts ``func(part)`` to the ``func(index, part)`` slot."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, _index, part):
+        return self.func(part)
+
+
+class _PerRecord:
+    """``map``: apply ``func`` to every record, lazily."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, part):
+        func = self.func
+        return (func(record) for record in part)
+
+
+class _FilterRecords:
+    """``filter``: keep records satisfying the predicate."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, part):
+        predicate = self.func
+        return (record for record in part if predicate(record))
+
+
+class _FlatMapRecords:
+    """``flat_map``: concatenate ``func(record)`` iterables."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, part):
+        func = self.func
+        return itertools.chain.from_iterable(
+            func(record) for record in part)
+
+
+class _KeyBy:
+    """``key_by``: pair every record with ``func(record)``."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, record):
+        return (self.func(record), record)
+
+
+class _AttachIndex:
+    """``zip_with_index``: attach partition-major global indices."""
+
+    __slots__ = ("offsets",)
+
+    def __init__(self, offsets):
+        self.offsets = offsets
+
+    def __call__(self, index, part):
+        offset = self.offsets[index]
+        return ((record, offset + i)
+                for i, record in enumerate(part))
+
+
+class _Sampler:
+    """``sample``: per-partition deterministic Bernoulli sampling."""
+
+    __slots__ = ("fraction", "seed")
+
+    def __init__(self, fraction, seed):
+        self.fraction = fraction
+        self.seed = seed
+
+    def __call__(self, index, part):
+        rng = random.Random(self.seed * 1_000_003 + index)
+        fraction = self.fraction
+        return (record for record in part if rng.random() < fraction)
+
+
+class _MapValuesPart:
+    """``map_values``: apply ``func`` to values, keys untouched."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, part):
+        func = self.func
+        return ((key, func(value)) for key, value in part)
+
+
+class _FlatMapValuesPart:
+    """``flat_map_values``: expand each value, replicating the key."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, part):
+        func = self.func
+        return ((key, out) for key, value in part
+                for out in func(value))
+
+
+class _SeqFold:
+    """``aggregate``: fold a partition with ``seq_op`` from ``zero``."""
+
+    __slots__ = ("zero", "func")
+
+    def __init__(self, zero, seq_op):
+        self.zero = zero
+        self.func = seq_op
+
+    def __call__(self, part):
+        acc = self.zero
+        func = self.func
+        for record in part:
+            acc = func(acc, record)
+        return acc
+
+
+class _NSmallest:
+    """``take_ordered``: per-partition n-smallest heap."""
+
+    __slots__ = ("n", "key")
+
+    def __init__(self, n, key):
+        self.n = n
+        self.key = key
+
+    def __call__(self, part):
+        return heapq.nsmallest(self.n, part, key=self.key)
+
+
+class _NLargest:
+    """``top``: per-partition n-largest heap."""
+
+    __slots__ = ("n", "key")
+
+    def __init__(self, n, key):
+        self.n = n
+        self.key = key
+
+    def __call__(self, part):
+        return heapq.nlargest(self.n, part, key=self.key)
+
+
+class _ForEach:
+    """``foreach``: run ``func`` for its side effects."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func):
+        self.func = func
+
+    def __call__(self, part):
+        func = self.func
+        for record in part:
+            func(record)
+        return None
+
+
+def _glom_part(part):
+    return [list(part)]
+
+
+def _count_records(part):
+    return sum(1 for _ in part)
+
+
+def _count_part(part):
+    return [sum(1 for _ in part)]
+
+
+def _zip_parts(left_part, right_part):
+    left_list = list(left_part)
+    right_list = list(right_part)
+    if len(left_list) != len(right_list):
+        raise EngineError(
+            "zip requires identically sized partitions "
+            f"({len(left_list)} vs {len(right_list)})"
+        )
+    return list(zip(left_list, right_list))
+
+
+def _identity(value):
+    return value
+
+
+def _pair_with_none(record):
+    return (record, None)
+
+
+def _keep_first(a, _b):
+    return a
+
+
+def _first_element(kv):
+    return kv[0]
+
+
+def _second_element(kv):
+    return kv[1]
+
+
+def _singleton_list(value):
+    return [value]
+
+
+def _append_value(acc, value):
+    acc.append(value)
+    return acc
+
+
+def _extend_list(a, b):
+    a.extend(b)
+    return a
+
+
+def _one(_value):
+    return 1
+
+
+def _add(a, b):
+    return a + b
 
 
 class RDD:
@@ -145,6 +402,39 @@ class RDD:
             if lock is None:
                 lock = self._compute_locks[index] = threading.Lock()
             return lock
+
+    # ------------------------------------------------------------------
+    # process-boundary pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship lineage across the process boundary.
+
+        Driver-only machinery — the context and every lock — stays
+        behind; the worker rebinds a fresh context over the lineage
+        walk. ``_cached_indices`` is copied under retry because
+        dispatcher threads may be adding to it concurrently.
+        """
+        state = self.__dict__.copy()
+        state["context"] = None
+        state["_checkpoint_lock"] = None
+        state["_compute_locks"] = {}
+        state["_compute_locks_guard"] = None
+        state.pop("_lock", None)
+        while True:
+            try:
+                state["_cached_indices"] = set(self._cached_indices)
+                break
+            except RuntimeError:  # pragma: no cover - concurrent add
+                continue
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._checkpoint_lock = threading.Lock()
+        self._compute_locks = {}
+        self._compute_locks_guard = threading.Lock()
+        self._lock = threading.Lock()
 
     def persist(self, level: StorageLevel = StorageLevel.MEMORY) -> "RDD":
         self.storage_level = level
@@ -255,49 +545,37 @@ class RDD:
 
     def map_partitions(self, func, preserves_partitioning=False):
         return self.map_partitions_with_index(
-            lambda _idx, part: func(part),
+            _IgnoreIndex(func),
             preserves_partitioning=preserves_partitioning,
         )
 
     def map(self, func):
-        return self.map_partitions(
-            lambda part: (func(record) for record in part)
-        ).rename("map")
+        return self.map_partitions(_PerRecord(func)).rename("map")
 
     def filter(self, predicate):
         return self.map_partitions(
-            lambda part: (r for r in part if predicate(r)),
+            _FilterRecords(predicate),
             preserves_partitioning=True,
         ).rename("filter")
 
     def flat_map(self, func):
         return self.map_partitions(
-            lambda part: itertools.chain.from_iterable(
-                func(record) for record in part
-            )
-        ).rename("flat_map")
+            _FlatMapRecords(func)).rename("flat_map")
 
     def glom(self):
-        return self.map_partitions(lambda part: [list(part)]).rename("glom")
+        return self.map_partitions(_glom_part).rename("glom")
 
     def key_by(self, func):
-        return self.map(lambda record: (func(record), record)).rename("key_by")
+        return self.map(_KeyBy(func)).rename("key_by")
 
     def zip_with_index(self):
         """Pair every record with a global, partition-major index."""
-        counts = self.map_partitions(lambda part: [sum(1 for _ in part)]) \
-                     .collect()
+        counts = self.map_partitions(_count_part).collect()
         offsets = [0]
         for count in counts[:-1]:
             offsets.append(offsets[-1] + count)
-
-        def attach(index, part):
-            return (
-                (record, offsets[index] + i)
-                for i, record in enumerate(part)
-            )
-
-        return self.map_partitions_with_index(attach).rename("zip_with_index")
+        return self.map_partitions_with_index(
+            _AttachIndex(offsets)).rename("zip_with_index")
 
     def union(self, other: "RDD") -> "RDD":
         return UnionRDD(self.context, [self, other])
@@ -309,19 +587,15 @@ class RDD:
                                    preserves_partitioning)
 
     def sample(self, fraction: float, seed: int = 0) -> "RDD":
-        def sampler(index, part):
-            rng = random.Random(seed * 1_000_003 + index)
-            return (r for r in part if rng.random() < fraction)
-
         return self.map_partitions_with_index(
-            sampler, preserves_partitioning=True
+            _Sampler(fraction, seed), preserves_partitioning=True
         ).rename("sample")
 
     def distinct(self) -> "RDD":
         return (
-            self.map(lambda record: (record, None))
-            .reduce_by_key(lambda a, _b: a)
-            .map(lambda kv: kv[0])
+            self.map(_pair_with_none)
+            .reduce_by_key(_keep_first)
+            .map(_first_element)
             .rename("distinct")
         )
 
@@ -337,22 +611,20 @@ class RDD:
     # ------------------------------------------------------------------
 
     def keys(self):
-        return self.map(lambda kv: kv[0]).rename("keys")
+        return self.map(_first_element).rename("keys")
 
     def values(self):
-        return self.map(lambda kv: kv[1]).rename("values")
+        return self.map(_second_element).rename("values")
 
     def map_values(self, func):
         return self.map_partitions(
-            lambda part: ((k, func(v)) for k, v in part),
+            _MapValuesPart(func),
             preserves_partitioning=True,
         ).rename("map_values")
 
     def flat_map_values(self, func):
         return self.map_partitions(
-            lambda part: (
-                (k, out) for k, v in part for out in func(v)
-            ),
+            _FlatMapValuesPart(func),
             preserves_partitioning=True,
         ).rename("flat_map_values")
 
@@ -369,21 +641,13 @@ class RDD:
 
     def reduce_by_key(self, func, partitioner=None, combine_kernel=None):
         return self.combine_by_key(
-            lambda v: v, func, func, partitioner=partitioner,
+            _identity, func, func, partitioner=partitioner,
             combine_kernel=combine_kernel,
         ).rename("reduce_by_key")
 
     def group_by_key(self, partitioner=None):
-        def merge_value(acc, v):
-            acc.append(v)
-            return acc
-
-        def merge_combiners(a, b):
-            a.extend(b)
-            return a
-
         return self.combine_by_key(
-            lambda v: [v], merge_value, merge_combiners,
+            _singleton_list, _append_value, _extend_list,
             partitioner=partitioner, map_side_combine=False,
         ).rename("group_by_key")
 
@@ -419,8 +683,8 @@ class RDD:
 
     def count_by_key(self) -> dict:
         return dict(
-            self.map_values(lambda _v: 1)
-            .reduce_by_key(lambda a, b: a + b, combine_kernel="sum")
+            self.map_values(_one)
+            .reduce_by_key(_add, combine_kernel="sum")
             .collect()
         )
 
@@ -446,9 +710,7 @@ class RDD:
         return dict(self.collect())
 
     def count(self) -> int:
-        return sum(self.context.run_job(
-            self, lambda part: sum(1 for _ in part)
-        ))
+        return sum(self.context.run_job(self, _count_records))
 
     def reduce(self, func):
         parts = self.context.run_job(self, list)
@@ -477,13 +739,7 @@ class RDD:
         return result
 
     def aggregate(self, zero, seq_op, comb_op):
-        def run(part):
-            acc = zero
-            for record in part:
-                acc = seq_op(acc, record)
-            return acc
-
-        partials = self.context.run_job(self, run)
+        partials = self.context.run_job(self, _SeqFold(zero, seq_op))
         result = zero
         for partial in partials:
             result = comb_op(result, partial)
@@ -516,45 +772,24 @@ class RDD:
 
     def take_ordered(self, n: int, key=None) -> list:
         """The ``n`` smallest records (per-partition heaps, one merge)."""
-        import heapq
-
-        partials = self.context.run_job(
-            self, lambda part: heapq.nsmallest(n, part, key=key))
+        partials = self.context.run_job(self, _NSmallest(n, key))
         return heapq.nsmallest(
             n, (item for partial in partials for item in partial),
             key=key)
 
     def top(self, n: int, key=None) -> list:
         """The ``n`` largest records (descending)."""
-        import heapq
-
-        partials = self.context.run_job(
-            self, lambda part: heapq.nlargest(n, part, key=key))
+        partials = self.context.run_job(self, _NLargest(n, key))
         return heapq.nlargest(
             n, (item for partial in partials for item in partial),
             key=key)
 
     def zip(self, other: "RDD") -> "RDD":
         """Pair up records positionally (equal partition structure)."""
-        def zipper(left_part, right_part):
-            left_list = list(left_part)
-            right_list = list(right_part)
-            if len(left_list) != len(right_list):
-                raise EngineError(
-                    "zip requires identically sized partitions "
-                    f"({len(left_list)} vs {len(right_list)})"
-                )
-            return list(zip(left_list, right_list))
-
-        return self.zip_partitions(other, zipper).rename("zip")
+        return self.zip_partitions(other, _zip_parts).rename("zip")
 
     def foreach(self, func) -> None:
-        def run(part):
-            for record in part:
-                func(record)
-            return None
-
-        self.context.run_job(self, run)
+        self.context.run_job(self, _ForEach(func))
 
     def count_by_value(self) -> dict:
         counts = {}
@@ -881,14 +1116,21 @@ class ShuffledRDD(RDD):
             tracer = self.context.tracer
             metrics.record_stage()
             start = time.perf_counter()
+            runner = self.context.process_runner
             with tracer.span(self.name, "shuffle",
                              num_tasks=parent.num_partitions) as span:
                 def run_map_task(parent_index):
                     with tracer.span("map_task", "task", parent=span,
                                      partition=parent_index) as task_span:
+                        if runner is not None:
+                            def attempt():
+                                return runner.run_shuffle_map(
+                                    self, None, parent_index, task_span)
+                        else:
+                            def attempt():
+                                return self._map_task(parent_index)
                         out = run_task_with_retries(
-                            self.context, parent_index,
-                            lambda: self._map_task(parent_index))
+                            self.context, parent_index, attempt)
                         task_span.set(records=out[1], bytes=out[2])
                         return out
 
@@ -1007,7 +1249,11 @@ class ShuffledRDD(RDD):
                 self.name, "narrow_shuffle",
                 time.perf_counter() - start, 1)
             return out
-        segments = self._fetch_shuffle()[index]
+        metrics = self.context.metrics
+        # shm-exported buckets (the process backend) resolve to their
+        # packed batches here, zero-copy over the mapped segment
+        segments = [shm_mod.resolve_segment(segment, metrics)
+                    for segment in self._fetch_shuffle()[index]]
         if batches.columnar_enabled():
             merged = self._merge_columnar(segments)
             if merged is not None:
@@ -1127,14 +1373,21 @@ class CoGroupedRDD(RDD):
             tracer = self.context.tracer
             metrics.record_stage()
             start = time.perf_counter()
+            runner = self.context.process_runner
             with tracer.span(f"{self.name}[{which}]", "shuffle",
                              num_tasks=parent.num_partitions) as span:
                 def run_map_task(parent_index):
                     with tracer.span("map_task", "task", parent=span,
                                      partition=parent_index) as task_span:
+                        if runner is not None:
+                            def attempt():
+                                return runner.run_shuffle_map(
+                                    self, which, parent_index, task_span)
+                        else:
+                            def attempt():
+                                return self._map_task(which, parent_index)
                         out = run_task_with_retries(
-                            self.context, parent_index,
-                            lambda: self._map_task(which, parent_index))
+                            self.context, parent_index, attempt)
                         task_span.set(records=out[1], bytes=out[2])
                         return out
 
@@ -1177,12 +1430,16 @@ class CoGroupedRDD(RDD):
     def compute(self, index: int) -> list:
         groups = {}
         arity = len(self.dependencies)
+        metrics = self.context.metrics
         for which, parent in enumerate(self.dependencies):
             if self._parent_is_narrow(parent):
                 # one pseudo-segment: the parent partition itself
                 segments = [parent.iterator(index)]
             else:
-                segments = self._fetch_parent_shuffle(which)[index]
+                segments = [
+                    shm_mod.resolve_segment(segment, metrics)
+                    for segment in self._fetch_parent_shuffle(which)[index]
+                ]
             for segment in segments:
                 if isinstance(segment, RecordBatch):
                     rows = segment.records()

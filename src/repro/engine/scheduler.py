@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 
 from repro.engine.rdd import (
     CoGroupedRDD,
@@ -46,7 +46,16 @@ class ExecutorPool:
     The underlying :class:`ThreadPoolExecutor` is created lazily on the
     first parallel job and then reused for the life of the context —
     never per job. numpy kernels release the GIL, so chunk-heavy tasks
-    genuinely overlap.
+    genuinely overlap. Under ``backend="process"`` the same pool serves
+    as the *dispatcher* layer: each thread shepherds one in-flight task
+    through the worker-process round trip.
+
+    Shutting the pool down while it is idle is reversible — the next
+    parallel job lazily recreates the executor. Shutting it down while
+    tasks are in flight (a context exiting mid-job) cancels the queued
+    tasks and marks the pool broken: the running job fails with a clear
+    ``RuntimeError`` and the pool refuses to silently recreate an
+    executor afterwards.
     """
 
     def __init__(self, num_workers: int, name: str = "repro-executor"):
@@ -54,6 +63,8 @@ class ExecutorPool:
         self._prefix = f"{name}-{id(self):x}"
         self._executor = None
         self._lock = threading.Lock()
+        self._active = 0
+        self._broken = False
 
     @property
     def started(self) -> bool:
@@ -61,6 +72,10 @@ class ExecutorPool:
 
     def _ensure(self) -> ThreadPoolExecutor:
         with self._lock:
+            if self._broken:
+                raise RuntimeError(
+                    "executor pool was shut down while tasks were in "
+                    "flight; it cannot be reused — create a new context")
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.num_workers,
@@ -85,25 +100,49 @@ class ExecutorPool:
         if len(items) <= 1 or self.in_worker():
             return [func(item) for item in items]
         executor = self._ensure()
-        futures = [executor.submit(func, item) for item in items]
-        results = []
-        first_error = None
-        for future in futures:
+        with self._lock:
+            self._active += 1
+        try:
             try:
-                results.append(future.result())
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
-                results.append(None)
-        if first_error is not None:
-            raise first_error
-        return results
+                futures = [executor.submit(func, item) for item in items]
+            except RuntimeError as exc:
+                # the executor was shut down between _ensure and submit
+                raise RuntimeError(
+                    "executor pool was shut down while a job was "
+                    "running; its tasks cannot be scheduled") from exc
+            results = []
+            first_error = None
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+            if first_error is not None:
+                if isinstance(first_error, CancelledError):
+                    raise RuntimeError(
+                        "executor pool was shut down mid-job; queued "
+                        "tasks were cancelled") from first_error
+                raise first_error
+            return results
+        finally:
+            with self._lock:
+                self._active -= 1
 
     def shutdown(self) -> None:
         with self._lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
+            executor = self._executor
+            self._executor = None
+            active = self._active
+            if executor is not None and active:
+                self._broken = True
+        if executor is None:
+            return
+        if active:
+            executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            executor.shutdown(wait=True)
 
 
 class StageScheduler:
@@ -164,7 +203,9 @@ class StageScheduler:
     # ------------------------------------------------------------------
 
     def _pool(self):
-        if self.context.use_threads:
+        # the process backend also dispatches through the thread pool:
+        # each dispatcher thread drives one worker-process round trip
+        if self.context.parallel:
             return self.context.executor_pool
         return None
 
@@ -211,13 +252,19 @@ class StageScheduler:
 
     def _run_task(self, rdd: RDD, index: int, partition_func,
                   stage_span=None):
+        runner = self.context.process_runner
         # the stage span is the *explicit* parent: under threading this
         # runs on an executor thread whose span stack is empty
         with self.context.tracer.span("task", "task", parent=stage_span,
                                       partition=index) as span:
-            result = run_task_with_retries(
-                self.context, index,
-                lambda: partition_func(rdd.iterator(index)))
+            if runner is not None:
+                def attempt():
+                    return runner.run_result(rdd, index,
+                                             partition_func, span)
+            else:
+                def attempt():
+                    return partition_func(rdd.iterator(index))
+            result = run_task_with_retries(self.context, index, attempt)
             result_bytes = estimate_size(result)
             span.set(result_bytes=result_bytes)
         self.context.metrics.record_result(result_bytes)
@@ -234,6 +281,7 @@ class StageScheduler:
         """
         pool = self._pool()
         tracer = self.context.tracer
+        runner = self.context.process_runner
         for node, which in self.shuffle_stages(rdd):
             if which is None:
                 node.materialize(pool=pool)
@@ -245,7 +293,11 @@ class StageScheduler:
             def compute_one(index):
                 with tracer.span("task", "task", parent=ckpt_span,
                                  partition=index) as task_span:
-                    data_part = list(rdd.compute(index))
+                    if runner is not None:
+                        data_part = runner.run_compute(rdd, index,
+                                                       task_span)
+                    else:
+                        data_part = list(rdd.compute(index))
                     if tracer.enabled:
                         task_span.set(
                             bytes=estimate_partition_size(data_part))

@@ -1,0 +1,445 @@
+"""Shared-memory data plane for the process execution backend.
+
+Worker processes exchange shuffle blocks and cached partitions through
+``multiprocessing.shared_memory`` segments instead of pickling payloads
+through the task-result pipe. The encoding is pickle protocol 5 with
+out-of-band buffers: an object's pickle *head* (structure, scalars) and
+its flat payload buffers (numpy arrays — the columnar RecordBatch key
+and value columns, chunk payloads) are laid out side by side in one
+segment, and the consumer rebuilds the object over read-only
+``memoryview`` slices of the mapping — the buffers themselves are never
+copied or re-serialized (the zero-copy exchange Sparkle builds its
+large-memory story on).
+
+Three handle types travel between processes:
+
+- :class:`ShmRef` — locator of one pickled object inside a segment
+  (head span + buffer spans). Shuffle map tasks replace packed
+  ``BatchSegment``/``RecordBatch`` buckets with refs; the reduce side
+  resolves them lazily via :func:`load_ref`.
+- :class:`SpillFileHandle` — a cached block living in the spill tier;
+  the worker decodes the spill file itself so the disk-read metering
+  matches the serial path byte for byte.
+- :class:`InlineBlockHandle` — small or shm-refusing blocks, shipped by
+  value inside the task payload.
+
+Lifecycle is owned by a driver-side :class:`SharedSegmentRegistry`:
+worker-created segments are *adopted* into it from task replies,
+driver-side block exports are created by it, and ``shutdown()`` unlinks
+everything it knows about plus any same-prefix stragglers left in
+``/dev/shm`` by workers that died mid-task. An atexit hook covers
+contexts that are never shut down explicitly.
+
+POSIX notes baked in below: ``resource_tracker`` would register a
+segment on *attach* as well as on create, and its per-name cache is a
+set — concurrent attach/unregister pairs from different processes can
+interleave into a double-unregister that makes the tracker print
+KeyError tracebacks. Our names are therefore filtered out of tracker
+traffic entirely (the registry is the sole owner). And a mapping with
+exported buffer views cannot ``close()`` — the atexit path neutralizes
+the ``SharedMemory`` object instead and lets the OS reclaim the
+mapping at process exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import threading
+import weakref
+
+from multiprocessing import shared_memory
+
+try:  # not available on some platforms (no-op there)
+    from multiprocessing import resource_tracker
+except ImportError:  # pragma: no cover
+    resource_tracker = None
+
+#: buffer alignment inside a segment; 64 covers every numpy dtype and
+#: keeps vector loads on cache-line boundaries
+_ALIGN = 64
+
+#: blocks smaller than this ship inline with the task payload — a
+#: segment per tiny block costs more than pickling it
+SHM_BLOCK_MIN_BYTES = 4096
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+#: every segment name we create starts with this mark (registry
+#: prefixes are ``spgl-<pid>-<seq>-``); the tracker filter keys on it
+_NAME_MARK = "spgl-"
+
+
+def _is_engine_segment(name) -> bool:
+    return isinstance(name, str) and name.lstrip("/").startswith(_NAME_MARK)
+
+
+def _install_tracker_filter() -> None:
+    """Keep our segment names out of ``resource_tracker`` traffic.
+
+    The tracker registers shared memory on create *and* on attach, and
+    its cache is a per-name *set*: when two processes each send a
+    balanced register/unregister pair for the same name, the pipe can
+    deliver them as R,R,U,U — the second unregister then KeyErrors in
+    the tracker process. Unregistering after the fact cannot fix that
+    ordering, so segments under our mark are simply never reported; the
+    driver registry is their sole owner and unlinks them itself.
+
+    Installed at import in every process that touches this module
+    (driver and forked workers alike).
+    """
+    if resource_tracker is None or \
+            getattr(resource_tracker, "_spgl_filtered", False):
+        return
+    base_register = resource_tracker.register
+    base_unregister = resource_tracker.unregister
+
+    def register(name, rtype):
+        if rtype == "shared_memory" and _is_engine_segment(name):
+            return
+        base_register(name, rtype)
+
+    def unregister(name, rtype):
+        if rtype == "shared_memory" and _is_engine_segment(name):
+            return
+        base_unregister(name, rtype)
+
+    resource_tracker.register = register
+    resource_tracker.unregister = unregister
+    resource_tracker._spgl_filtered = True
+
+
+_install_tracker_filter()
+
+
+# ----------------------------------------------------------------------
+# handles
+# ----------------------------------------------------------------------
+
+class ShmRef:
+    """Locator of one pickled object inside a shared-memory segment."""
+
+    __slots__ = ("segment", "head", "buffers", "nbytes")
+
+    def __init__(self, segment: str, head, buffers, nbytes: int):
+        self.segment = segment      # segment name
+        self.head = head            # (offset, length) of the pickle head
+        self.buffers = buffers      # ((offset, length), ...) per buffer
+        self.nbytes = nbytes        # payload bytes of this object
+
+    def __repr__(self) -> str:
+        return (f"<ShmRef seg={self.segment} nbytes={self.nbytes} "
+                f"buffers={len(self.buffers)}>")
+
+
+class SpillFileHandle:
+    """A cached block served from the driver's spill tier."""
+
+    __slots__ = ("path", "nbytes")
+
+    def __init__(self, path: str, nbytes: int):
+        self.path = path
+        self.nbytes = nbytes
+
+
+class InlineBlockHandle:
+    """A cached block shipped by value inside the task payload."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, records):
+        self.records = records
+
+
+# ----------------------------------------------------------------------
+# encoding: objects -> one segment
+# ----------------------------------------------------------------------
+
+def _encode(obj):
+    """``(head_bytes, raw_buffers)`` — protocol-5 out-of-band pickle."""
+    picklebuffers = []
+    head = pickle.dumps(obj, protocol=5,
+                        buffer_callback=picklebuffers.append)
+    return head, [pb.raw() for pb in picklebuffers]
+
+
+class SegmentBuilder:
+    """Accumulates objects, then lays them out in one segment."""
+
+    def __init__(self):
+        self._pieces = []    # (offset, bytes-like)
+        self._entries = []   # (head_span, buffer_spans, payload_bytes)
+        self._size = 0
+
+    def _append(self, piece) -> tuple:
+        length = piece.nbytes if isinstance(piece, memoryview) \
+            else len(piece)
+        offset = self._size
+        self._pieces.append((offset, piece))
+        self._size = _align(offset + length)
+        return offset, length
+
+    def add(self, obj) -> int:
+        """Stage ``obj``; returns its entry index."""
+        head, raws = _encode(obj)
+        head_span = self._append(head)
+        buffer_spans = tuple(self._append(raw) for raw in raws)
+        payload = head_span[1] + sum(span[1] for span in buffer_spans)
+        self._entries.append((head_span, buffer_spans, payload))
+        return len(self._entries) - 1
+
+    @property
+    def nbytes(self) -> int:
+        return self._size
+
+    def write(self, buf) -> None:
+        for offset, piece in self._pieces:
+            length = piece.nbytes if isinstance(piece, memoryview) \
+                else len(piece)
+            buf[offset:offset + length] = piece
+
+    def refs(self, segment_name: str) -> list:
+        return [ShmRef(segment_name, head, buffers, payload)
+                for head, buffers, payload in self._entries]
+
+
+#: distinguishes segments created by the same forked process image
+_CREATE_SEQ = itertools.count(1)
+
+
+def write_segment(prefix: str, builder: SegmentBuilder, metrics=None):
+    """Create a segment under ``prefix`` holding ``builder``'s layout.
+
+    Returns ``(name, total_bytes, refs)``. The creating process closes
+    its mapping immediately — readers attach by name; the driver
+    registry owns the unlink (the resource tracker never hears about
+    these names, see :func:`_install_tracker_filter`).
+    """
+    pid = os.getpid()
+    while True:
+        name = f"{prefix}{pid:x}-{next(_CREATE_SEQ):x}"
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(builder.nbytes, 1))
+            break
+        except FileExistsError:  # pragma: no cover - seq makes it rare
+            continue
+    try:
+        builder.write(segment.buf)
+    finally:
+        segment.close()
+    if metrics is not None:
+        metrics.record_shm_segment()
+    return name, builder.nbytes, builder.refs(name)
+
+
+# ----------------------------------------------------------------------
+# decoding: per-process attachment cache
+# ----------------------------------------------------------------------
+
+#: name -> SharedMemory; mappings stay open for the process lifetime so
+#: zero-copy views into them remain valid however long results live
+_ATTACHED = {}
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach(name: str, metrics=None):
+    with _ATTACH_LOCK:
+        segment = _ATTACHED.get(name)
+        if segment is None:
+            segment = shared_memory.SharedMemory(name=name)
+            _ATTACHED[name] = segment
+            if metrics is not None:
+                metrics.record_shm_mapped(segment.size)
+        return segment
+
+
+def load_ref(ref: ShmRef, metrics=None):
+    """Rebuild the object ``ref`` points at, zero-copy.
+
+    The pickle head is copied (it is tiny); the payload buffers are
+    read-only memoryview slices of the mapping, so numpy columns alias
+    the shared segment directly.
+    """
+    segment = _attach(ref.segment, metrics)
+    buf = segment.buf
+    head_off, head_len = ref.head
+    head = bytes(buf[head_off:head_off + head_len])
+    views = [buf[off:off + length].toreadonly()
+             for off, length in ref.buffers]
+    return pickle.loads(head, buffers=views)
+
+
+def resolve_segment(segment, metrics=None):
+    """Pass-through for inline buckets; loads :class:`ShmRef` ones."""
+    if isinstance(segment, ShmRef):
+        return load_ref(segment, metrics)
+    return segment
+
+
+def _release_attachments() -> None:
+    """Close every cached mapping; neutralize ones with live views.
+
+    A mapping whose buffer has exported views (decoded numpy columns
+    still referenced) raises BufferError on close — for those the
+    SharedMemory object is defused so its ``__del__`` no-ops and the OS
+    reclaims the mapping at process exit.
+    """
+    with _ATTACH_LOCK:
+        for segment in _ATTACHED.values():
+            try:
+                segment.close()
+            except BufferError:
+                segment._buf = None
+                segment._mmap = None
+        _ATTACHED.clear()
+
+
+def _unlink_segment(name: str) -> None:
+    """Unlink ``name`` whether or not this process has it mapped."""
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(name)
+    if cached is not None:
+        try:
+            cached.unlink()
+        except FileNotFoundError:
+            pass
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing cleanup
+        pass
+    segment.close()
+
+
+def leaked_segments(prefix: str) -> list:
+    """Names under ``/dev/shm`` starting with ``prefix`` (tests)."""
+    base = "/dev/shm"
+    if not os.path.isdir(base):  # pragma: no cover - non-Linux
+        return []
+    return sorted(name for name in os.listdir(base)
+                  if name.startswith(prefix))
+
+
+# ----------------------------------------------------------------------
+# driver-side segment registry
+# ----------------------------------------------------------------------
+
+_REGISTRY_SEQ = itertools.count(1)
+_LIVE_REGISTRIES = weakref.WeakSet()
+
+
+class SharedSegmentRegistry:
+    """Owns the lifecycle of every segment a context's jobs create.
+
+    Worker-created shuffle segments are *adopted* from task replies;
+    cached-block exports are created here directly (memoized per block
+    identity, so repeated jobs over the same cached RDD reuse one
+    segment). ``shutdown()`` unlinks all of it and sweeps the prefix
+    for segments of workers that died before reporting.
+    """
+
+    def __init__(self, metrics=None):
+        self.prefix = \
+            f"{_NAME_MARK}{os.getpid():x}-{next(_REGISTRY_SEQ):x}-"
+        self._metrics = metrics
+        self._segments = {}        # name -> nbytes
+        self._block_exports = {}   # (rdd_id, index) -> (data, handle)
+        self._lock = threading.Lock()
+        _LIVE_REGISTRIES.add(self)
+
+    def adopt(self, name: str, nbytes: int) -> None:
+        """Take ownership of a worker-created segment."""
+        with self._lock:
+            self._segments[name] = nbytes
+
+    def export_block(self, key, records, size_hint: int = None):
+        """A shippable handle for one cached in-memory block.
+
+        Large blocks go to a shared segment (memoized on the block's
+        object identity — a recomputed block re-exports and the stale
+        segment is unlinked); small or shm-refusing ones ship inline.
+        """
+        with self._lock:
+            memo = self._block_exports.get(key)
+            if memo is not None and memo[0] is records:
+                return memo[1]
+        if size_hint is not None and size_hint < SHM_BLOCK_MIN_BYTES:
+            return InlineBlockHandle(records)
+        try:
+            builder = SegmentBuilder()
+            builder.add(records)
+            name, nbytes, refs = write_segment(
+                self.prefix, builder, self._metrics)
+        except Exception:
+            # unpicklable-for-shm or segment creation failure: the task
+            # payload's own pickling decides the block's fate
+            return InlineBlockHandle(records)
+        handle = refs[0]
+        stale = None
+        with self._lock:
+            self._segments[name] = nbytes
+            memo = self._block_exports.get(key)
+            if memo is not None:
+                stale = memo[1]
+            self._block_exports[key] = (records, handle)
+        if isinstance(stale, ShmRef):
+            self.release(stale.segment)
+        return handle
+
+    def release(self, name: str) -> None:
+        """Unlink one segment (idempotent)."""
+        with self._lock:
+            self._segments.pop(name, None)
+        _unlink_segment(name)
+
+    def segment_count(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(self._segments.values())
+
+    def shutdown(self) -> None:
+        """Unlink every owned segment and sweep prefix stragglers.
+
+        The registry stays usable: later jobs may create and adopt new
+        segments (mirroring the executor pool's lazy restart)."""
+        with self._lock:
+            names = list(self._segments)
+            self._segments.clear()
+            self._block_exports.clear()
+        for name in names:
+            _unlink_segment(name)
+        # segments created by workers that died before the driver could
+        # adopt them share this registry's prefix — sweep them too
+        base = "/dev/shm"
+        if os.path.isdir(base):
+            for fname in os.listdir(base):
+                if fname.startswith(self.prefix):
+                    try:
+                        os.unlink(os.path.join(base, fname))
+                    except OSError:  # pragma: no cover - racing cleanup
+                        pass
+
+
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter exit
+    for registry in list(_LIVE_REGISTRIES):
+        try:
+            registry.shutdown()
+        except Exception:
+            pass
+    _release_attachments()
+
+
+atexit.register(_cleanup_at_exit)

@@ -274,6 +274,26 @@ class CacheManager:
                 return True, self._read_spill(self._spilled[key])
             return False, None
 
+    def export_entries(self, rdd_id: int) -> dict:
+        """Every block of ``rdd_id`` as a shippable description.
+
+        ``{partition_index: ("memory", data, size) | ("spill", path,
+        nbytes)}`` — the process backend turns memory entries into
+        shared-memory handles and spill entries into file handles the
+        worker decodes (and meters) itself. No counters move and no
+        recency is touched: exporting a block is not an access.
+        """
+        with self._lock:
+            entries = {}
+            for key, data in self._blocks.items():
+                if key[0] == rdd_id:
+                    entries[key[1]] = ("memory", data,
+                                       self._infos[key].size)
+            for key, block in self._spilled.items():
+                if key[0] == rdd_id:
+                    entries[key[1]] = ("spill", block.path, block.nbytes)
+            return entries
+
     # ------------------------------------------------------------------
     # admission and eviction
     # ------------------------------------------------------------------

@@ -246,6 +246,37 @@ class Tracer:
             return
         self.finish(self.start(name, kind, parent=parent, **attrs))
 
+    def adopt_spans(self, records, parent=None) -> None:
+        """Graft spans recorded by a worker-process tracer into this one.
+
+        Each record is a ``Span.as_dict()`` payload shipped back in a
+        task reply. Spans get fresh ids from this tracer; parent edges
+        internal to the batch are remapped, and batch roots are
+        re-parented under ``parent`` (the driver-side task span) so the
+        logical tree matches a task that ran in-process.
+        ``perf_counter`` timestamps transfer unchanged: workers are
+        forked on the same host, and ``CLOCK_MONOTONIC`` is
+        system-wide, so worker and driver clocks share an epoch.
+        """
+        if not self.enabled or not records:
+            return
+        parent_id = parent.span_id if isinstance(parent, Span) else None
+        id_map = {}
+        adopted = []
+        for record in records:
+            span = Span.from_dict(record)
+            old_id = span.span_id
+            span.span_id = next(self._ids)
+            id_map[old_id] = span.span_id
+            adopted.append((span, record.get("parent")))
+        for span, old_parent in adopted:
+            if old_parent is not None and old_parent in id_map:
+                span.parent_id = id_map[old_parent]
+            else:
+                span.parent_id = parent_id
+        with self._lock:
+            self._spans.extend(span for span, _old in adopted)
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------

@@ -1,10 +1,11 @@
 """The stage scheduler's determinism contract and executor pool.
 
-Serial (``use_threads=False``) and threaded execution must return
-byte-identical results and identical logical metrics — jobs, stages,
-tasks, shuffle records/bytes — across every lineage shape the engine
-supports, including under fault injection. Task *ordering* and
-wall-clock observations are allowed to differ.
+Serial (``use_threads=False``, the default), threaded, and
+process-backend execution must return byte-identical results and
+identical logical metrics — jobs, stages, tasks, shuffle records/bytes
+— across every lineage shape the engine supports, including under
+fault injection. Task *ordering* and wall-clock observations are
+allowed to differ.
 """
 
 import contextlib
@@ -128,10 +129,11 @@ SCENARIOS = {
 }
 
 
-def _run(use_threads, scenario, columnar=True):
+def _run(use_threads, scenario, columnar=True, backend="thread"):
     toggle = contextlib.nullcontext() if columnar else disable_columnar()
     with toggle, \
-            ClusterContext(num_executors=4, use_threads=use_threads) as ctx:
+            ClusterContext(num_executors=4, use_threads=use_threads,
+                           backend=backend) as ctx:
         before = ctx.metrics.snapshot()
         result = scenario(ctx)
         delta = ctx.metrics.snapshot() - before
@@ -151,6 +153,22 @@ class TestDeterminismContract:
         for field_name in LOGICAL_FIELDS:
             assert getattr(serial_delta, field_name) \
                 == getattr(threaded_delta, field_name), field_name
+
+    @pytest.mark.parametrize("columnar", [True, False],
+                             ids=["columnar", "generic"])
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_serial_and_process_identical(self, name, columnar):
+        """The process backend holds the same contract as threading:
+        forked workers, shared-memory block exchange and all, not one
+        byte or logical counter may differ from serial execution."""
+        scenario = SCENARIOS[name]
+        serial_result, serial_delta = _run(False, scenario, columnar)
+        process_result, process_delta = _run(False, scenario, columnar,
+                                             backend="process")
+        assert pickle.dumps(serial_result) == pickle.dumps(process_result)
+        for field_name in LOGICAL_FIELDS:
+            assert getattr(serial_delta, field_name) \
+                == getattr(process_delta, field_name), field_name
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_columnar_matches_generic(self, name):
@@ -212,6 +230,42 @@ class TestExecutorPool:
         # the pool restarts lazily; the context stays usable
         assert ctx.parallelize(range(8), 4).collect() == list(range(8))
         ctx.shutdown()
+
+    def test_shutdown_mid_job_raises_clear_error(self):
+        """Regression: a pool shut down while a job is in flight used to
+        silently re-create its executor on the next ``_ensure``. It must
+        instead fail the running job with a clear ``RuntimeError`` and
+        refuse to be reused."""
+        pool = ExecutorPool(2)
+        release = threading.Event()
+        started = threading.Event()
+
+        def task(i):
+            started.set()
+            release.wait(timeout=10)
+            return i
+
+        failure = {}
+
+        def run_job():
+            try:
+                pool.map_tasks(task, range(16))
+            except RuntimeError as exc:
+                failure["error"] = exc
+
+        job = threading.Thread(target=run_job)
+        job.start()
+        try:
+            assert started.wait(timeout=10)
+            pool.shutdown()
+        finally:
+            release.set()
+        job.join(timeout=10)
+        assert not job.is_alive()
+        assert "shut down" in str(failure["error"])
+        # the pool stays broken — no silent executor re-creation
+        with pytest.raises(RuntimeError, match="cannot be reused"):
+            pool.map_tasks(lambda x: x, range(4))
 
 
 class TestConcurrencySafety:
