@@ -23,6 +23,9 @@ Package map:
 - :mod:`repro.core` -- ArrayRDD, MaskRDD, chunks, operators.
 - :mod:`repro.plan` -- the chunk-kernel fusion layer
   (``repro.plan.disable_fusion()`` is the eager-execution escape hatch).
+- :mod:`repro.optimizer` -- the cost-based logical rewrite layer
+  (``repro.optimizer.disable()`` lowers plans exactly as written;
+  ``ArrayRDD.explain(optimized=True)`` shows what it rewrote).
 - :mod:`repro.matrix` -- distributed linear algebra.
 - :mod:`repro.ml` -- PageRank and SGD/logistic regression.
 - :mod:`repro.baselines` -- SciSpark/RasterFrames/SciDB/COO/MLlib/GraphX
@@ -32,7 +35,7 @@ Package map:
 - :mod:`repro.io` -- CSV and SNF (NetCDF-like) ingestion.
 """
 
-from repro import plan
+from repro import optimizer, plan
 from repro.bitmask import Bitmask
 from repro.core import (
     Aggregator,
@@ -74,6 +77,7 @@ __all__ = [
     "SpangleMatrix",
     "SpangleVector",
     "StorageLevel",
+    "optimizer",
     "pagerank",
     "plan",
     "__version__",

@@ -6,8 +6,12 @@ multi-dimensional array is described by :class:`ArrayMetadata`, cut into
 (Algorithm 1, :mod:`repro.core.mapper`), and distributed as an
 :class:`ArrayRDD`. Multi-attribute arrays are column stores
 (:class:`SpangleDataset`) sharing a lazily-evaluated :class:`MaskRDD`.
-Chunk-local operators accumulate on a :class:`ChunkPlan`
-(:mod:`repro.core.plan`) and execute as one fused pass per chunk.
+Operators record :class:`~repro.core.logical.LogicalOp` trees
+(:mod:`repro.core.logical`); at evaluation the cost-based rewrite
+optimizer (:mod:`repro.core.optimizer`) reorders them where the cluster
+cost model says it pays, and lowering compiles chunk-local chains onto
+a :class:`ChunkPlan` (:mod:`repro.core.plan`) executing as one fused
+pass per chunk.
 """
 
 from repro.core import chunk_codec

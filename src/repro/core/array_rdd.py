@@ -10,14 +10,18 @@ Empty chunks are never materialized: any operation that leaves a chunk
 with zero valid cells drops the record entirely, which is the paper's
 memory-reduction policy.
 
-Chunk-local operators (``map_values``, ``filter``, ``subarray``, scalar
-arithmetic) do not map the RDD eagerly: they append a kernel to a
-pending :class:`~repro.core.plan.ChunkPlan`. Reading :attr:`rdd` — which
-every action and wide operator does — compiles the pending chain into a
-single ``map_partitions`` pass per chunk. ``cache()`` and
-``materialize()`` are plan barriers too: they collapse the pending plan
-so the cached data is the computed result. The eager per-chunk path is
-preserved verbatim behind :func:`repro.core.plan.disable_fusion`.
+Operators do not touch the engine eagerly: they *record*
+:class:`~repro.core.logical.LogicalOp` nodes. Reading :attr:`rdd` —
+which every action and wide operator does — is the plan barrier: the
+recorded tree is rewritten by the cost-based optimizer
+(:mod:`repro.core.optimizer`, unless disabled) and lowered back to
+ChunkPlan kernel chains (compiled into single fused ``map_partitions``
+passes) and engine joins/shuffles. ``cache()`` and ``materialize()``
+are plan barriers too: they collapse the pending tree so the cached
+data is the computed result. The eager per-chunk path is preserved
+verbatim behind :func:`repro.core.plan.disable_fusion`; ``explain()``
+renders the logical/optimized/physical plans without compiling
+anything into the array's state.
 """
 
 from __future__ import annotations
@@ -29,17 +33,21 @@ from repro.core import mapper
 from repro.core import plan as plan_mod
 from repro.core.aggregates import combine_kernel_for, resolve_aggregator
 from repro.core.chunk import Chunk, ChunkMode
-from repro.core.metadata import ArrayMetadata
-from repro.core.plan import (
-    ChunkPlan,
-    DropEmpty,
-    ElementwiseSource,
-    FilterKernel,
-    MapValuesKernel,
-    MaskAndKernel,
-    RepackKernel,
-    ScalarOpKernel,
+from repro.core.logical import (
+    ElementwiseOp,
+    FilterOp,
+    MapOp,
+    RawPlanOp,
+    RepackOp,
+    ScalarOp,
+    ShuffleOp,
+    SourceOp,
+    SubarrayOp,
+    lower_to_rdd,
+    render_tree,
+    valid_counts_from_records,
 )
+from repro.core.metadata import ArrayMetadata
 from repro.engine import HashPartitioner
 from repro.errors import ArrayError, ShapeMismatchError
 
@@ -284,33 +292,51 @@ def _chunk_nbytes(kv) -> int:
 class ArrayRDD:
     """A lazily-evaluated, chunked, distributed array."""
 
-    def __init__(self, rdd, meta: ArrayMetadata, context, plan=None):
-        self._base_rdd = rdd
-        self._plan = plan if plan is not None else ChunkPlan.identity()
+    def __init__(self, rdd, meta: ArrayMetadata, context, plan=None,
+                 logical=None):
+        if logical is not None:
+            self._logical = logical
+        else:
+            source = SourceOp(rdd, meta)
+            if plan is not None and not plan.is_identity:
+                # compat: an explicit pre-built ChunkPlan rides along as
+                # an opaque node the optimizer will not reorder
+                self._logical = RawPlanOp(source, plan)
+            else:
+                self._logical = source
         self._compiled = None
         self.meta = meta
         self.context = context
 
     @property
     def rdd(self):
-        """The underlying chunk RDD, with any pending plan compiled in.
+        """The underlying chunk RDD, with the recorded plan lowered in.
 
         Accessing this is the plan barrier: actions, wide operators and
-        external consumers all read it, which lowers the pending kernel
-        chain to one fused ``map_partitions`` pass (memoized, so repeat
-        actions reuse the same compiled RDD and its cache entries).
+        external consumers all read it. The recorded logical tree is
+        rewritten by the cost-based optimizer (when enabled), then
+        lowered — chunk-local chains compile to one fused
+        ``map_partitions`` pass each — and the result is memoized, so
+        repeat actions reuse the same compiled RDD and its cache
+        entries.
         """
-        if self._plan.is_identity:
-            return self._base_rdd
+        node = self._logical
+        if isinstance(node, SourceOp):
+            return node.rdd
         if self._compiled is None:
-            self._compiled = self._plan.compile(self._base_rdd,
-                                                self.context.metrics)
+            from repro.core import optimizer as optimizer_mod
+
+            metrics = self.context.metrics
+            node, fired, pruned = optimizer_mod.maybe_optimize(
+                node, self.context)
+            if fired:
+                metrics.record_optimizer(len(fired), pruned)
+            self._compiled = lower_to_rdd(node, self.context, metrics)
         return self._compiled
 
     @rdd.setter
     def rdd(self, value):
-        self._base_rdd = value
-        self._plan = ChunkPlan.identity()
+        self._logical = SourceOp(value, self.meta)
         self._compiled = None
 
     # ------------------------------------------------------------------
@@ -359,7 +385,12 @@ class ArrayRDD:
         rdd = context.parallelize(records, num_partitions,
                                   partitioner=partitioner)
         rdd.partitioner = partitioner
-        return cls(rdd, meta, context)
+        out = cls(rdd, meta, context)
+        # driver-side creation knows every chunk's valid count for free;
+        # the optimizer's density-aware cost estimates feed on them
+        out._logical = SourceOp(rdd, meta,
+                                valid_counts_from_records(records))
+        return out
 
     @classmethod
     def from_chunks(cls, context, chunk_records, meta,
@@ -372,23 +403,22 @@ class ArrayRDD:
     def _with_rdd(self, rdd, meta=None) -> "ArrayRDD":
         return ArrayRDD(rdd, meta or self.meta, self.context)
 
-    def _with_plan(self, kernel) -> "ArrayRDD":
-        """Extend the pending plan by one kernel (no RDD is built yet)."""
-        return ArrayRDD(self._base_rdd, self.meta, self.context,
-                        plan=self._plan.then(kernel))
+    def _with_logical(self, node) -> "ArrayRDD":
+        """Record one more logical node (no RDD is built yet)."""
+        return ArrayRDD(None, self.meta, self.context, logical=node)
 
     def _collapse(self):
-        """Force the pending plan into the base RDD (a plan barrier).
+        """Force the recorded plan into a concrete RDD (a plan barrier).
 
-        After this, subsequent operators chain off the compiled RDD —
+        After this, subsequent operators chain off the lowered RDD —
         required before ``cache()`` so the cached partitions hold the
         computed chunks, not the pre-plan input.
         """
-        if not self._plan.is_identity:
-            self._base_rdd = self.rdd
-            self._plan = ChunkPlan.identity()
+        rdd = self.rdd
+        if not isinstance(self._logical, SourceOp):
+            self._logical = SourceOp(rdd, self.meta)
             self._compiled = None
-        return self._base_rdd
+        return rdd
 
     # ------------------------------------------------------------------
     # basic actions
@@ -398,6 +428,15 @@ class ArrayRDD:
         return self.rdd.count()
 
     def count_valid(self) -> int:
+        from repro.core import optimizer as optimizer_mod
+
+        # mask-only evaluation: when the recorded tree only moves,
+        # restricts, or arithmetically transforms values, the count
+        # comes straight off the source bitmasks
+        fast = optimizer_mod.lower_count_valid(self._logical,
+                                               self.context)
+        if fast is not None:
+            return fast
         return self.rdd.map(_chunk_valid_count).fold(
             0, lambda a, b: a + b
         )
@@ -440,8 +479,39 @@ class ArrayRDD:
         return self
 
     def unpersist(self) -> "ArrayRDD":
-        self._base_rdd.unpersist()
+        for rdd in _source_rdds(self._logical):
+            rdd.unpersist()
+        if self._compiled is not None:
+            self._compiled.unpersist()
         return self
+
+    def explain(self, optimized: bool = False) -> str:
+        """Render the recorded plan without compiling it into the array.
+
+        Shows the logical tree as written; with ``optimized=True`` also
+        the rewritten tree, the rules that fired, and the estimated
+        pruned-chunk count; then the physical stage plan of whichever
+        tree would lower. Purely an inspection: nothing is memoized and
+        no fusion/optimizer metrics are recorded.
+        """
+        from repro.core import optimizer as optimizer_mod
+        from repro.engine import explain as explain_mod
+
+        node = self._logical
+        lines = ["Logical plan:", render_tree(node, 1)]
+        if optimized:
+            opt, fired, pruned = optimizer_mod.maybe_optimize(
+                node, self.context)
+            rules = ", ".join(fired) if fired else "none"
+            lines.append(
+                f"Optimized plan ({len(fired)} rules fired: {rules}; "
+                f"~{pruned} chunks pruned):")
+            lines.append(render_tree(opt, 1))
+            node = opt
+        lowered = lower_to_rdd(node, self.context, None)
+        lines.append("Physical plan:")
+        lines.append(explain_mod.explain(lowered))
+        return "\n".join(lines)
 
     def materialize(self) -> "ArrayRDD":
         """Force computation now (cache + count)."""
@@ -457,7 +527,7 @@ class ArrayRDD:
     def map_values(self, func) -> "ArrayRDD":
         """Apply a vectorized function to every valid value."""
         if plan_mod.fusion_enabled():
-            return self._with_plan(MapValuesKernel(func))
+            return self._with_logical(MapOp(self._logical, func))
         return self._with_rdd(
             self.rdd.map_values(_MapChunkValues(func))
         )
@@ -469,7 +539,7 @@ class ArrayRDD:
         returns booleans. Chunks left with no valid cell are dropped.
         """
         if plan_mod.fusion_enabled():
-            return self._with_plan(FilterKernel(predicate))
+            return self._with_logical(FilterOp(self._logical, predicate))
         filtered = self.rdd.map_values(
             _FilterChunk(predicate)
         ).filter(_has_valid_cells)
@@ -487,7 +557,7 @@ class ArrayRDD:
         ``chunks_repacked`` in the metrics counts the conversions.
         """
         if plan_mod.fusion_enabled():
-            return self._with_plan(RepackKernel())
+            return self._with_logical(RepackOp(self._logical))
         return self._with_rdd(
             self.rdd.map_values(_RepackOne(self.context.metrics))
         )
@@ -500,11 +570,28 @@ class ArrayRDD:
         virtual bitmask of the range.
         """
         if plan_mod.fusion_enabled():
-            return self._with_plan(MaskAndKernel(self.meta, lo, hi))
+            return self._with_logical(SubarrayOp(self._logical, lo, hi))
         out = self.rdd.map_partitions_with_index(
             _RestrictToBox(self.meta, lo, hi), preserves_partitioning=True
         )
         return self._with_rdd(out)
+
+    def partition_by(self, partitioner) -> "ArrayRDD":
+        """Redistribute chunk records under an explicit partitioner.
+
+        Recorded as a logical shuffle, so a later ``subarray`` or
+        ``filter`` can be pushed below it by the optimizer — pruned
+        chunks never cross the network. A no-op at execution time when
+        the records already carry an equal partitioner.
+        """
+        if plan_mod.fusion_enabled():
+            return self._with_logical(
+                ShuffleOp(self._logical, partitioner))
+        return self._with_rdd(self.rdd.partition_by(partitioner))
+
+    def repartition(self, num_partitions: int) -> "ArrayRDD":
+        """Hash-redistribute into ``num_partitions`` partitions."""
+        return self.partition_by(HashPartitioner(int(num_partitions)))
 
     def combine(self, other: "ArrayRDD", op, how: str = "and",
                 fill=0) -> "ArrayRDD":
@@ -531,17 +618,18 @@ class ArrayRDD:
             raise ArrayError(f"unknown join mode {how!r}; use 'and'/'or'")
         cells = self.meta.cells_per_chunk
         dtype = self.meta.dtype
+        if plan_mod.fusion_enabled():
+            # recorded as a logical join; at lowering the merge becomes
+            # a plan *source*, so the drop-empty step and any trailing
+            # chunk-local operators fuse into one pass
+            return self._with_logical(
+                ElementwiseOp(self._logical, other._logical, op, how,
+                              fill, self.meta))
         # wide operator: reading .rdd on both sides is the plan barrier
         if how == "and":
             joined = self.rdd.join(other.rdd)
         else:
             joined = self.rdd.full_outer_join(other.rdd)
-        if plan_mod.fusion_enabled():
-            # the merge becomes a plan *source*, so the drop-empty step
-            # and any trailing chunk-local operators fuse into one pass
-            source = ElementwiseSource(op, how, fill, cells, dtype)
-            return ArrayRDD(joined, self.meta, self.context,
-                            plan=ChunkPlan(source, (DropEmpty(),)))
         if how == "and":
             merge = _MergeAnd(op)
         else:
@@ -675,8 +763,9 @@ class ArrayRDD:
 
     def _scalar_op(self, op, scalar, reflected, name) -> "ArrayRDD":
         if plan_mod.fusion_enabled():
-            return self._with_plan(
-                ScalarOpKernel(op, scalar, reflected=reflected, name=name))
+            return self._with_logical(
+                ScalarOp(self._logical, op, scalar, reflected=reflected,
+                         opname=name))
         return self.map_values(_BoundScalarOp(op, scalar, reflected))
 
     def _binary_op(self, other, op, name):
@@ -734,6 +823,16 @@ class ArrayRDD:
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
+
+def _source_rdds(node) -> list:
+    """Every concrete source RDD feeding a logical tree."""
+    if isinstance(node, SourceOp):
+        return [node.rdd]
+    out = []
+    for child in node.children:
+        out.extend(_source_rdds(child))
+    return out
+
 
 def _chunk_selection(meta: ArrayMetadata, chunk_id: int):
     """Global slices of a chunk's in-bounds region + its clipped shape."""

@@ -6,6 +6,14 @@ The MaskRDD records the *global* validity instead; operators transform
 only the MaskRDD (cheap — one small RDD of bitmasks), and attributes are
 reconciled on demand with a single AND per chunk.
 
+Box restrictions are recorded, not executed: ``subarray`` appends to a
+pending box list and reading :attr:`rdd` lowers the whole list as one
+chunk-ID-pruning pass (so five chained subarrays cost one traversal,
+with their wanted-sets intersected up front). ``apply_to`` records a
+logical :class:`~repro.core.logical.MaskApplyOp` on the target array,
+which lets the optimizer push later restrictions below the
+reconciliation join.
+
 The with/without-MaskRDD performance gap is the paper's Fig. 9b.
 """
 
@@ -15,17 +23,85 @@ import numpy as np
 
 from repro.bitmask import Bitmask
 from repro.core import mapper
+from repro.core import plan as plan_mod
 from repro.core.metadata import ArrayMetadata
 from repro.errors import ShapeMismatchError
+
+
+class _RestrictMasks:
+    """One pass applying every pending box to a partition of masks.
+
+    A module-level class (pickled by reference when tasks ship to
+    worker processes). Chunk-ID pruning uses the intersection of the
+    boxes' wanted-sets — a chunk outside *any* box is skipped without
+    touching its bitmask; boxes then AND in recorded order, exactly as
+    the chained eager restrictions would.
+    """
+
+    __slots__ = ("meta", "boxes", "wanted")
+
+    def __init__(self, meta, boxes):
+        self.meta = meta
+        self.boxes = tuple(boxes)
+        wanted = None
+        for lo, hi in self.boxes:
+            ids = frozenset(mapper.chunk_ids_in_range(meta, lo, hi))
+            wanted = ids if wanted is None else (wanted & ids)
+        self.wanted = wanted if wanted is not None else frozenset()
+
+    def __getstate__(self):
+        return (self.meta, self.boxes, self.wanted)
+
+    def __setstate__(self, state):
+        self.meta, self.boxes, self.wanted = state
+
+    def __call__(self, index, part):
+        for chunk_id, mask in part:
+            if chunk_id not in self.wanted:
+                continue
+            for lo, hi in self.boxes:
+                if mapper.chunk_fully_inside(self.meta, chunk_id, lo,
+                                             hi):
+                    continue
+                virtual = Bitmask.from_bools(
+                    mapper.range_mask_for_chunk(self.meta, chunk_id,
+                                                lo, hi))
+                mask = mask & virtual
+            if mask.any():
+                yield chunk_id, mask
 
 
 class MaskRDD:
     """An RDD of ``(chunk_id, Bitmask)`` describing valid cells globally."""
 
-    def __init__(self, rdd, meta: ArrayMetadata, context):
-        self.rdd = rdd
+    def __init__(self, rdd, meta: ArrayMetadata, context, boxes=()):
+        self._base_rdd = rdd
+        self._boxes = tuple(boxes)
+        self._compiled = None
         self.meta = meta
         self.context = context
+
+    @property
+    def rdd(self):
+        """The mask RDD with every pending box restriction lowered in."""
+        if not self._boxes:
+            return self._base_rdd
+        if self._compiled is None:
+            self._compiled = self._base_rdd.map_partitions_with_index(
+                _RestrictMasks(self.meta, self._boxes),
+                preserves_partitioning=True)
+        return self._compiled
+
+    @rdd.setter
+    def rdd(self, value):
+        self._base_rdd = value
+        self._boxes = ()
+        self._compiled = None
+
+    @property
+    def partitioner(self):
+        """Partitioner of the lowered mask (restrictions preserve it)."""
+        return self._base_rdd.partitioner
 
     # ------------------------------------------------------------------
     # creation
@@ -63,25 +139,19 @@ class MaskRDD:
     # ------------------------------------------------------------------
 
     def subarray(self, lo, hi) -> "MaskRDD":
-        """AND with the virtual bitmask of a coordinate box (Fig. 4a)."""
-        wanted = set(mapper.chunk_ids_in_range(self.meta, lo, hi))
-        meta = self.meta
+        """AND with the virtual bitmask of a coordinate box (Fig. 4a).
 
-        def restrict(index, part):
-            for chunk_id, mask in part:
-                if chunk_id not in wanted:
-                    continue
-                if mapper.chunk_fully_inside(meta, chunk_id, lo, hi):
-                    yield chunk_id, mask
-                    continue
-                virtual = Bitmask.from_bools(
-                    mapper.range_mask_for_chunk(meta, chunk_id, lo, hi))
-                combined = mask & virtual
-                if combined.any():
-                    yield chunk_id, combined
-
+        Recorded lazily: the box joins the pending list and lowers with
+        the rest in one pass when the mask is read. The box itself is
+        validated now (call-site error timing).
+        """
+        mapper.chunk_ids_in_range(self.meta, lo, hi)
+        if plan_mod.fusion_enabled():
+            return MaskRDD(self._base_rdd, self.meta, self.context,
+                           boxes=self._boxes + ((tuple(lo), tuple(hi)),))
         return self._with_rdd(self.rdd.map_partitions_with_index(
-            restrict, preserves_partitioning=True))
+            _RestrictMasks(self.meta, ((tuple(lo), tuple(hi)),)),
+            preserves_partitioning=True))
 
     def filter_on(self, array_rdd, predicate) -> "MaskRDD":
         """AND with the cells of ``array_rdd`` passing ``predicate``.
@@ -149,21 +219,22 @@ class MaskRDD:
         chunks with no surviving cell — or no mask entry at all — are
         dropped.
 
-        With fusion enabled the AND becomes a
-        :class:`~repro.core.plan.MaskApplySource`, so the reconciliation
-        and any chunk-local operators applied to the result (a dataset's
-        per-attribute restriction + filter chains) run as one fused pass
-        per chunk.
+        With fusion enabled the reconciliation is recorded as a logical
+        :class:`~repro.core.logical.MaskApplyOp`; at lowering the AND
+        becomes a :class:`~repro.core.plan.MaskApplySource`, so it and
+        any chunk-local operators applied to the result (a dataset's
+        per-attribute restriction + filter chains) run as one fused
+        pass per chunk — and the optimizer can push a later subarray
+        below the join.
         """
         from repro.core.array_rdd import ArrayRDD
-        from repro.core.plan import (ChunkPlan, DropEmpty,
-                                     MaskApplySource, fusion_enabled)
+        from repro.core.logical import MaskApplyOp
 
+        if plan_mod.fusion_enabled():
+            node = MaskApplyOp(array_rdd._logical, self)
+            return ArrayRDD(None, array_rdd.meta, array_rdd.context,
+                            logical=node)
         joined = array_rdd.rdd.join(self.rdd)
-        if fusion_enabled():
-            return ArrayRDD(joined, array_rdd.meta, array_rdd.context,
-                            plan=ChunkPlan(MaskApplySource(),
-                                           (DropEmpty(),)))
         out = joined.map_values(
             lambda pair: pair[0].and_mask(pair[1])
         ).filter(lambda kv: kv[1].valid_count > 0)
@@ -177,6 +248,26 @@ class MaskRDD:
     def cache(self) -> "MaskRDD":
         self.rdd.cache()
         return self
+
+    def explain(self) -> str:
+        """Render the pending restrictions and the physical plan —
+        without compiling anything into the mask's state."""
+        from repro.engine import explain as explain_mod
+
+        lines = ["Logical plan:",
+                 f"  mask[shape={self.meta.shape} "
+                 f"chunk={self.meta.chunk_shape}]"]
+        for lo, hi in self._boxes:
+            lines.append(f"    subarray[{lo}..{hi}]")
+        if self._boxes:
+            lowered = self._base_rdd.map_partitions_with_index(
+                _RestrictMasks(self.meta, self._boxes),
+                preserves_partitioning=True)
+        else:
+            lowered = self._base_rdd
+        lines.append("Physical plan:")
+        lines.append(explain_mod.explain(lowered))
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return f"MaskRDD({self.meta.describe()})"

@@ -41,6 +41,7 @@ __all__ = [
     "DropEmpty",
     "ElementwiseSource",
     "FilterKernel",
+    "FoldedScalarKernel",
     "MapValuesKernel",
     "MaskAndKernel",
     "MaskApplySource",
@@ -287,6 +288,39 @@ class ScalarOpKernel:
         state.values = new_values
         state.rebuilt = True
         state.eager_builds += 1
+
+
+class FoldedScalarKernel:
+    """Several adjacent scalar ops applied in one kernel dispatch.
+
+    ``stages`` is a tuple of ``(op, scalar, reflected, name)`` applied
+    strictly in order — the same arithmetic sequence the individual
+    :class:`ScalarOpKernel` chain would perform, so the fold is
+    bit-identical; it only saves the per-kernel dispatch and shape
+    checks between stages. Produced by the logical optimizer's
+    adjacent-scalar folding rule.
+    """
+
+    def __init__(self, stages):
+        self.stages = tuple(stages)
+        names = "+".join(stage[3] for stage in self.stages)
+        self.label = f"fold[{names}]"
+
+    def apply(self, chunk_id, state: KernelState) -> None:
+        values = state.values
+        for op, scalar, reflected, _name in self.stages:
+            if reflected:
+                values = op(scalar, values)
+            else:
+                values = op(values, scalar)
+        new_values = np.asarray(values)
+        if new_values.shape != state.values.shape:
+            raise ArrayError(
+                "map_values function must preserve the value count"
+            )
+        state.values = new_values
+        state.rebuilt = True
+        state.eager_builds += len(self.stages)
 
 
 class FilterKernel:

@@ -73,6 +73,39 @@ class ClusterCostModel:
     # per-block rates (cost-aware eviction)
     # ------------------------------------------------------------------
 
+    # ------------------------------------------------------------------
+    # logical-plan pricing (the rewrite optimizer)
+    # ------------------------------------------------------------------
+    # The optimizer (repro.core.optimizer) prices candidate plans before
+    # any task runs, so these helpers work from *estimates*: bytes that
+    # would flow through a plan node and the density of the chunks
+    # carrying them. They intentionally share the rates used everywhere
+    # else in the model, so "cheaper here" means cheaper on the same
+    # modeled cluster the benchmarks report.
+
+    def scan_seconds(self, nbytes: int, density: float = 1.0) -> float:
+        """Modeled time for one chunk-local pass over ``nbytes``.
+
+        ``density`` scales the dense byte count down to the payload a
+        sparse chunk actually stores (a 1%-dense SPARSE chunk scans ~1%
+        of the cells a DENSE chunk would). Clamped to [0, 1]; zero bytes
+        cost zero.
+        """
+        if nbytes <= 0:
+            return 0.0
+        density = min(max(float(density), 0.0), 1.0)
+        return nbytes * density / self.recompute_bandwidth_bytes_s
+
+    def shuffle_seconds(self, nbytes: int, num_tasks: int = 0) -> float:
+        """Modeled time to move ``nbytes`` through a shuffle.
+
+        The bytes cross the network once; ``num_tasks`` adds the
+        per-task launch overhead of the reduce side. Zero bytes with
+        zero tasks cost zero.
+        """
+        transfer = max(int(nbytes), 0) / self.network_bandwidth_bytes_s
+        return transfer + max(int(num_tasks), 0) * self.task_overhead_s
+
     def reload_seconds(self, nbytes: int) -> float:
         """Modeled time to read a spilled block back from disk."""
         return nbytes / self.disk_bandwidth_bytes_s

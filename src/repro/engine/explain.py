@@ -11,6 +11,11 @@ Chunk-kernel fusion (:mod:`repro.core.plan`) is visible here too: a
 compiled ChunkPlan appears as a single RDD named after its pipeline —
 ``fused[filter→map→mask_and]`` — where the eager path would show one
 RDD hop per operator. :func:`fused_pipelines` extracts those labels.
+
+This module renders the *physical* half of ``ArrayRDD.explain()``: the
+logical tree and the rewrites applied to it live in
+:mod:`repro.core.logical` / :mod:`repro.core.optimizer`; what they
+lower to is the RDD graph staged here.
 """
 
 from __future__ import annotations

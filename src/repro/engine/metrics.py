@@ -58,6 +58,8 @@ class MetricsSnapshot:
     task_retries: int = 0
     kernels_fused: int = 0
     fused_chunks_avoided: int = 0
+    optimizer_rules_fired: int = 0
+    optimizer_chunks_pruned: int = 0
     shm_segments_created: int = 0
     shm_bytes_mapped: int = 0
     worker_respawns: int = 0
@@ -134,6 +136,12 @@ class MetricsRegistry:
     # passes, and intermediate Chunk builds the eager path would have done
     kernels_fused: int = 0
     fused_chunks_avoided: int = 0
+    # the logical rewrite optimizer (repro.core.optimizer): cost-gated
+    # rewrite rules that actually fired at lowering time, and chunks the
+    # rewritten plans prune before any task is scheduled (estimated from
+    # metadata, deterministic across schedulers)
+    optimizer_rules_fired: int = 0
+    optimizer_chunks_pruned: int = 0
     # the process backend (repro.engine.worker / repro.engine.shm):
     # shared-memory segments created for shuffle blocks and cached
     # chunks, bytes of those segments mapped into worker/driver address
@@ -249,6 +257,15 @@ class MetricsRegistry:
         """Intermediate Chunk builds skipped by a fused pass."""
         with self._lock:
             self.fused_chunks_avoided += count
+
+    def record_optimizer(self, rules_fired: int,
+                         chunks_pruned: int = 0) -> None:
+        """``rules_fired`` rewrite rules applied while lowering one
+        logical plan; ``chunks_pruned`` chunks those rewrites eliminate
+        before scheduling."""
+        with self._lock:
+            self.optimizer_rules_fired += rules_fired
+            self.optimizer_chunks_pruned += chunks_pruned
 
     def record_shm_segment(self) -> None:
         """One shared-memory segment created for block exchange."""

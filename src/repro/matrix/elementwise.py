@@ -9,12 +9,17 @@ pairs are multiplied at all — if either bit is unset the product is zero
 When the operands share a partitioner these are embarrassingly parallel:
 the underlying joins are narrow and no data moves.
 
-Each operation is a combine followed by a nonzero filter. On the
-chunk-kernel algebra (:mod:`repro.core.plan`) that whole chain — the
-elementwise merge source, the drop-empty kernel, and the nonzero
+Each operation is a combine followed by a nonzero filter, recorded as
+an :class:`~repro.core.logical.ElementwiseOp` under a
+:class:`~repro.core.logical.FilterOp`. At lowering the whole chain —
+the elementwise merge source, the drop-empty kernel, and the nonzero
 ``FilterKernel`` — compiles to a single fused pass per chunk
 (``fused[combine_or→drop_empty→filter]`` in the stage plan) instead of
-building an intermediate combined chunk and re-encoding it.
+building an intermediate combined chunk and re-encoding it. Because
+the join is now logical, a ``subarray`` applied to the result pushes
+into *both operands* when the cost model approves
+(``subarray_into_elementwise`` in :mod:`repro.core.optimizer`), so
+restricted sums never join out-of-box chunks at all.
 """
 
 from __future__ import annotations

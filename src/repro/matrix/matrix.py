@@ -135,6 +135,10 @@ class SpangleMatrix:
         self.array.materialize()
         return self
 
+    def explain(self, optimized: bool = False) -> str:
+        """The recorded plan (see :meth:`ArrayRDD.explain`)."""
+        return self.array.explain(optimized=optimized)
+
     # ------------------------------------------------------------------
     # conversions
     # ------------------------------------------------------------------

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import plan as plan_mod
 from repro.core.array_rdd import ArrayRDD
 from repro.core.chunk import Chunk
+from repro.core.logical import MatmulOp
 from repro.core.metadata import ArrayMetadata
 from repro.engine import HashPartitioner
 from repro.engine.partitioner import ExplicitPartitioner
@@ -229,13 +231,35 @@ def prepare_local(left, right, num_partitions=None):
 
 
 def block_matmul(left, right, local_join: bool = False):
-    """``left × right`` as a SpangleMatrix."""
+    """``left × right`` as a SpangleMatrix.
+
+    Recorded as a logical :class:`~repro.core.logical.MatmulOp` (when
+    fusion is on), so a subarray written after the multiply can restrict
+    the operand sides before their shuffles; :func:`lower_matmul` runs
+    the actual three-stage plan when an action forces it.
+    """
     from repro.matrix.matrix import SpangleMatrix
 
     _check_dims(left, right)
     meta = _result_meta(left, right)
-    out_grid_rows = meta.chunk_grid[0]
     context = left.context
+    if plan_mod.fusion_enabled():
+        node = MatmulOp(left, right, local_join, meta)
+        return SpangleMatrix(ArrayRDD(None, meta, context,
+                                      logical=node))
+    return SpangleMatrix(ArrayRDD(
+        _run_matmul(left, right, local_join, meta, context),
+        meta, context))
+
+
+def lower_matmul(node: MatmulOp, context):
+    """Lower a recorded matmul node to its concrete chunk RDD."""
+    return _run_matmul(node.left, node.right, node.local_join,
+                       node.meta, context)
+
+
+def _run_matmul(left, right, local_join, meta, context):
+    out_grid_rows = meta.chunk_grid[0]
 
     if local_join:
         partials = _local_join_partials(left, right)
@@ -247,7 +271,7 @@ def block_matmul(left, right, local_join: bool = False):
     summed = partials.map(
         lambda kv: (kv[0][0] + kv[0][1] * out_grid_rows, kv[1])
     ).reduce_by_key(_merge_partials)
-    return SpangleMatrix(_assemble(context, summed, meta))
+    return _assemble(context, summed, meta).rdd
 
 
 def _shuffled_partials(left, right):

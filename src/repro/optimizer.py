@@ -1,0 +1,23 @@
+"""Public alias for the logical rewrite optimizer.
+
+``repro.optimizer.disable()`` is the documented escape hatch for
+lowering recorded plans exactly as written (mirroring
+``repro.plan.disable_fusion()``); the implementation lives in
+:mod:`repro.core.optimizer`.
+"""
+
+from repro.core.optimizer import (
+    disable,
+    enable,
+    enabled,
+    optimize,
+    plan_cost,
+)
+
+__all__ = [
+    "disable",
+    "enable",
+    "enabled",
+    "optimize",
+    "plan_cost",
+]

@@ -3,14 +3,23 @@
 ``repro.plan.disable_fusion()`` is the documented escape hatch for
 running every operator through the eager per-chunk path; the
 implementation lives in :mod:`repro.core.plan`.
+
+This module re-exports the implementation's entire ``__all__`` — the
+drift-guard test in ``tests/core/test_plan_alias.py`` asserts the two
+stay identical.
 """
 
 from repro.core.plan import (
     ChunkPlan,
+    ChunkSource,
     DropEmpty,
+    ElementwiseSource,
     FilterKernel,
+    FoldedScalarKernel,
     MapValuesKernel,
     MaskAndKernel,
+    MaskApplySource,
+    RepackKernel,
     ScalarOpKernel,
     disable_fusion,
     enable_fusion,
@@ -19,10 +28,15 @@ from repro.core.plan import (
 
 __all__ = [
     "ChunkPlan",
+    "ChunkSource",
     "DropEmpty",
+    "ElementwiseSource",
     "FilterKernel",
+    "FoldedScalarKernel",
     "MapValuesKernel",
     "MaskAndKernel",
+    "MaskApplySource",
+    "RepackKernel",
     "ScalarOpKernel",
     "disable_fusion",
     "enable_fusion",

@@ -1,0 +1,318 @@
+"""Correctness tests for the cost-based logical rewrite optimizer.
+
+The contract: an optimized plan must be *byte-identical* — same chunk
+IDs, same modes, same payload bytes, same bitmask words — to lowering
+the recorded plan exactly as written (``repro.optimizer.disable()``),
+across randomized operator chains and all three execution backends.
+The rewrites only reorder/merge work; they never change what a chunk
+contains.
+"""
+
+import numpy as np
+import pytest
+
+from repro import optimizer, plan
+from repro.core import ArrayRDD
+from repro.core.optimizer import lower_count_valid
+from repro.engine import ClusterContext
+from repro.matrix import SpangleMatrix
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def make_array(ctx, shape=(40, 40), chunk=(10, 10), density=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.random(shape)
+    valid = rng.random(shape) < density
+    return ArrayRDD.from_numpy(ctx, data, chunk, valid=valid)
+
+
+def assert_byte_identical(got_arr, want_arr):
+    got_chunks = dict(got_arr.rdd.collect())
+    want_chunks = dict(want_arr.rdd.collect())
+    assert got_chunks.keys() == want_chunks.keys()
+    for chunk_id, got in got_chunks.items():
+        want = want_chunks[chunk_id]
+        assert got.mode is want.mode, chunk_id
+        assert got.num_cells == want.num_cells
+        assert got.payload.dtype == want.payload.dtype
+        assert got.payload.tobytes() == want.payload.tobytes(), chunk_id
+        assert np.array_equal(got.flat_mask().words,
+                              want.flat_mask().words), chunk_id
+
+
+def random_chain(meta, rng):
+    """2-8 random ops mixing chunk-local work, shuffles, and subarrays."""
+    ops = []
+    for _ in range(rng.integers(2, 9)):
+        kind = rng.choice(
+            ["filter", "map", "subarray", "scalar", "shuffle", "repack"])
+        if kind == "filter":
+            modulus = int(rng.integers(3, 6))
+            ops.append(lambda a, m=modulus: a.filter(
+                lambda xs: (np.floor(np.abs(xs) * 1e5) % m) > 0))
+        elif kind == "map":
+            shift = float(rng.uniform(-1, 1))
+            ops.append(lambda a, s=shift: a.map_values(
+                lambda xs: xs * 0.5 + s))
+        elif kind == "subarray":
+            lo = [int(rng.integers(0, n // 2)) for n in meta.shape]
+            hi = [int(rng.integers(n // 2, n)) for n in meta.shape]
+            ops.append(lambda a, lo=tuple(lo), hi=tuple(hi):
+                       a.subarray(lo, hi))
+        elif kind == "scalar":
+            scalar = float(rng.uniform(0.5, 2.0))
+            apply = rng.choice([
+                lambda a, s=scalar: a * s,
+                lambda a, s=scalar: s + a,
+                lambda a, s=scalar: s - a,
+                lambda a, s=scalar: a / s,
+            ])
+            ops.append(apply)
+        elif kind == "shuffle":
+            parts = int(rng.integers(2, 7))
+            ops.append(lambda a, p=parts: a.repartition(p))
+        else:
+            ops.append(lambda a: a.repack())
+    return ops
+
+
+def apply_chain(arr, ops):
+    for op in ops:
+        arr = op(arr)
+    return arr
+
+
+class TestRandomizedChains:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_optimized_matches_as_written(self, ctx, seed):
+        arr = make_array(ctx, seed=seed)
+        ops = random_chain(arr.meta, np.random.default_rng(1000 + seed))
+        optimized = apply_chain(arr, ops)
+        with optimizer.disable():
+            as_written = apply_chain(arr, ops)
+            want = dict(as_written.rdd.collect())
+        got_arr = apply_chain(arr, ops)
+        got = dict(got_arr.rdd.collect())
+        assert got.keys() == want.keys()
+        for chunk_id, chunk in got.items():
+            assert chunk.payload.tobytes() == \
+                want[chunk_id].payload.tobytes(), chunk_id
+            assert np.array_equal(chunk.flat_mask().words,
+                                  want[chunk_id].flat_mask().words)
+        # the first plan was recorded before disable(): lowering it now
+        # (optimizer back on) must agree too
+        assert dict(optimized.rdd.collect()).keys() == want.keys()
+
+    @pytest.mark.parametrize("kwargs", [
+        pytest.param({}, id="serial"),
+        pytest.param({"use_threads": True}, id="thread"),
+        pytest.param({"backend": "process"}, id="process"),
+    ])
+    def test_byte_identity_across_backends(self, kwargs):
+        with ClusterContext(num_executors=2, **kwargs) as ctx:
+            arr = make_array(ctx, shape=(24, 24), chunk=(8, 8), seed=3)
+            ops = random_chain(arr.meta, np.random.default_rng(42))
+            got = apply_chain(arr, ops)
+            with optimizer.disable():
+                want = apply_chain(arr, ops)
+                assert_byte_identical(got, want)
+
+    @pytest.mark.parametrize("density", [0.9, 0.2, 0.002])
+    def test_densities(self, ctx, density):
+        arr = make_array(ctx, shape=(64, 64), chunk=(32, 32),
+                         density=density, seed=7)
+        chain = (arr * 2.0 + 1.0).repartition(3).subarray((5, 5), (50, 50))
+        with optimizer.disable():
+            want = (arr * 2.0 + 1.0).repartition(3) \
+                .subarray((5, 5), (50, 50))
+            assert_byte_identical(chain, want)
+
+
+class TestSubarrayAfterShuffle:
+    def test_pushdown_is_byte_identical(self, ctx):
+        arr = make_array(ctx, shape=(48, 48), chunk=(12, 12), seed=5)
+        got = arr.repartition(8).subarray((2, 2), (13, 13))
+        with optimizer.disable():
+            want = arr.repartition(8).subarray((2, 2), (13, 13))
+            assert_byte_identical(got, want)
+
+    def test_rule_fires_and_prunes(self, ctx):
+        arr = make_array(ctx, shape=(48, 48), chunk=(12, 12), seed=5)
+        chain = arr.repartition(8).subarray((2, 2), (13, 13))
+        text = chain.explain(optimized=True)
+        assert "push_below_shuffle" in text
+        assert "chunks pruned" in text
+        before = ctx.metrics.snapshot()
+        chain.rdd.count()
+        after = ctx.metrics.snapshot()
+        assert after.optimizer_rules_fired > before.optimizer_rules_fired
+        assert after.optimizer_chunks_pruned > before.optimizer_chunks_pruned
+
+    def test_shuffle_moves_fewer_bytes(self, ctx):
+        arr = make_array(ctx, shape=(48, 48), chunk=(12, 12), seed=5)
+        before = ctx.metrics.snapshot()
+        arr.repartition(8).subarray((2, 2), (13, 13)).rdd.count()
+        mid = ctx.metrics.snapshot()
+        with optimizer.disable():
+            arr.repartition(8).subarray((2, 2), (13, 13)).rdd.count()
+        after = ctx.metrics.snapshot()
+        optimized_bytes = mid.shuffle_bytes - before.shuffle_bytes
+        as_written_bytes = after.shuffle_bytes - mid.shuffle_bytes
+        assert optimized_bytes < as_written_bytes
+
+
+class TestMaskOnlyConsumers:
+    def test_count_valid_skips_value_work(self, ctx):
+        arr = make_array(ctx, shape=(40, 40), chunk=(10, 10), seed=11)
+        chain = (arr * 3.0).map_values(lambda xs: xs + 1) \
+            .subarray((3, 3), (18, 18))
+        with optimizer.disable():
+            want = (arr * 3.0).map_values(lambda xs: xs + 1) \
+                .subarray((3, 3), (18, 18)).count_valid()
+        assert chain.count_valid() == want
+
+    def test_mask_only_count_prunes_chunks(self, ctx):
+        arr = make_array(ctx, shape=(40, 40), chunk=(10, 10), seed=11)
+        before = ctx.metrics.snapshot()
+        (arr * 3.0).subarray((0, 0), (9, 9)).count_valid()
+        after = ctx.metrics.snapshot()
+        # 16 chunks, the box covers 1: 15 pruned by the mask-only path
+        assert after.optimizer_chunks_pruned - \
+            before.optimizer_chunks_pruned >= 15
+
+    def test_filter_blocks_mask_only_path(self, ctx):
+        # a filter changes validity, so the shortcut must not engage
+        arr = make_array(ctx, seed=13)
+        node = arr.filter(lambda xs: xs > 0.5)._logical
+        assert lower_count_valid(node, ctx) is None
+        with optimizer.disable():
+            want = arr.filter(lambda xs: xs > 0.5).count_valid()
+        assert arr.filter(lambda xs: xs > 0.5).count_valid() == want
+
+    def test_nested_subarrays(self, ctx):
+        arr = make_array(ctx, seed=17)
+        got = arr.subarray((0, 0), (25, 25)).subarray((4, 4), (30, 30))
+        with optimizer.disable():
+            want = arr.subarray((0, 0), (25, 25)) \
+                .subarray((4, 4), (30, 30))
+            assert got.count_valid() == want.count_valid()
+            assert_byte_identical(got, want)
+
+
+class TestElementwisePushdown:
+    def test_subarray_into_both_operands(self, ctx):
+        a = make_array(ctx, seed=21)
+        b = make_array(ctx, seed=22)
+        got = a.combine(b, np.add, how="or", fill=0.0) \
+            .subarray((2, 2), (17, 17))
+        with optimizer.disable():
+            want = a.combine(b, np.add, how="or", fill=0.0) \
+                .subarray((2, 2), (17, 17))
+            assert_byte_identical(got, want)
+        assert "subarray_into_elementwise" in got.explain(optimized=True)
+
+    def test_and_join(self, ctx):
+        a = make_array(ctx, seed=23)
+        b = make_array(ctx, seed=24)
+        got = a.combine(b, np.multiply, how="and") \
+            .subarray((5, 5), (30, 30))
+        with optimizer.disable():
+            want = a.combine(b, np.multiply, how="and") \
+                .subarray((5, 5), (30, 30))
+            assert_byte_identical(got, want)
+
+
+class TestMatmulPushdown:
+    def make_matrices(self, ctx):
+        rng = np.random.default_rng(31)
+        a = rng.random((24, 16)) * (rng.random((24, 16)) < 0.5)
+        b = rng.random((16, 24)) * (rng.random((16, 24)) < 0.5)
+        ma = SpangleMatrix.from_numpy(ctx, a, (8, 8))
+        mb = SpangleMatrix.from_numpy(ctx, b, (8, 8))
+        return ma, mb
+
+    def test_restricted_product_is_byte_identical(self, ctx):
+        ma, mb = self.make_matrices(ctx)
+        got = ma.multiply(mb).array.subarray((0, 0), (7, 7))
+        with optimizer.disable():
+            ma2, mb2 = self.make_matrices(ctx)
+            want = ma2.multiply(mb2).array.subarray((0, 0), (7, 7))
+            assert_byte_identical(got, want)
+
+    def test_unrestricted_product_unchanged(self, ctx):
+        ma, mb = self.make_matrices(ctx)
+        got = ma.multiply(mb)
+        with optimizer.disable():
+            ma2, mb2 = self.make_matrices(ctx)
+            want = ma2.multiply(mb2)
+            assert_byte_identical(got.array, want.array)
+
+
+class TestEscapeHatchAndExplain:
+    def test_disable_is_restored(self, ctx):
+        assert optimizer.enabled()
+        with optimizer.disable():
+            assert not optimizer.enabled()
+            with optimizer.enable():
+                assert optimizer.enabled()
+            assert not optimizer.enabled()
+        assert optimizer.enabled()
+
+    def test_disable_lowers_as_written(self, ctx):
+        arr = make_array(ctx, seed=41)
+        chain = arr.repartition(4).subarray((0, 0), (9, 9))
+        with optimizer.disable():
+            text = chain.explain(optimized=True)
+        assert "0 rules fired: none" in text
+        assert chain.explain(optimized=True).count("push_below_shuffle")
+
+    def test_explain_sections(self, ctx):
+        arr = make_array(ctx, seed=43)
+        chain = (arr * 2.0 + 1.0).subarray((0, 0), (19, 19))
+        text = chain.explain(optimized=True)
+        assert "Logical plan:" in text
+        assert "Optimized plan" in text
+        assert "Physical plan:" in text
+        assert "fold_scalars" in text
+        plain = chain.explain()
+        assert "Optimized plan" not in plain
+
+    def test_explain_does_not_compile(self, ctx):
+        arr = make_array(ctx, seed=47)
+        chain = arr.repartition(3).subarray((0, 0), (9, 9))
+        chain.explain(optimized=True)
+        assert chain._compiled is None
+
+    def test_mask_rdd_explain(self, ctx):
+        from repro.core import MaskRDD
+
+        arr = make_array(ctx, seed=53)
+        mask = MaskRDD.from_array_rdd(arr).subarray((0, 0), (19, 19))
+        text = mask.explain()
+        assert "subarray[(0, 0)..(19, 19)]" in text
+        assert "Physical plan:" in text
+
+    def test_no_beneficial_rewrite_leaves_plan_alone(self, ctx):
+        arr = make_array(ctx, seed=59)
+        chain = arr.map_values(lambda xs: xs * 2)
+        text = chain.explain(optimized=True)
+        assert "0 rules fired: none" in text
+
+
+class TestScalarFolding:
+    def test_long_scalar_chain_folds_and_matches(self, ctx):
+        arr = make_array(ctx, seed=61)
+        got = ((arr * 2.0 + 1.0) / 3.0 - 0.5) * 1.5
+        with optimizer.disable():
+            want = ((arr * 2.0 + 1.0) / 3.0 - 0.5) * 1.5
+            assert_byte_identical(got, want)
+        assert "fold_scalars" in got.explain(optimized=True)
+
+    def test_fold_runs_single_kernel(self, ctx):
+        arr = make_array(ctx, seed=67)
+        text = (arr * 2.0 + 1.0 - 3.0).explain(optimized=True)
+        assert "fold[mul+add+sub]" in text

@@ -1,0 +1,36 @@
+"""Drift guard: repro.plan must re-export everything repro.core.plan does.
+
+The public alias exists so user code (and the docs) can write
+``repro.plan.disable_fusion()`` without reaching into ``repro.core``.
+It has historically lagged the implementation module — RepackKernel,
+MaskApplySource and ElementwiseSource were all added to core.plan
+without updating the alias — so this test compares the two modules
+name-by-name instead of trusting a hand-maintained list.
+"""
+
+from repro import plan as public_plan
+from repro.core import plan as core_plan
+
+
+class TestPlanAliasSync:
+    def test_all_matches_implementation_module(self):
+        assert set(public_plan.__all__) == set(core_plan.__all__), (
+            "repro.plan.__all__ drifted from repro.core.plan.__all__; "
+            "update src/repro/plan.py"
+        )
+
+    def test_every_name_is_the_same_object(self):
+        for name in core_plan.__all__:
+            assert getattr(public_plan, name) is getattr(core_plan, name), (
+                f"repro.plan.{name} is not the repro.core.plan object"
+            )
+
+    def test_all_is_sorted_and_unique(self):
+        names = list(public_plan.__all__)
+        assert names == sorted(set(names))
+
+    def test_known_late_additions_are_present(self):
+        # the three names whose absence motivated this guard
+        for name in ("RepackKernel", "MaskApplySource", "ElementwiseSource"):
+            assert hasattr(public_plan, name)
+            assert name in public_plan.__all__

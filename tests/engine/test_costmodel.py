@@ -1,0 +1,69 @@
+"""Unit tests for ClusterCostModel's plan-pricing helpers.
+
+scan_seconds/shuffle_seconds price candidate logical plans for the
+rewrite optimizer (repro.core.optimizer) before any task runs, so they
+must be well-behaved on estimates: monotone in bytes, zero at zero,
+and density-scaled the way sparse chunks actually are.
+"""
+
+import pytest
+
+from repro.engine.costmodel import ClusterCostModel
+
+
+@pytest.fixture
+def model():
+    return ClusterCostModel()
+
+
+class TestScanSeconds:
+    def test_zero_and_negative_bytes_cost_nothing(self, model):
+        assert model.scan_seconds(0) == 0.0
+        assert model.scan_seconds(-100) == 0.0
+
+    def test_monotone_in_bytes(self, model):
+        costs = [model.scan_seconds(n) for n in (1, 10, 1000, 10**9)]
+        assert costs == sorted(costs)
+        assert costs[0] > 0.0
+
+    def test_density_scales_linearly(self, model):
+        full = model.scan_seconds(10**6, density=1.0)
+        half = model.scan_seconds(10**6, density=0.5)
+        hundredth = model.scan_seconds(10**6, density=0.01)
+        assert half == pytest.approx(full / 2)
+        assert hundredth == pytest.approx(full / 100)
+
+    def test_density_is_clamped(self, model):
+        assert model.scan_seconds(10**6, density=2.0) == \
+            model.scan_seconds(10**6, density=1.0)
+        assert model.scan_seconds(10**6, density=-0.5) == 0.0
+
+    def test_uses_recompute_bandwidth(self):
+        fast = ClusterCostModel(recompute_bandwidth_bytes_s=2e9)
+        slow = ClusterCostModel(recompute_bandwidth_bytes_s=1e9)
+        assert fast.scan_seconds(10**6) == \
+            pytest.approx(slow.scan_seconds(10**6) / 2)
+
+
+class TestShuffleSeconds:
+    def test_zero_bytes_zero_tasks_cost_nothing(self, model):
+        assert model.shuffle_seconds(0, num_tasks=0) == 0.0
+
+    def test_monotone_in_bytes(self, model):
+        costs = [model.shuffle_seconds(n) for n in (1, 10**3, 10**6, 10**9)]
+        assert costs == sorted(costs)
+
+    def test_tasks_add_launch_overhead(self, model):
+        base = model.shuffle_seconds(10**6, num_tasks=0)
+        with_tasks = model.shuffle_seconds(10**6, num_tasks=8)
+        assert with_tasks == pytest.approx(
+            base + 8 * model.task_overhead_s)
+
+    def test_negative_inputs_are_clamped(self, model):
+        assert model.shuffle_seconds(-5, num_tasks=-3) == 0.0
+
+    def test_network_slower_than_scan(self, model):
+        # the whole point of pushdown: moving a byte costs more than
+        # scanning it, so plans that shuffle less always price lower
+        n = 10**7
+        assert model.shuffle_seconds(n) > model.scan_seconds(n)
