@@ -11,6 +11,10 @@ Commands:
 - ``trace``     — replay a saved ``*.trace.jsonl`` event log into a
   stage-breakdown report (``profile`` is an alias); ``--chrome OUT``
   additionally re-exports the log in Chrome ``trace_event`` format.
+- ``top``       — live terminal dashboard over the telemetry plane:
+  pass a ``http://...`` endpoint (from ``ctx.serve_telemetry()``) to
+  poll live, or a recorded ``*.telemetry.jsonl`` to replay; sparkline
+  series for memory/tasks/shuffle, per-worker rows, health events.
 """
 
 from __future__ import annotations
@@ -163,6 +167,13 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.engine.top import run_top
+
+    return run_top(args.source, interval=args.interval,
+                   once=args.once, replay=args.replay)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
         trace.add_argument("--executors", type=int, default=None,
                            help="override executor count for the "
                                 "utilization report")
+    top = subparsers.add_parser(
+        "top", help="live telemetry dashboard (endpoint or JSONL)")
+    top.add_argument("source",
+                     help="a live http://host:port telemetry endpoint "
+                          "or a recorded *.telemetry.jsonl file")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period for live endpoints (s)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--replay", action="store_true",
+                     help="non-interactive replay of a recorded file "
+                          "(single final frame; the CI smoke mode)")
     return parser
 
 
@@ -202,6 +225,7 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "profile": _cmd_trace,
+        "top": _cmd_top,
     }
     if args.command is None:
         parser.print_help()

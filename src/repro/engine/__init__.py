@@ -31,6 +31,11 @@ slice of Spark that Spangle needs, in pure Python:
   :mod:`repro.engine.closure` (lambdas ship by value) and shuffle
   blocks / cached chunks exchanged zero-copy through
   ``multiprocessing`` shared memory (:mod:`repro.engine.shm`).
+- :mod:`repro.engine.telemetry` — the continuous telemetry plane
+  (``ClusterContext(telemetry=True)``): a background sampler feeding a
+  bounded time-series store, threshold-rule health monitoring, and
+  Prometheus / JSON / JSONL exporters (``ctx.serve_telemetry()``);
+  :mod:`repro.engine.top` renders it as the ``repro top`` dashboard.
 """
 
 from repro.engine.batches import (
@@ -52,6 +57,15 @@ from repro.engine.storage import (
     LRUEviction,
     StorageLevel,
 )
+from repro.engine.telemetry import (
+    HealthMonitor,
+    HealthReport,
+    TelemetrySampler,
+    TelemetryServer,
+    TimeSeriesStore,
+    WorkerHeartbeats,
+    prometheus_text,
+)
 from repro.engine.tracing import JobProfile, Span, Tracer
 
 __all__ = [
@@ -61,6 +75,8 @@ __all__ = [
     "CostAwareEviction",
     "CostReport",
     "ExecutorPool",
+    "HealthMonitor",
+    "HealthReport",
     "LRUEviction",
     "HashPartitioner",
     "JobProfile",
@@ -74,9 +90,14 @@ __all__ = [
     "StageScheduler",
     "StageTiming",
     "StorageLevel",
+    "TelemetrySampler",
+    "TelemetryServer",
+    "TimeSeriesStore",
     "Tracer",
+    "WorkerHeartbeats",
     "columnar_enabled",
     "disable_columnar",
     "enable_columnar",
     "memory_report",
+    "prometheus_text",
 ]

@@ -24,6 +24,17 @@ from dataclasses import dataclass, field
 
 from repro.engine.rdd import RDD, CoGroupedRDD, ShuffledRDD
 
+#: engine counters these reports surface beyond the ledger lines —
+#: every name must exist in metrics.COUNTER_FIELDS (drift-guarded by
+#: tests/engine/test_metrics.py) so the reports, the telemetry plane,
+#: and the registry agree on one source of truth
+REPORT_COUNTERS = (
+    "optimizer_rules_fired",
+    "optimizer_chunks_pruned",
+    "worker_respawns",
+    "shm_bytes_mapped",
+)
+
 
 @dataclass
 class Stage:
@@ -109,14 +120,18 @@ def fused_pipelines(rdd: RDD) -> list:
     return labels
 
 
-def stage_breakdown(stage_timings, task_times=None) -> str:
+def stage_breakdown(stage_timings, task_times=None,
+                    counters=None) -> str:
     """A printable table of executed-stage wall times.
 
     ``stage_timings`` is a sequence of
     :class:`~repro.engine.metrics.StageTiming` — typically
     ``MetricsRegistry.stage_timings`` or the ``stage_timings`` captured
     by ``ClusterContext.measure``. When ``task_times`` is given, a
-    task-duration histogram line is appended.
+    task-duration histogram line is appended. When ``counters`` is
+    given (a :class:`~repro.engine.metrics.MetricsSnapshot` or its
+    ``as_dict()``), the :data:`REPORT_COUNTERS` that moved — optimizer
+    rewrites, worker respawns, shm traffic — are appended too.
     """
     if not stage_timings:
         return "(no stages executed)"
@@ -140,6 +155,14 @@ def stage_breakdown(stage_timings, task_times=None) -> str:
             f"[{lo * 1e3:.2f}-{hi * 1e3:.2f}ms]x{count}"
             for lo, hi, count in histogram if count)
         lines.append(f"  task times: {buckets}")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            counters = counters.as_dict()
+        moved = [(name, counters.get(name, 0))
+                 for name in REPORT_COUNTERS if counters.get(name, 0)]
+        if moved:
+            lines.append("  counters: " + "   ".join(
+                f"{name}: {value:,}" for name, value in moved))
     return "\n".join(lines)
 
 
@@ -150,7 +173,10 @@ def memory_report(context) -> str:
     budget, block counts), the spill tier (blocks on disk and their
     encoded bytes), and the adaptive-memory counters — evictions,
     spills, reloads, and density repacking (``chunks_repacked`` /
-    ``repack_bytes_saved``). Contexts with a shared-memory plane (the
+    ``repack_bytes_saved``) — plus the logical-optimizer counters
+    (``optimizer_rules_fired`` / ``optimizer_chunks_pruned``), so this
+    report and the telemetry gauges read the same
+    :data:`REPORT_COUNTERS`. Contexts with a shared-memory plane (the
     process backend's block-exchange tier) add a line accounting for
     shm residency: live segments and their bytes, segments created and
     bytes mapped over the context's lifetime, and worker respawns.
@@ -171,6 +197,8 @@ def memory_report(context) -> str:
         f"reloads: {counters.cache_reloads}",
         f"  chunks_repacked: {counters.chunks_repacked}   "
         f"repack_bytes_saved: {counters.repack_bytes_saved:,} B",
+        f"  optimizer_rules_fired: {counters.optimizer_rules_fired}   "
+        f"optimizer_chunks_pruned: {counters.optimizer_chunks_pruned}",
     ]
     registry = getattr(context, "shm_registry", None)
     if registry is not None:

@@ -65,6 +65,11 @@ class ExecutorPool:
         self._lock = threading.Lock()
         self._active = 0
         self._broken = False
+        # task-level occupancy gauges for the telemetry sampler:
+        # _queued counts submitted-but-not-started tasks, _running
+        # counts tasks currently on an executor thread
+        self._queued = 0
+        self._running = 0
 
     @property
     def started(self) -> bool:
@@ -87,6 +92,26 @@ class ExecutorPool:
         """Whether the calling thread is one of this pool's executors."""
         return threading.current_thread().name.startswith(self._prefix)
 
+    def busy_threads(self) -> int:
+        """Executor threads currently running a task."""
+        with self._lock:
+            return self._running
+
+    def queued_tasks(self) -> int:
+        """Tasks submitted but not yet started (queue depth)."""
+        with self._lock:
+            return self._queued
+
+    def gauges(self) -> dict:
+        """Occupancy in one lock acquisition (telemetry hook)."""
+        with self._lock:
+            return {
+                "busy_threads": self._running,
+                "queued_tasks": self._queued,
+                "active_jobs": self._active,
+                "num_workers": self.num_workers,
+            }
+
     def map_tasks(self, func, items) -> list:
         """``[func(item) for item in items]``, tasks running concurrently.
 
@@ -100,11 +125,28 @@ class ExecutorPool:
         if len(items) <= 1 or self.in_worker():
             return [func(item) for item in items]
         executor = self._ensure()
+
+        def run_gauged(item):
+            # queued -> running on start; running -> done in finally
+            with self._lock:
+                self._queued -= 1
+                self._running += 1
+            try:
+                return func(item)
+            finally:
+                with self._lock:
+                    self._running -= 1
+
         with self._lock:
             self._active += 1
+            self._queued += len(items)
+        submitted = 0
         try:
             try:
-                futures = [executor.submit(func, item) for item in items]
+                futures = []
+                for item in items:
+                    futures.append(executor.submit(run_gauged, item))
+                    submitted += 1
             except RuntimeError as exc:
                 # the executor was shut down between _ensure and submit
                 raise RuntimeError(
@@ -127,8 +169,14 @@ class ExecutorPool:
                 raise first_error
             return results
         finally:
+            # tasks that never started (cancelled, or never submitted)
+            # never passed through run_gauged — reconcile the gauge
+            never_started = len(items) - submitted
+            never_started += sum(1 for future in futures
+                                 if future.cancelled())
             with self._lock:
                 self._active -= 1
+                self._queued -= never_started
 
     def shutdown(self) -> None:
         with self._lock:

@@ -410,6 +410,14 @@ class SharedSegmentRegistry:
         with self._lock:
             return sum(self._segments.values())
 
+    def gauges(self) -> dict:
+        """Live-segment count and bytes in one lock (telemetry hook)."""
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "resident_bytes": sum(self._segments.values()),
+            }
+
     def shutdown(self) -> None:
         """Unlink every owned segment and sweep prefix stragglers.
 

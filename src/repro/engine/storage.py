@@ -194,6 +194,28 @@ class CacheManager:
         with self._lock:
             return len(self._spilled)
 
+    def gauges(self) -> dict:
+        """The whole ledger in one lock acquisition (telemetry hook).
+
+        ``pressure`` is resident bytes over the budget (0.0 when
+        unbounded) — the eviction-pressure gauge the health monitor's
+        high-watermark rule reads.
+        """
+        with self._lock:
+            resident = self._used_bytes
+            spilled = sum(block.nbytes for block in
+                          self._spilled.values())
+            gauges = {
+                "resident_bytes": resident,
+                "spilled_bytes": spilled,
+                "blocks": len(self._blocks),
+                "spilled_blocks": len(self._spilled),
+                "budget_bytes": self._budget_bytes or 0,
+            }
+        budget = self._budget_bytes
+        gauges["pressure"] = resident / budget if budget else 0.0
+        return gauges
+
     # ------------------------------------------------------------------
     # spill tier
     # ------------------------------------------------------------------

@@ -44,9 +44,11 @@ import json
 import threading
 import time
 
-#: span kinds, from the coarse to the annotated
+#: span kinds, from the coarse to the annotated; "health" spans are
+#: zero-duration warning events bridged in by the telemetry plane's
+#: HealthMonitor (repro.engine.telemetry)
 SPAN_KINDS = ("job", "stage", "task", "shuffle", "checkpoint",
-              "broadcast", "cache", "plan")
+              "broadcast", "cache", "plan", "health")
 
 #: kinds that behave like an executed stage in a profile/breakdown
 STAGE_LIKE_KINDS = ("stage", "shuffle", "checkpoint")

@@ -66,6 +66,52 @@ class TestWorkerDeath:
         assert leaked_segments(prefix) == []
         assert os.listdir(spill_dir) == []
 
+    def test_missed_heartbeat_event_precedes_respawn(self, tmp_path):
+        """A SIGKILLed worker must yield a missed-heartbeat health
+        event strictly before its respawn: the event is emitted in the
+        crash handler ahead of ``record_worker_respawn()``, and the
+        respawn event follows it in the monitor's log."""
+        sentinel = str(tmp_path / "crash-once")
+        ctx = ClusterContext(num_executors=2, backend="process",
+                             task_retries=3)
+        pids_before = set(ctx.worker_heartbeats.rows())
+        assert len(pids_before) == 2  # registered at fork time
+        killer = _KillOnFirstAttempt(sentinel)
+        got = sorted(ctx.parallelize(range(40), 4).map(killer).collect())
+        assert got == list(range(40))
+
+        rules = [event.rule for event in ctx.health_monitor.events()]
+        assert "worker_heartbeat_missed" in rules
+        assert "worker_respawn" in rules
+        assert rules.index("worker_heartbeat_missed") \
+            < rules.index("worker_respawn")
+        missed = [event for event in ctx.health_monitor.events()
+                  if event.rule == "worker_heartbeat_missed"]
+        # every blamed corpse is identified by pid and was a registered
+        # worker (the broken pool's teardown may take the sibling too)
+        assert missed and all(event.attrs.get("pid") in pids_before
+                              for event in missed)
+        assert ctx.metrics.snapshot().worker_respawns >= 1
+        # the whole old generation was forgotten (the survivors died
+        # with the torn-down executor — they must not read as crashes),
+        # so the ledger holds only live replacements and health recovers
+        rows = ctx.worker_heartbeats.rows()
+        assert not pids_before & set(rows)
+        assert rows and all(row["alive"] for row in rows.values())
+        # health() re-evaluates the rules (telemetry is off here), so
+        # the crash condition clears once the pool has recovered
+        assert ctx.health().status == "ok"
+        ctx.shutdown()
+
+    def test_task_replies_beat_the_heartbeat_ledger(self):
+        with ClusterContext(num_executors=2, backend="process") as ctx:
+            ctx.parallelize(range(100), 4).map(lambda x: x + 1).collect()
+            rows = ctx.worker_heartbeats.rows()
+            assert sum(row["tasks"] for row in rows.values()) >= 4
+            beaten = [row for row in rows.values() if row["tasks"]]
+            assert beaten and all(row["last_task_s"] is not None
+                                  for row in beaten)
+
     def test_crash_with_no_retries_surfaces(self, tmp_path):
         from repro.errors import TaskFailure
 
