@@ -49,7 +49,12 @@ from repro.core import (
 )
 from repro.engine import ClusterContext, StorageLevel
 from repro.errors import SpangleError
-from repro.matrix import SpangleMatrix, SpangleVector
+from repro.matrix import (
+    SpangleMatrix,
+    SpangleVector,
+    set_sparse_threshold,
+    sparse_config,
+)
 from repro.ml import (
     BitmaskGraph,
     DistributedSamples,
@@ -80,5 +85,7 @@ __all__ = [
     "optimizer",
     "pagerank",
     "plan",
+    "set_sparse_threshold",
+    "sparse_config",
     "__version__",
 ]

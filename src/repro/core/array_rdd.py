@@ -285,6 +285,11 @@ def _chunk_valid_count(kv) -> int:
     return kv[1].valid_count
 
 
+def _partition_valid_count(records) -> list:
+    """One total of valid cells per partition (for nnz_by_partition)."""
+    return [sum(chunk.valid_count for _cid, chunk in records)]
+
+
 def _chunk_nbytes(kv) -> int:
     return kv[1].nbytes
 
@@ -592,6 +597,52 @@ class ArrayRDD:
     def repartition(self, num_partitions: int) -> "ArrayRDD":
         """Hash-redistribute into ``num_partitions`` partitions."""
         return self.partition_by(HashPartitioner(int(num_partitions)))
+
+    def partition_by_nnz(self, num_partitions=None) -> "ArrayRDD":
+        """Redistribute so per-partition *valid cells* balance.
+
+        Packs chunk IDs into partitions by their valid counts (greedy
+        LPT via :class:`~repro.engine.partitioner
+        .NnzBalancedPartitioner`) using the plan's exact per-chunk
+        stats. Falls back to plain hash repartitioning when the
+        recorded plan cannot supply them (e.g. an estimate-only op
+        intervenes). The planned loads land in the context's
+        ``nnz_stats``, so ``repro top`` and ``/metrics`` show the
+        resulting ``nnz.imbalance`` immediately.
+        """
+        from repro.core.logical import estimate as estimate_node
+        from repro.engine.partitioner import NnzBalancedPartitioner
+
+        if num_partitions is None:
+            num_partitions = self.context.default_parallelism
+        num_partitions = int(num_partitions)
+        est = estimate_node(self._logical)
+        if not est.per_chunk:
+            return self.repartition(num_partitions)
+        weights = {int(cid): float(count)
+                   for cid, count in est.per_chunk.items()}
+        partitioner = NnzBalancedPartitioner.from_weights(
+            weights, num_partitions)
+        stats = getattr(self.context, "nnz_stats", None)
+        if stats is not None:
+            stats.record("partition_by_nnz",
+                         partitioner.partition_loads(weights))
+        return self.partition_by(partitioner)
+
+    def nnz_by_partition(self) -> np.ndarray:
+        """Measured valid cells per partition (an action).
+
+        The ground truth the planned loads of :meth:`partition_by_nnz`
+        approximate; also records the measurement into the context's
+        ``nnz_stats`` gauge source.
+        """
+        rdd = self.rdd
+        counts = rdd.map_partitions(_partition_valid_count).collect()
+        loads = np.asarray(counts, dtype=float)
+        stats = getattr(self.context, "nnz_stats", None)
+        if stats is not None and loads.size:
+            stats.record("measured", loads)
+        return loads
 
     def combine(self, other: "ArrayRDD", op, how: str = "and",
                 fill=0) -> "ArrayRDD":

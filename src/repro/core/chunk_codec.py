@@ -170,6 +170,85 @@ def probe_chunks_for_spill(values):
     return probe_chunks(values, byte_limit=None)
 
 
+class OffsetChunkValues:
+    """A packed column of offset-encoded chunks.
+
+    An :class:`~repro.matrix.offsets.OffsetArrayChunk` is two flat
+    arrays plus a cell count, so a bucket of them ships as three
+    buffers. Rebuilding goes through the constructor: the offsets are
+    already sorted, the stable argsort is the identity, and the rebuilt
+    chunk pickles identically to the original.
+    """
+
+    __slots__ = ("num_cells", "offsets", "payload")
+
+    def __init__(self, num_cells: np.ndarray, offsets: ArrayValues,
+                 payload: ArrayValues):
+        self.num_cells = num_cells      # int64
+        self.offsets = offsets          # one flat int64 buffer
+        self.payload = payload          # one flat value buffer
+
+    def __len__(self) -> int:
+        return self.num_cells.size
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.num_cells.nbytes) + self.offsets.nbytes \
+            + self.payload.nbytes
+
+    def unpack(self) -> list:
+        chunk_type = _STATE["offset_type"]
+        offset_runs = self.offsets.unpack()
+        payloads = self.payload.unpack()
+        return [chunk_type(int(self.num_cells[i]), offset_runs[i],
+                           payloads[i])
+                for i in range(self.num_cells.size)]
+
+    def gather(self, idx: np.ndarray) -> "OffsetChunkValues":
+        return OffsetChunkValues(self.num_cells[idx],
+                                 self.offsets.gather(idx),
+                                 self.payload.gather(idx))
+
+
+def probe_offset_chunks(values, byte_limit=VALUE_PACK_BYTE_LIMIT):
+    """``OffsetChunkValues`` for a uniform offset-chunk column, or None.
+
+    Inert until :func:`register_offset_chunks` installs the concrete
+    chunk type (the matrix layer owns it; this module never imports up).
+    """
+    chunk_type = _STATE["offset_type"]
+    if chunk_type is None or type(values[0]) is not chunk_type:
+        return None
+    dtype = values[0].payload.dtype
+    if dtype.hasobject:
+        return None
+    num_cells = np.empty(len(values), dtype=np.int64)
+    offset_runs = []
+    payloads = []
+    total_bytes = 0
+    for i, chunk in enumerate(values):
+        if type(chunk) is not chunk_type:
+            return None
+        payload = chunk.payload
+        if (type(payload) is not np.ndarray or payload.dtype != dtype
+                or payload.ndim != 1):
+            return None
+        num_cells[i] = chunk.num_cells
+        offset_runs.append(chunk.indices())
+        payloads.append(payload)
+        total_bytes += payload.nbytes + chunk.indices().nbytes
+    if (byte_limit is not None
+            and total_bytes >= byte_limit * len(values)):
+        return None
+    return OffsetChunkValues(num_cells, _flat_column(offset_runs),
+                             _flat_column(payloads))
+
+
+def probe_offset_chunks_for_spill(values):
+    """The spill-path probe: the offset codec with no byte limit."""
+    return probe_offset_chunks(values, byte_limit=None)
+
+
 def register() -> None:
     """Idempotently register the chunk codec with the engine."""
     if not _STATE["registered"]:
@@ -177,4 +256,21 @@ def register() -> None:
         _STATE["registered"] = True
 
 
-_STATE = {"registered": False}
+def register_offset_chunks(chunk_type) -> None:
+    """Install the OffsetArrayChunk type and register its codec.
+
+    Called by :mod:`repro.matrix.offsets` at import, mirroring how
+    ``repro.core.__init__`` registers the Chunk codec — the dependency
+    points upward, never from here into the matrix layer.
+    """
+    _STATE["offset_type"] = chunk_type
+    if not _STATE["offset_registered"]:
+        from repro.engine.spill import register_spill_codec
+
+        register_value_codec(probe_offset_chunks)
+        register_spill_codec(probe_offset_chunks_for_spill)
+        _STATE["offset_registered"] = True
+
+
+_STATE = {"registered": False, "offset_registered": False,
+          "offset_type": None}

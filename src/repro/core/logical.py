@@ -333,24 +333,60 @@ class MaskApplyOp(LogicalOp):
         return MaskApplyOp(children[0], self.mask)
 
 
+class MatmulExecPlan:
+    """Physical choices the optimizer attached to a :class:`MatmulOp`.
+
+    ``kernel`` is the forced block-pair representation (``"dense"`` /
+    ``"coo"`` / ``"csr"``); ``balance`` swaps the k-shuffle and gather
+    hash partitioners for nnz-balanced ones built from ``k_weights``
+    and ``gather_weights`` (per-key modeled work, measured from the
+    operands' per-chunk valid counts). The two imbalance figures are
+    the max/mean gather load ratios hash vs balanced placement would
+    produce — what the cost gate compared, and what ``explain``
+    surfaces.
+    """
+
+    __slots__ = ("kernel", "balance", "k_weights", "gather_weights",
+                 "imbalance_hash", "imbalance_nnz")
+
+    def __init__(self, kernel, balance, k_weights, gather_weights,
+                 imbalance_hash=1.0, imbalance_nnz=1.0):
+        self.kernel = kernel
+        self.balance = balance
+        self.k_weights = k_weights
+        self.gather_weights = gather_weights
+        self.imbalance_hash = imbalance_hash
+        self.imbalance_nnz = imbalance_nnz
+
+    def describe(self) -> str:
+        placement = (
+            f"nnz-balanced skew {self.imbalance_hash:.2f}"
+            f"->{self.imbalance_nnz:.2f}" if self.balance else "hash"
+        )
+        return f"kernel={self.kernel} placement={placement}"
+
+
 class MatmulOp(LogicalOp):
     """Distributed block matrix multiply of two SpangleMatrix operands.
 
     The operands stay driver-side matrix handles; their own pending
     logical plans lower when this node does. ``operands_restricted``
     marks that the pushdown rule already narrowed the operand sides, so
-    a fixpoint rewrite loop fires it at most once.
+    a fixpoint rewrite loop fires it at most once. ``exec_plan`` is the
+    optimizer's :class:`MatmulExecPlan` (kernel + placement), or None
+    for the density-gated default path.
     """
 
     name = "matmul"
 
     def __init__(self, left, right, local_join, meta,
-                 operands_restricted=False):
+                 operands_restricted=False, exec_plan=None):
         self.left = left
         self.right = right
         self.local_join = local_join
         self._meta = meta
         self.operands_restricted = operands_restricted
+        self.exec_plan = exec_plan
 
     @property
     def meta(self):
@@ -363,8 +399,10 @@ class MatmulOp(LogicalOp):
     def describe(self) -> str:
         kind = "local_join" if self.local_join else "shuffled"
         note = " operands_restricted" if self.operands_restricted else ""
+        plan = (f" {self.exec_plan.describe()}"
+                if self.exec_plan is not None else "")
         return (f"matmul[{kind} {self.left.shape}x{self.right.shape}"
-                f"{note}]")
+                f"{note}{plan}]")
 
     def with_children(self, children) -> "MatmulOp":
         return self
@@ -455,8 +493,17 @@ def estimate(node: LogicalOp) -> Estimate:
                         meta.num_chunks * meta.cells_per_chunk, meta)
     if isinstance(node, MatmulOp):
         meta = node.meta
+        left = estimate(node.children[0])
+        right = estimate(node.children[1])
+        # a cell of the product is nonzero unless all k contributions
+        # vanish: P(nonzero) = 1 - (1 - da·db)^k at independent operand
+        # densities (1.0 when both operands are dense or unknown)
+        k_dim = max(int(node.left.shape[1]), 1)
+        hit = min(left.density * right.density, 1.0)
+        out_density = 1.0 - (1.0 - hit) ** k_dim
         return Estimate(meta.num_chunks,
-                        meta.num_chunks * meta.cells_per_chunk * 0.5,
+                        meta.num_chunks * meta.cells_per_chunk
+                        * min(max(out_density, 0.0), 1.0),
                         meta)
     child = estimate(node.children[0])
     if isinstance(node, (MapOp, ScalarOp, FoldedScalarOp, RepackOp,

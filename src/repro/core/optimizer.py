@@ -34,6 +34,11 @@ Rule catalog
 - ``mask_only_aggregate`` — a validity-only consumer (``count_valid``)
   over value-only ops and restrictions skips every value kernel and
   counts straight off the bitmasks (the MaskRDD trick, generalized).
+- ``matmul_sparse_execution`` — a matmul over operands with exact
+  per-chunk stats gets a :class:`~repro.core.logical.MatmulExecPlan`:
+  the cheapest priced block kernel (dense / COO / CSR) and, when it
+  lowers the modeled gather skew, nnz-balanced shuffle placement in
+  place of hash.
 """
 
 from __future__ import annotations
@@ -155,6 +160,8 @@ def _node_cost(node, model) -> float:
                                           child.chunks)
         return cost
     if isinstance(node, MatmulOp):
+        from repro.matrix.multiply import matmul_stage_seconds
+
         left = estimate(node.children[0])
         right = estimate(node.children[1])
         cost = model.scan_seconds(left.dense_bytes + right.dense_bytes,
@@ -163,6 +170,10 @@ def _node_cost(node, model) -> float:
             cost += model.shuffle_seconds(
                 left.payload_bytes + right.payload_bytes,
                 left.chunks + right.chunks)
+        # the partial-product stage itself: kernel kind and placement
+        # skew, from the exec plan when one is attached, otherwise the
+        # gated-auto default under hash placement
+        cost += matmul_stage_seconds(node, model)
         out = estimate(node)
         return cost + model.shuffle_seconds(out.payload_bytes,
                                             out.chunks)
@@ -313,8 +324,21 @@ def _rule_subarray_into_matmul(node):
         (right.meta.starts[0], cols[0]),
         (right.meta.ends[0] - 1, cols[1])))
     restricted = MatmulOp(new_left, new_right, child.local_join,
-                          child.meta, operands_restricted=True)
+                          child.meta, operands_restricted=True,
+                          exec_plan=child.exec_plan)
     return SubarrayOp(restricted, node.lo, node.hi)
+
+
+def _rule_matmul_sparse_execution(node):
+    # attach a MatmulExecPlan (kernel kind + nnz-balanced placement)
+    # when the operands carry exact per-chunk stats; the cost gate
+    # keeps it only when the priced kernel/skew beats the gated-auto
+    # default under hash placement
+    if not isinstance(node, MatmulOp) or node.exec_plan is not None:
+        return None
+    from repro.matrix.multiply import plan_matmul_execution
+
+    return plan_matmul_execution(node)
 
 
 #: (name, rule) in application order — cheap structural simplifications
@@ -327,6 +351,7 @@ RULES = (
     ("subarray_into_elementwise", _rule_subarray_into_elementwise),
     ("subarray_below_mask_apply", _rule_subarray_below_mask_apply),
     ("subarray_into_matmul", _rule_subarray_into_matmul),
+    ("matmul_sparse_execution", _rule_matmul_sparse_execution),
 )
 
 

@@ -48,7 +48,12 @@ from repro.engine.context import ClusterContext
 from repro.engine.costmodel import ClusterCostModel, CostReport
 from repro.engine.explain import memory_report
 from repro.engine.metrics import MetricsRegistry, MetricsSnapshot, StageTiming
-from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.partitioner import (
+    HashPartitioner,
+    NnzBalancedPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
 from repro.engine.rdd import RDD
 from repro.engine.scheduler import ExecutorPool, StageScheduler
 from repro.engine.storage import (
@@ -79,6 +84,7 @@ __all__ = [
     "HealthReport",
     "LRUEviction",
     "HashPartitioner",
+    "NnzBalancedPartitioner",
     "JobProfile",
     "MetricsRegistry",
     "MetricsSnapshot",

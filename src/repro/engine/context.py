@@ -123,12 +123,14 @@ class ClusterContext:
         # must exist BEFORE the process runner forks its workers
         from repro.engine.telemetry import (
             HealthMonitor,
+            NnzBalanceStats,
             TelemetrySampler,
             WorkerHeartbeats,
         )
 
         self.health_monitor = HealthMonitor(tracer=self.tracer)
         self.worker_heartbeats = WorkerHeartbeats()
+        self.nnz_stats = NnzBalanceStats()
         self.process_runner = None
         if backend == "process":
             from repro.engine.worker import ProcessTaskRunner

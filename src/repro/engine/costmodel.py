@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.metrics import MetricsSnapshot
 
 
@@ -61,13 +63,27 @@ class ClusterCostModel:
     def __init__(self, network_bandwidth_bytes_s: float = 117e6,
                  disk_bandwidth_bytes_s: float = 150e6,
                  task_overhead_s: float = 0.005,
-                 recompute_bandwidth_bytes_s: float = 1e9):
+                 recompute_bandwidth_bytes_s: float = 1e9,
+                 dense_flops_s: float = 2e10,
+                 coo_pairs_s: float = 8e6,
+                 csr_pairs_s: float = 8e7,
+                 scatter_ops_s: float = 2e9):
         self.network_bandwidth_bytes_s = network_bandwidth_bytes_s
         self.disk_bandwidth_bytes_s = disk_bandwidth_bytes_s
         self.task_overhead_s = task_overhead_s
         # effective in-memory production rate of one lineage level:
         # recomputing a block re-runs roughly depth passes over its bytes
         self.recompute_bandwidth_bytes_s = recompute_bandwidth_bytes_s
+        # matmul kernel rates: BLAS multiply-adds, partial-product
+        # pairs emitted by the per-k COO join loop vs the vectorized
+        # CSR expansion, and scattered row-updates of the CSR×dense
+        # kernel. The COO/dense ratio is calibrated so the derived
+        # density gate reproduces the legacy SPARSE_KERNEL_THRESHOLD
+        # (0.02) when nothing overrides it: sqrt(8e6 / 2e10) == 0.02.
+        self.dense_flops_s = dense_flops_s
+        self.coo_pairs_s = coo_pairs_s
+        self.csr_pairs_s = csr_pairs_s
+        self.scatter_ops_s = scatter_ops_s
 
     # ------------------------------------------------------------------
     # per-block rates (cost-aware eviction)
@@ -105,6 +121,63 @@ class ClusterCostModel:
         """
         transfer = max(int(nbytes), 0) / self.network_bandwidth_bytes_s
         return transfer + max(int(num_tasks), 0) * self.task_overhead_s
+
+    def sparse_kernel_threshold(self) -> float:
+        """Density below which sparse partial products beat BLAS.
+
+        Equating the pair-join cost ``dₐ·d_b·m·k·n / coo_pairs_s`` with
+        the dense cost ``m·k·n / dense_flops_s`` at equal operand
+        densities gives ``d = sqrt(coo_pairs_s / dense_flops_s)`` —
+        0.02 at the default rates, i.e. the legacy
+        ``SPARSE_KERNEL_THRESHOLD`` falls out of the model instead of
+        being hard-coded.
+        """
+        return float(np.sqrt(self.coo_pairs_s / self.dense_flops_s))
+
+    def scatter_kernel_threshold(self) -> float:
+        """Density below which the one-sided CSR×dense scatter kernel
+        beats the dense kernel: ``scatter_ops_s / dense_flops_s``
+        (0.1 at the default rates)."""
+        return float(self.scatter_ops_s / self.dense_flops_s)
+
+    def matmul_kernel_seconds(self, m: float, k: float, n: float,
+                              density_left: float, density_right: float,
+                              kind: str) -> float:
+        """Modeled compute seconds for one ``(m×k) @ (k×n)`` product.
+
+        ``kind`` is the representation pair: ``"dense"`` (BLAS),
+        ``"coo"`` (per-k join loop), ``"csr"`` (vectorized CSR×CSR when
+        both sides qualify, CSR×dense scatter when only one does).
+        Sparse kinds price the expected partial-product pairs
+        ``nnzₐ·nnz_b / k`` plus one pass to build the index structure.
+        """
+        da = min(max(float(density_left), 0.0), 1.0)
+        db = min(max(float(density_right), 0.0), 1.0)
+        if kind == "dense":
+            return m * k * n / self.dense_flops_s
+        nnz_a = da * m * k
+        nnz_b = db * k * n
+        pairs = nnz_a * nnz_b / max(k, 1.0)
+        setup = (nnz_a + nnz_b) / self.scatter_ops_s
+        if kind == "coo":
+            return pairs / self.coo_pairs_s + setup
+        if kind == "csr":
+            gate = self.sparse_kernel_threshold()
+            if da < gate and db < gate:
+                return pairs / self.csr_pairs_s + setup
+            # one-sided: scatter the sparse side's rows over the
+            # dense side's columns
+            sparse_nnz = nnz_a if da <= db else nnz_b
+            width = n if da <= db else m
+            return sparse_nnz * width / self.scatter_ops_s + setup
+        raise ValueError(f"unknown matmul kernel kind {kind!r}")
+
+    def skewed_stage_seconds(self, compute_s: float,
+                             imbalance: float) -> float:
+        """Wall time of a parallel stage whose per-partition load ratio
+        (max/mean) is ``imbalance``: the busiest executor finishes last,
+        so perfectly divisible work stretches by exactly that factor."""
+        return compute_s * max(float(imbalance), 1.0)
 
     def reload_seconds(self, nbytes: int) -> float:
         """Modeled time to read a spilled block back from disk."""

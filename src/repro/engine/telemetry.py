@@ -184,6 +184,55 @@ class WorkerHeartbeats:
             return len(self._workers)
 
 
+class NnzBalanceStats:
+    """Per-partition nnz loads of the last placed sparse stage.
+
+    The sparse execution tier (matmul's balanced shuffles,
+    ``ArrayRDD.partition_by_nnz``, the graph loader) records the
+    per-partition valid-cell loads its partitioner produced; the
+    sampler turns the latest recording into the ``nnz.*`` gauges —
+    most importantly ``nnz.imbalance``, the max/mean load ratio the
+    :class:`NnzImbalance` health rule watches.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stage = None
+        self._loads = None
+
+    def record(self, stage: str, loads) -> None:
+        loads = [float(load) for load in loads]
+        with self._lock:
+            self._stage = str(stage)
+            self._loads = loads
+
+    def last(self):
+        """``(stage, loads)`` of the latest recording, or
+        ``(None, None)``."""
+        with self._lock:
+            loads = list(self._loads) if self._loads is not None \
+                else None
+            return self._stage, loads
+
+    def gauges(self) -> dict:
+        stage, loads = self.last()
+        if not loads:
+            return {}
+        mean = sum(loads) / len(loads)
+        peak = max(loads)
+        return {
+            "partition_max": peak,
+            "partition_mean": mean,
+            "imbalance": (peak / mean) if mean > 0 else 1.0,
+            "partitions": len(loads),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stage = None
+            self._loads = None
+
+
 # ----------------------------------------------------------------------
 # the time-series store
 # ----------------------------------------------------------------------
@@ -428,9 +477,40 @@ class ShuffleSkew(HealthRule):
         return violations
 
 
+class NnzImbalance(HealthRule):
+    """The last placed sparse stage's partition nnz loads are skewed.
+
+    Reads the ``nnz.imbalance`` gauge (max/mean per-partition valid
+    cells recorded by the sparse execution tier) — a high ratio means
+    one executor owns most of the nonzeros and will finish last no
+    matter how idle the rest of the pool is.
+    """
+
+    name = "nnz_imbalance"
+
+    def __init__(self, threshold: float = 4.0):
+        self.threshold = threshold
+
+    def check(self, sample, store, context) -> list:
+        gauges = sample.get("gauges", {})
+        imbalance = gauges.get("nnz.imbalance")
+        if imbalance is None or imbalance < self.threshold:
+            return []
+        stats = getattr(context, "nnz_stats", None)
+        stage, _loads = stats.last() if stats is not None \
+            else (None, None)
+        stage = stage or "?"
+        return [(f"{self.name}:{stage}",
+                 f"stage {stage!r} nnz load skewed {imbalance:.1f}x "
+                 f"(max/mean partition nnz; threshold "
+                 f"{self.threshold:g}x)",
+                 {"stage": stage, "imbalance": imbalance,
+                  "threshold": self.threshold})]
+
+
 def default_rules() -> list:
     return [LedgerHighWatermark(), SpillRateSpike(),
-            WorkerHeartbeatMissed(), ShuffleSkew()]
+            WorkerHeartbeatMissed(), ShuffleSkew(), NnzImbalance()]
 
 
 class HealthMonitor:
@@ -453,7 +533,8 @@ class HealthMonitor:
         self._lock = threading.Lock()
 
     def configure(self, ledger_watermark=None, spill_rate_per_s=None,
-                  heartbeat_miss_s=None, skew_threshold=None) -> None:
+                  heartbeat_miss_s=None, skew_threshold=None,
+                  nnz_imbalance=None) -> None:
         """Adjust the default rules' thresholds in place."""
         for rule in self.rules:
             if ledger_watermark is not None and \
@@ -468,6 +549,9 @@ class HealthMonitor:
             if skew_threshold is not None and \
                     isinstance(rule, ShuffleSkew):
                 rule.threshold = skew_threshold
+            if nnz_imbalance is not None and \
+                    isinstance(rule, NnzImbalance):
+                rule.threshold = nnz_imbalance
 
     def subscribe(self, sink) -> None:
         """``sink(record_dict)`` is called for every emitted event."""
@@ -681,6 +765,10 @@ def collect_sample(context) -> dict:
     if pool is not None:
         for name, value in pool.gauges().items():
             gauges[f"pool.{name}"] = value
+    nnz_stats = getattr(context, "nnz_stats", None)
+    if nnz_stats is not None:
+        for name, value in nnz_stats.gauges().items():
+            gauges[f"nnz.{name}"] = value
     heartbeats = getattr(context, "worker_heartbeats", None)
     workers = {}
     if heartbeats is not None:

@@ -41,7 +41,8 @@ DASHBOARD_SERIES = (
                ("pool.queued_tasks", "queued", "plain", False))),
     ("shuffle", (("counter.shuffle_bytes", "bytes/s", "bytes", True),
                  ("counter.shuffle_records", "recs/s", "rate", True),
-                 ("counter.cache_spills", "spills/s", "rate", True))),
+                 ("counter.cache_spills", "spills/s", "rate", True),
+                 ("nnz.imbalance", "nnz skew", "plain", False))),
 )
 
 

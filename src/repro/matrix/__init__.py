@@ -13,12 +13,25 @@
 """
 
 from repro.matrix.matrix import SpangleMatrix
-from repro.matrix.offsets import OffsetArrayChunk, encode_static
+from repro.matrix.multiply import (
+    set_nnz_balance,
+    set_sparse_kernel,
+    set_sparse_threshold,
+    sparse_config,
+    sparse_threshold,
+)
+from repro.matrix.offsets import CSRBlock, OffsetArrayChunk, encode_static
 from repro.matrix.vector import SpangleVector
 
 __all__ = [
+    "CSRBlock",
     "OffsetArrayChunk",
     "SpangleMatrix",
     "SpangleVector",
     "encode_static",
+    "set_nnz_balance",
+    "set_sparse_kernel",
+    "set_sparse_threshold",
+    "sparse_config",
+    "sparse_threshold",
 ]

@@ -13,6 +13,24 @@ this is what lets Spangle survive the largest (Mawi) matrices.
 Partial products are bitmask-gated: a pair of blocks is multiplied only
 when both carry valid cells, and zero rows/columns never reach the
 kernel.
+
+The **sparse execution tier** layers two decisions on top:
+
+- *kernel*: per block pair, dense BLAS vs the legacy per-k COO join
+  loop vs the vectorized CSR kernels (:func:`_csr_join` for
+  sparse×sparse — bit-identical to the COO join — and the CSR×dense
+  scatter of :func:`_scatter_partial` for one-sided sparsity);
+- *placement*: the k-shuffle and the gather shuffle may swap their hash
+  partitioners for :class:`~repro.engine.partitioner
+  .NnzBalancedPartitioner`\\ s packed from per-chunk valid counts, so a
+  power-law nnz distribution cannot strand the stage on one executor.
+
+Both decisions are made on the driver — either by the rewrite
+optimizer (a :class:`~repro.core.logical.MatmulExecPlan` attached to
+the MatmulOp, priced by the cost model) or by the density gates of
+:func:`sparse_threshold` — and shipped to workers inside the picklable
+:class:`_BlockKernel`, so every backend (serial, thread, process) runs
+the same arithmetic in the same order.
 """
 
 from __future__ import annotations
@@ -22,11 +40,15 @@ import numpy as np
 from repro.core import plan as plan_mod
 from repro.core.array_rdd import ArrayRDD
 from repro.core.chunk import Chunk
-from repro.core.logical import MatmulOp
+from repro.core.logical import MatmulExecPlan, MatmulOp, SourceOp, estimate
 from repro.core.metadata import ArrayMetadata
 from repro.engine import HashPartitioner
-from repro.engine.partitioner import ExplicitPartitioner
-from repro.errors import ShapeMismatchError
+from repro.engine.partitioner import (
+    ExplicitPartitioner,
+    NnzBalancedPartitioner,
+)
+from repro.errors import EngineError, ShapeMismatchError
+from repro.matrix.offsets import csc_from_offsets, csr_from_offsets
 
 
 def _check_dims(left, right) -> None:
@@ -41,8 +63,81 @@ def _check_dims(left, right) -> None:
         )
 
 
-#: below this density both operands take the COO partial-product path
+#: Fallback density gate below which both operands take the sparse
+#: partial-product path. The *derived* gate normally comes from the
+#: context's cost model (``sparse_kernel_threshold()`` — 0.02 at the
+#: default rates, so the constant and the model agree out of the box);
+#: this constant only applies when no cost model is reachable, and a
+#: ``repro``-level override (:func:`set_sparse_threshold`) beats both.
 SPARSE_KERNEL_THRESHOLD = 0.02
+
+#: valid kernel kinds: "auto" resolves per block pair by density gates,
+#: the rest force one representation everywhere
+_KERNEL_KINDS = ("auto", "coo", "csr", "dense")
+
+_SPARSE_CONFIG = {"kernel": "auto", "threshold": None, "balance": True}
+
+
+def set_sparse_kernel(kind: str) -> None:
+    """Force the block-pair kernel: ``auto`` (default), ``coo``,
+    ``csr``, or ``dense``."""
+    if kind not in _KERNEL_KINDS:
+        raise EngineError(
+            f"unknown sparse kernel {kind!r}; pick from {_KERNEL_KINDS}"
+        )
+    _SPARSE_CONFIG["kernel"] = kind
+
+
+def set_sparse_threshold(threshold) -> None:
+    """Override the sparse-kernel density gate; ``None`` restores the
+    cost-model-derived default."""
+    _SPARSE_CONFIG["threshold"] = (
+        None if threshold is None else float(threshold))
+
+
+def set_nnz_balance(enabled: bool) -> None:
+    """Allow (default) or forbid nnz-balanced shuffle placement."""
+    _SPARSE_CONFIG["balance"] = bool(enabled)
+
+
+def sparse_threshold(cost_model=None) -> float:
+    """The effective sparse-kernel density gate.
+
+    Resolution order: the explicit override, then the cost model's
+    derived gate, then the legacy constant (kept for callers with no
+    model in reach — and as the documented default the model
+    reproduces).
+    """
+    if _SPARSE_CONFIG["threshold"] is not None:
+        return _SPARSE_CONFIG["threshold"]
+    if cost_model is not None:
+        return cost_model.sparse_kernel_threshold()
+    return SPARSE_KERNEL_THRESHOLD
+
+
+class sparse_config:
+    """Scoped override of the sparse execution tier, for benchmarks and
+    tests::
+
+        with sparse_config(kernel="coo", balance=False):
+            ...   # the legacy execution path
+    """
+
+    def __init__(self, kernel=None, threshold=None, balance=None):
+        self._saved = dict(_SPARSE_CONFIG)
+        if kernel is not None:
+            set_sparse_kernel(kernel)
+        if threshold is not None:
+            set_sparse_threshold(threshold)
+        if balance is not None:
+            set_nnz_balance(balance)
+
+    def __enter__(self) -> "sparse_config":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _SPARSE_CONFIG.update(self._saved)
+        return False
 
 
 class _COOPartial:
@@ -127,38 +222,181 @@ def _coo_join(a_rows, a_ks, a_vals, b_ks, b_cols, b_vals, shape):
     )
 
 
+def _csr_join(a_rows, a_ks, a_vals, b_ks, b_cols, b_vals, shape):
+    """Vectorized row-pointer join — :func:`_coo_join` without the
+    per-k Python loop.
+
+    Both operands sort by k (stable); the b side's sorted k column *is*
+    a sparse CSR pointer structure, and the two searchsorteds below are
+    its ``indptr`` lookups (``csr_row_pointers`` evaluated only at the
+    k values the a side actually holds). Every a entry then expands
+    against its b run with pure index arithmetic.
+
+    Bit-identical to the COO join by construction: pairs emit in the
+    same order — shared k ascending, a entries in stable-sorted offset
+    order, each against all matching b entries — and each value is the
+    same two-operand product, so downstream summation sees the same
+    floats in the same sequence.
+    """
+    a_order = np.argsort(a_ks, kind="stable")
+    b_order = np.argsort(b_ks, kind="stable")
+    a_ks_sorted = a_ks[a_order]
+    b_ks_sorted = b_ks[b_order]
+    b_lo = np.searchsorted(b_ks_sorted, a_ks_sorted, side="left")
+    b_hi = np.searchsorted(b_ks_sorted, a_ks_sorted, side="right")
+    reps = b_hi - b_lo
+    matched = reps > 0
+    if not matched.any():
+        return None
+    a_idx = a_order[matched]
+    b_lo = b_lo[matched]
+    reps = reps[matched]
+    total = int(reps.sum())
+    # pair p belongs to kept a entry a_expand[p]; its offset inside that
+    # entry's b run is p minus the run's start position
+    a_expand = np.repeat(np.arange(a_idx.size), reps)
+    run_starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(reps)[:-1]])
+    pos_in_run = np.arange(total) - run_starts[a_expand]
+    b_expand = b_order[np.repeat(b_lo, reps) + pos_in_run]
+    a_expand = a_idx[a_expand]
+    return _COOPartial(
+        a_rows[a_expand], b_cols[b_expand],
+        a_vals[a_expand] * b_vals[b_expand], shape,
+    )
+
+
 def _sparse_partial(left_chunk, right_chunk, left_rows, contraction,
-                    right_cols):
-    """COO product of two sparse blocks; None when no k-index matches."""
+                    right_cols, join=_coo_join):
+    """Sparse product of two sparse blocks; None when no k-index
+    matches. ``join`` picks the loop (COO) or vectorized (CSR)
+    implementation — their outputs are bit-identical."""
     a_off = left_chunk.indices()
     b_off = right_chunk.indices()
-    return _coo_join(
+    return join(
         a_off % left_rows, a_off // left_rows, left_chunk.values(),
         b_off % contraction, b_off // contraction, right_chunk.values(),
         (left_rows, right_cols),
     )
 
 
-def _multiply_blocks(left, right, left_chunk, right_chunk):
-    """Partial product of two blocks; None when nothing to do.
+def _scatter_partial(left_chunk, right_chunk, left_shape, right_shape,
+                     sparse_on_left):
+    """CSR×dense (or dense×CSC) partial: one-sided sparsity.
 
-    Dense kernel by default; COO kernel when both blocks are very
-    sparse (bitmask gating taken to its conclusion — only matching
-    k-indices are ever touched).
+    The sparse side decomposes into row-pointer form straight from its
+    offset encoding (:func:`csr_from_offsets` /
+    :func:`csc_from_offsets`), then each live output row is one
+    segmented sum over gathered dense rows — no k loop, no densify of
+    the sparse side, and no work for empty rows.
     """
-    if left_chunk.valid_count == 0 or right_chunk.valid_count == 0:
-        return None
-    if (left_chunk.density < SPARSE_KERNEL_THRESHOLD
-            and right_chunk.density < SPARSE_KERNEL_THRESHOLD):
-        return _sparse_partial(
-            left_chunk, right_chunk, left.block_shape[0],
-            left.block_shape[1], right.block_shape[1])
-    a = left_chunk.to_dense(0).reshape(left.block_shape, order="F")
-    b = right_chunk.to_dense(0).reshape(right.block_shape, order="F")
-    partial = a @ b
-    if not partial.any():
-        return None
-    return partial
+    m, k_dim = left_shape
+    n = right_shape[1]
+    if sparse_on_left:
+        b = right_chunk.to_dense(0).reshape(right_shape, order="F")
+        indptr, ks, vals = csr_from_offsets(
+            left_chunk.indices(), left_chunk.values(), m)
+        out = np.zeros((m, n))
+        if vals.size:
+            contrib = vals[:, None] * b[ks, :]
+            live = np.nonzero(np.diff(indptr))[0]
+            out[live] = np.add.reduceat(contrib, indptr[live], axis=0)
+        return out if out.any() else None
+    a = left_chunk.to_dense(0).reshape(left_shape, order="F")
+    # group the right side by output column: its CSC view is free
+    # because sorted offsets are already column-major
+    indptr, ks, vals = csc_from_offsets(
+        right_chunk.indices(), right_chunk.values(), k_dim, n)
+    out_t = np.zeros((n, m))
+    if vals.size:
+        contrib = vals[:, None] * a[:, ks].T
+        live = np.nonzero(np.diff(indptr))[0]
+        out_t[live] = np.add.reduceat(contrib, indptr[live], axis=0)
+    out = out_t.T
+    return out if out.any() else None
+
+
+class _BlockKernel:
+    """The driver-chosen per-block-pair kernel, shipped to workers.
+
+    A module-level class (process-backend tasks pickle it by
+    reference) holding the *resolved* policy: the kernel kind and the
+    density gates, decided once on the driver from the exec plan /
+    config / cost model. Worker-side module state never participates,
+    so every backend multiplies the same blocks the same way.
+    """
+
+    __slots__ = ("left_shape", "right_shape", "kind", "gate",
+                 "scatter_gate")
+
+    def __init__(self, left_shape, right_shape, kind, gate,
+                 scatter_gate):
+        self.left_shape = left_shape
+        self.right_shape = right_shape
+        self.kind = kind                  # "coo" | "csr" | "dense"
+        self.gate = gate                  # both-sparse density gate
+        self.scatter_gate = scatter_gate  # one-sided CSR×dense gate
+
+    def __getstate__(self):
+        return (self.left_shape, self.right_shape, self.kind,
+                self.gate, self.scatter_gate)
+
+    def __setstate__(self, state):
+        (self.left_shape, self.right_shape, self.kind, self.gate,
+         self.scatter_gate) = state
+
+    def __call__(self, left_chunk, right_chunk):
+        if left_chunk.valid_count == 0 or right_chunk.valid_count == 0:
+            return None
+        da = left_chunk.density
+        db = right_chunk.density
+        if self.kind != "dense" and da < self.gate and db < self.gate:
+            join = _coo_join if self.kind == "coo" else _csr_join
+            return _sparse_partial(
+                left_chunk, right_chunk, self.left_shape[0],
+                self.left_shape[1], self.right_shape[1], join=join)
+        if self.kind == "csr" and min(da, db) < self.scatter_gate:
+            return _scatter_partial(left_chunk, right_chunk,
+                                    self.left_shape, self.right_shape,
+                                    sparse_on_left=da <= db)
+        a = left_chunk.to_dense(0).reshape(self.left_shape, order="F")
+        b = right_chunk.to_dense(0).reshape(self.right_shape,
+                                            order="F")
+        partial = a @ b
+        if not partial.any():
+            return None
+        return partial
+
+
+def _resolve_kernel(left, right, exec_plan=None):
+    """The :class:`_BlockKernel` for one matmul, resolved driver-side.
+
+    Priority: the optimizer's exec plan, then the module config
+    (``auto`` → CSR kernels behind cost-model density gates; the
+    sparse×sparse regime stays bit-identical to the legacy COO path).
+    """
+    kind = exec_plan.kernel if exec_plan is not None \
+        else _SPARSE_CONFIG["kernel"]
+    cost_model = getattr(left.context, "cost_model", None)
+    gate = sparse_threshold(cost_model)
+    if kind == "auto":
+        kind = "csr"
+    scatter_gate = 0.0
+    if kind == "csr":
+        scatter_gate = (cost_model.scatter_kernel_threshold()
+                        if cost_model is not None else 0.1)
+    return _BlockKernel(tuple(left.block_shape),
+                        tuple(right.block_shape), kind, gate,
+                        scatter_gate)
+
+
+def _multiply_blocks(left, right, left_chunk, right_chunk):
+    """Legacy entry point: the COO-or-dense kernel at the constant
+    threshold. Kept for callers that predate :class:`_BlockKernel`."""
+    kernel = _BlockKernel(tuple(left.block_shape),
+                          tuple(right.block_shape), "coo",
+                          SPARSE_KERNEL_THRESHOLD, 0.0)
+    return kernel(left_chunk, right_chunk)
 
 
 def _result_meta(left, right) -> ArrayMetadata:
@@ -255,27 +493,74 @@ def block_matmul(left, right, local_join: bool = False):
 def lower_matmul(node: MatmulOp, context):
     """Lower a recorded matmul node to its concrete chunk RDD."""
     return _run_matmul(node.left, node.right, node.local_join,
-                       node.meta, context)
+                       node.meta, context, exec_plan=node.exec_plan)
 
 
-def _run_matmul(left, right, local_join, meta, context):
+def _partition_loads(partitioner, weights: dict) -> np.ndarray:
+    """Per-partition total weight a partitioner produces over a
+    ``{key: weight}`` map (hash or nnz-balanced alike)."""
+    loads = np.zeros(partitioner.num_partitions)
+    for key, weight in weights.items():
+        loads[partitioner.partition(int(key))] += float(weight)
+    return loads
+
+
+def _record_nnz_stats(context, stage: str, loads) -> None:
+    stats = getattr(context, "nnz_stats", None)
+    if stats is not None:
+        stats.record(stage, loads)
+
+
+def _run_matmul(left, right, local_join, meta, context,
+                exec_plan=None):
     out_grid_rows = meta.chunk_grid[0]
+    kernel = _resolve_kernel(left, right, exec_plan)
+    balance = (exec_plan is not None and exec_plan.balance
+               and _SPARSE_CONFIG["balance"])
 
     if local_join:
-        partials = _local_join_partials(left, right)
+        partials = _local_join_partials(left, right, kernel)
     else:
-        partials = _shuffled_partials(left, right)
+        k_partitioner = None
+        if balance and exec_plan.k_weights:
+            k_partitioner = NnzBalancedPartitioner.from_weights(
+                exec_plan.k_weights, left.array.rdd.num_partitions)
+            _record_nnz_stats(
+                context, "matmul-k",
+                k_partitioner.partition_loads(exec_plan.k_weights))
+        partials = _shuffled_partials(left, right, kernel,
+                                      k_partitioner)
 
     # gather on the output chunk ID (an int) rather than the
     # (row_block, col_block) tuple: the columnar shuffle packs it
-    summed = partials.map(
+    keyed = partials.map(
         lambda kv: (kv[0][0] + kv[0][1] * out_grid_rows, kv[1])
-    ).reduce_by_key(_merge_partials)
+    )
+    gather_partitioner = None
+    if balance and exec_plan.gather_weights:
+        gather_partitioner = NnzBalancedPartitioner.from_weights(
+            exec_plan.gather_weights, keyed.num_partitions)
+        _record_nnz_stats(
+            context, "matmul-gather",
+            gather_partitioner.partition_loads(
+                exec_plan.gather_weights))
+    elif exec_plan is not None and exec_plan.gather_weights:
+        _record_nnz_stats(
+            context, "matmul-gather",
+            _partition_loads(HashPartitioner(keyed.num_partitions),
+                             exec_plan.gather_weights))
+    summed = keyed.reduce_by_key(_merge_partials,
+                                 partitioner=gather_partitioner)
     return _assemble(context, summed, meta).rdd
 
 
-def _shuffled_partials(left, right):
-    """Spark-style: key both sides by k, cogroup (two shuffles)."""
+def _shuffled_partials(left, right, kernel, k_partitioner=None):
+    """Spark-style: key both sides by k, cogroup (two shuffles).
+
+    ``k_partitioner`` (when the exec plan packed one) places heavy
+    contraction groups apart; the default hash placement sends k to
+    partition ``k % n`` regardless of its pair count.
+    """
     grid_rows_left = left.grid_rows
     grid_rows_right = right.grid_rows
 
@@ -287,15 +572,14 @@ def _shuffled_partials(left, right):
         lambda kv: (kv[0] % grid_rows_right,
                     (kv[0] // grid_rows_right, kv[1]))
     )
-    grouped = left_by_k.cogroup(right_by_k)
+    grouped = left_by_k.cogroup(right_by_k, partitioner=k_partitioner)
 
     def emit(groups):
         left_blocks, right_blocks = groups
         out = []
         for rb, left_chunk in left_blocks:
             for cb, right_chunk in right_blocks:
-                partial = _multiply_blocks(left, right, left_chunk,
-                                           right_chunk)
+                partial = kernel(left_chunk, right_chunk)
                 if partial is not None:
                     out.append(((rb, cb), partial))
         return out
@@ -304,7 +588,7 @@ def _shuffled_partials(left, right):
                   .map(lambda kv: kv[1])
 
 
-def _local_join_partials(left, right):
+def _local_join_partials(left, right, kernel):
     """Fused stage: zip co-partitioned operands, no input shuffle.
 
     ``prepare_local`` (or matching prior placement) makes the
@@ -328,13 +612,183 @@ def _local_join_partials(left, right):
             k = cid // grid_rows_left
             rb = cid % grid_rows_left
             for cb, right_chunk in right_by_k.get(k, ()):
-                partial = _multiply_blocks(left, right, left_chunk,
-                                           right_chunk)
+                partial = kernel(left_chunk, right_chunk)
                 if partial is not None:
                     out.append(((rb, cb), partial))
         return out
 
     return left_placed.zip_partitions(right_placed, zipper)
+
+
+# ----------------------------------------------------------------------
+# driver-side planning: nnz profiles and cost-model pricing
+# ----------------------------------------------------------------------
+
+def _known_partitions(matrix):
+    """The operand's partition count without forcing compilation, or
+    None when its plan has not materialized a source yet."""
+    array = matrix.array
+    if array._compiled is not None:
+        return array._compiled.num_partitions
+    node = array._logical
+    while node is not None and not isinstance(node, SourceOp):
+        children = node.children
+        if not children:
+            return None
+        node = children[0]
+    if isinstance(node, SourceOp):
+        return node.rdd.num_partitions
+    return None
+
+
+def _imbalance(loads) -> float:
+    loads = np.asarray(loads, dtype=float)
+    if loads.size == 0:
+        return 1.0
+    mean = loads.mean()
+    if mean <= 0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def matmul_nnz_profile(node: MatmulOp):
+    """Shuffle weights and skew estimates for one matmul, from the
+    operands' per-chunk valid counts. None when either side lacks exact
+    stats (e.g. its plan passes through an estimate-only op).
+
+    Returns a dict with ``k_weights`` (contraction group → modeled pair
+    work), ``gather_weights`` (output chunk ID → partial-product nnz),
+    and the max/mean load ratios hash vs LPT placement would produce
+    for the gather, which is what the cost model's
+    :meth:`skewed_stage_seconds` prices.
+    """
+    left, right = node.left, node.right
+    left_est = estimate(left.array._logical)
+    right_est = estimate(right.array._logical)
+    if left_est.per_chunk is None or right_est.per_chunk is None:
+        return None
+    gl_rows, gl_cols = left.meta.chunk_grid
+    gr_rows, gr_cols = right.meta.chunk_grid
+    nnz_a = np.zeros((gl_rows, gl_cols))
+    for cid, count in left_est.per_chunk.items():
+        nnz_a[cid % gl_rows, cid // gl_rows] = count
+    nnz_b = np.zeros((gr_rows, gr_cols))
+    for cid, count in right_est.per_chunk.items():
+        nnz_b[cid % gr_rows, cid // gr_rows] = count
+    a_k = nnz_a.sum(axis=0)          # per contraction block, left nnz
+    b_k = nnz_b.sum(axis=1)          # per contraction block, right nnz
+    k_dim = max(left.block_shape[1], 1)
+    k_weights = {
+        int(k): float(a_k[k] * b_k[k] / k_dim + a_k[k] + b_k[k])
+        for k in range(min(gl_cols, gr_rows))
+        if a_k[k] > 0 and b_k[k] > 0
+    }
+    pair_nnz = nnz_a @ nnz_b          # expected pair count per output
+    out_grid_rows = node.meta.chunk_grid[0]
+    gather_weights = {
+        int(rb + cb * out_grid_rows): float(pair_nnz[rb, cb])
+        for rb in range(pair_nnz.shape[0])
+        for cb in range(pair_nnz.shape[1])
+        if pair_nnz[rb, cb] > 0
+    }
+    num_partitions = (_known_partitions(left)
+                      or _known_partitions(right) or 8)
+    hash_loads = _partition_loads(HashPartitioner(num_partitions),
+                                  gather_weights)
+    balanced = NnzBalancedPartitioner.from_weights(
+        gather_weights, num_partitions) if gather_weights else None
+    balanced_loads = (balanced.partition_loads(gather_weights)
+                      if balanced is not None else hash_loads)
+    return {
+        "k_weights": k_weights,
+        "gather_weights": gather_weights,
+        "imbalance_hash": _imbalance(hash_loads),
+        "imbalance_nnz": _imbalance(balanced_loads),
+        "density_left": left_est.density,
+        "density_right": right_est.density,
+    }
+
+
+def plan_matmul_execution(node: MatmulOp):
+    """The optimizer rule body: a candidate MatmulOp with an attached
+    :class:`~repro.core.logical.MatmulExecPlan`, or None.
+
+    Picks the cheapest kernel kind the cost model prices (respecting a
+    forced module config) and pairs it with nnz-balanced shuffle
+    placement when that lowers the modeled skew. The optimizer's cost
+    gate then accepts the candidate only when the whole plan is
+    strictly cheaper than the gated-auto default.
+    """
+    if node.exec_plan is not None:
+        return None
+    profile = matmul_nnz_profile(node)
+    if profile is None:
+        return None
+    model = getattr(node.left.context, "cost_model", None)
+    if model is None:
+        return None
+    m, k_dim = node.left.block_shape
+    n = node.right.block_shape[1]
+    da = profile["density_left"]
+    db = profile["density_right"]
+    forced = _SPARSE_CONFIG["kernel"]
+    kinds = ("dense", "coo", "csr") if forced == "auto" else (forced,)
+    kernel = min(kinds, key=lambda kind: model.matmul_kernel_seconds(
+        m, k_dim, n, da, db, kind))
+    balance = (_SPARSE_CONFIG["balance"]
+               and profile["imbalance_nnz"]
+               < profile["imbalance_hash"] - 1e-9)
+    plan = MatmulExecPlan(
+        kernel=kernel,
+        balance=balance,
+        k_weights=profile["k_weights"],
+        gather_weights=profile["gather_weights"],
+        imbalance_hash=profile["imbalance_hash"],
+        imbalance_nnz=profile["imbalance_nnz"],
+    )
+    return MatmulOp(node.left, node.right, node.local_join, node.meta,
+                    operands_restricted=node.operands_restricted,
+                    exec_plan=plan)
+
+
+def matmul_stage_seconds(node: MatmulOp, model) -> float:
+    """Modeled compute seconds for a matmul's partial-product stage,
+    skew included — the cost the optimizer charges on top of the
+    shuffles.
+
+    An un-planned node prices as what :func:`_resolve_kernel` would run
+    (the gated-auto CSR path) under hash placement; a planned node
+    prices its chosen kernel under its chosen placement.
+    """
+    left_est = estimate(node.children[0])
+    right_est = estimate(node.children[1])
+    m, k_dim = node.left.block_shape
+    n = node.right.block_shape[1]
+    da = left_est.density
+    db = right_est.density
+    grid_k = max(node.left.meta.chunk_grid[1], 1)
+    block_pairs = left_est.chunks * right_est.chunks / grid_k
+    plan = node.exec_plan
+    kind = plan.kernel if plan is not None else _SPARSE_CONFIG["kernel"]
+    if kind == "auto":
+        gate = sparse_threshold(model)
+        if da < gate and db < gate:
+            kind = "csr"
+        elif min(da, db) < model.scatter_kernel_threshold():
+            kind = "csr"
+        else:
+            kind = "dense"
+    per_pair = model.matmul_kernel_seconds(m, k_dim, n, da, db, kind)
+    imbalance = 1.0
+    if plan is not None:
+        imbalance = (plan.imbalance_nnz if plan.balance
+                     else plan.imbalance_hash)
+    else:
+        profile = matmul_nnz_profile(node)
+        if profile is not None:
+            imbalance = profile["imbalance_hash"]
+    return model.skewed_stage_seconds(block_pairs * per_pair,
+                                      imbalance)
 
 
 def gram_matmul(matrix):
@@ -359,13 +813,18 @@ def gram_matmul(matrix):
 
     block_rows = matrix.block_shape[0]
     out_shape = (matrix.block_shape[1], matrix.block_shape[1])
+    # resolve the kernel policy driver-side so process workers agree
+    kind = _SPARSE_CONFIG["kernel"]
+    gate = 0.0 if kind == "dense" else sparse_threshold(
+        getattr(matrix.context, "cost_model", None))
+    join = _coo_join if kind == "coo" else _csr_join
 
     def emit(blocks):
         out = []
         live = [(cb, chunk) for cb, chunk in blocks
                 if chunk.valid_count]
         all_sparse = all(
-            chunk.density < SPARSE_KERNEL_THRESHOLD
+            chunk.density < gate
             for _cb, chunk in live)
         if all_sparse:
             # COO kernel: a block (k × c) transposes by swapping its
@@ -378,8 +837,8 @@ def gram_matmul(matrix):
                            chunk.values())
             for c1, (a_ks, a_cols, a_vals) in coo.items():
                 for c2, (b_ks, b_cols, b_vals) in coo.items():
-                    partial = _coo_join(a_cols, a_ks, a_vals, b_ks,
-                                        b_cols, b_vals, out_shape)
+                    partial = join(a_cols, a_ks, a_vals, b_ks,
+                                   b_cols, b_vals, out_shape)
                     if partial is not None:
                         out.append(((c1, c2), partial))
             return out

@@ -131,3 +131,108 @@ def encode_static(chunk):
     if should_use_offsets(chunk):
         return OffsetArrayChunk.from_chunk(chunk)
     return chunk
+
+
+# ----------------------------------------------------------------------
+# CSR construction: row pointers grown from the offset encoding
+# ----------------------------------------------------------------------
+#
+# A chunk's offsets are Fortran-order (``offset = row + col·num_rows``),
+# so *sorted offsets are already column-major*: the CSC decomposition of
+# a block falls out of the encoding with one searchsorted, and the CSR
+# decomposition needs only a stable sort by row. The matmul partial-
+# product kernels and the PageRank spmv consume these directly.
+
+def csr_row_pointers(sorted_rows: np.ndarray, num_rows: int
+                     ) -> np.ndarray:
+    """CSR ``indptr`` from row indices already sorted ascending."""
+    return np.searchsorted(sorted_rows, np.arange(num_rows + 1)) \
+             .astype(np.int64, copy=False)
+
+
+def csr_from_offsets(offsets: np.ndarray, values, num_rows: int):
+    """Row-major ``(indptr, cols, vals)`` of one block.
+
+    The stable sort keeps each row's entries in ascending-column order —
+    the same order a column-major scan visits them — so kernels that sum
+    a row sequentially reproduce the offset-order summation bit for bit.
+    """
+    rows = offsets % num_rows
+    cols = offsets // num_rows
+    order = np.argsort(rows, kind="stable")
+    indptr = csr_row_pointers(rows[order], num_rows)
+    return (indptr, cols[order],
+            values[order] if values is not None else None)
+
+
+def csc_from_offsets(offsets: np.ndarray, values, num_rows: int,
+                     num_cols: int):
+    """Column-major ``(indptr, rows, vals)`` of one block — free:
+    ascending offsets are ascending (col, row) pairs, and the column
+    boundaries sit at offset multiples of ``num_rows``."""
+    indptr = np.searchsorted(
+        offsets, np.arange(num_cols + 1, dtype=np.int64) * num_rows
+    ).astype(np.int64, copy=False)
+    return indptr, offsets % num_rows, values
+
+
+class CSRBlock:
+    """Row-pointer form of one payload-free adjacency block.
+
+    Built once from a block's edge offsets and cached, so iterative
+    consumers (the PageRank power loop) stop re-deriving ``row = off %
+    block`` / ``col = off // block`` on every pass and reduce each row
+    with one segmented sum.
+    """
+
+    __slots__ = ("indptr", "cols", "num_rows")
+
+    def __init__(self, indptr: np.ndarray, cols: np.ndarray,
+                 num_rows: int):
+        self.indptr = indptr
+        self.cols = cols
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_offsets(cls, offsets: np.ndarray, num_rows: int
+                     ) -> "CSRBlock":
+        indptr, cols, _ = csr_from_offsets(offsets, None, num_rows)
+        return cls(indptr, cols, num_rows)
+
+    @property
+    def edge_count(self) -> int:
+        return int(self.cols.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indptr.nbytes) + int(self.cols.nbytes)
+
+    def spmv(self, x_block: np.ndarray) -> np.ndarray:
+        """``y = A_block @ x_block`` for a 0/1 block: per-row sums of
+        gathered x, bit-identical to the bincount formulation.
+
+        Accumulates through ``bincount`` rather than
+        ``np.add.reduceat`` — reduceat's blocked pairwise reduction
+        groups additions differently, which costs the last float bit
+        against the offset-decode kernel. The cached structure still
+        pays off: no per-iteration ``off % n`` / ``off // n`` decode
+        and no row sort.
+        """
+        if self.cols.size == 0:
+            return np.zeros(self.num_rows)
+        rows = np.repeat(np.arange(self.num_rows),
+                         np.diff(self.indptr))
+        return np.bincount(rows, weights=x_block[self.cols],
+                           minlength=self.num_rows)
+
+
+def _register_codec() -> None:
+    """Teach the columnar shuffle / shm / spill planes to pack
+    OffsetArrayChunk columns (no pickle fallback for offset-encoded
+    static matrices)."""
+    from repro.core import chunk_codec
+
+    chunk_codec.register_offset_chunks(OffsetArrayChunk)
+
+
+_register_codec()

@@ -18,8 +18,13 @@ from repro.bitmask import Bitmask
 from repro.core import mapper
 from repro.core.metadata import ArrayMetadata
 from repro.engine import HashPartitioner
+from repro.engine.partitioner import NnzBalancedPartitioner
 from repro.errors import ArrayError, ShapeMismatchError
-from repro.matrix.offsets import bitmask_bytes, offset_array_bytes
+from repro.matrix.offsets import (
+    CSRBlock,
+    bitmask_bytes,
+    offset_array_bytes,
+)
 
 
 class _BitmaskBlock:
@@ -63,6 +68,31 @@ class _OffsetBlock:
         return self.offsets
 
 
+class _BlockToCSR:
+    """Per-block conversion task: edge offsets → :class:`CSRBlock`.
+
+    A module-level class so process-backend tasks pickle it by
+    reference. Run once per block and cached; the power loop then
+    reuses the row pointers every iteration instead of re-deriving
+    ``row = off % block`` / ``col = off // block``.
+    """
+
+    __slots__ = ("block",)
+
+    def __init__(self, block: int):
+        self.block = block
+
+    def __getstate__(self):
+        return self.block
+
+    def __setstate__(self, state):
+        self.block = state
+
+    def __call__(self, adjacency) -> CSRBlock:
+        return CSRBlock.from_offsets(adjacency.edge_offsets(),
+                                     self.block)
+
+
 class BitmaskGraph:
     """A directed graph as blocks of an N×N boolean adjacency matrix.
 
@@ -78,17 +108,26 @@ class BitmaskGraph:
         self.meta = meta
         self.out_degrees = out_degrees
         self.context = context
+        self._csr_rdd = None
 
     @classmethod
     def from_edges(cls, context, edges, num_vertices: int,
                    block_size: int = 1024, num_partitions=None,
-                   mode: str = "auto") -> "BitmaskGraph":
+                   mode: str = "auto",
+                   balance: str = "hash") -> "BitmaskGraph":
         """Build from ``(src, dst)`` pairs (arrays or iterable).
 
         Self-loops are kept; duplicate edges collapse (a bit is a bit).
+        ``balance="nnz"`` places blocks so per-partition *edge counts*
+        balance (greedy LPT over the blocks' edge counts) instead of
+        hashing block IDs — on a power-law graph the hash placement can
+        strand most edges on one executor.
         """
         if mode not in ("auto", "sparse", "super_sparse"):
             raise ArrayError(f"unknown graph mode {mode!r}")
+        if balance not in ("hash", "nnz"):
+            raise ArrayError(f"unknown balance policy {balance!r}; "
+                             f"use 'hash' or 'nnz'")
         edges = np.asarray(list(edges) if not isinstance(edges, np.ndarray)
                            else edges, dtype=np.int64)
         if edges.ndim != 2 or edges.shape[1] != 2:
@@ -128,7 +167,17 @@ class BitmaskGraph:
                 (cid, _encode_block(block_offsets, cells, mode)))
         if num_partitions is None:
             num_partitions = context.default_parallelism
-        partitioner = HashPartitioner(num_partitions)
+        if balance == "nnz" and records:
+            weights = {cid: float(block.edge_count)
+                       for cid, block in records}
+            partitioner = NnzBalancedPartitioner.from_weights(
+                weights, num_partitions)
+            stats = getattr(context, "nnz_stats", None)
+            if stats is not None:
+                stats.record("graph-load",
+                             partitioner.partition_loads(weights))
+        else:
+            partitioner = HashPartitioner(num_partitions)
         rdd = context.parallelize(records, num_partitions,
                                   partitioner=partitioner)
         rdd.partitioner = partitioner
@@ -155,13 +204,34 @@ class BitmaskGraph:
         self.rdd.cache()
         return self
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def csr_blocks(self):
+        """The cached row-pointer twin of the adjacency RDD.
+
+        Built lazily (one pass) and kept cached: iterative consumers
+        pay the per-block row sort once instead of re-deriving
+        ``row = off % block`` every power iteration.
+        """
+        if self._csr_rdd is None:
+            block = self.meta.chunk_shape[0]
+            self._csr_rdd = self.rdd.map_values(
+                _BlockToCSR(block)).cache()
+        return self._csr_rdd
+
+    def spmv(self, x: np.ndarray, kernel: str = "csr") -> np.ndarray:
         """``y = A' @ x``: sum x over in-edges, no multiplications.
 
         Because every stored entry is exactly 1, the kernel is a gather
         plus a segmented sum — the payload-free benefit of the bitmask
-        representation.
+        representation. ``kernel="csr"`` (default) runs it over the
+        cached :class:`~repro.matrix.offsets.CSRBlock` structures;
+        ``kernel="offsets"`` decodes each block's offsets in place
+        (the pre-CSR formulation). Both sum every row's contributions
+        sequentially in column order, so their results are
+        bit-identical.
         """
+        if kernel not in ("csr", "offsets"):
+            raise ArrayError(f"unknown spmv kernel {kernel!r}; "
+                             f"use 'csr' or 'offsets'")
         if x.size != self.num_vertices:
             raise ShapeMismatchError(
                 f"vector length {x.size} != vertex count "
@@ -171,7 +241,19 @@ class BitmaskGraph:
         block = self.meta.chunk_shape[0]
         grid_rows = self.meta.chunk_grid[0]
 
-        def partials(part):
+        def csr_partials(part):
+            partial = np.zeros(n)
+            for chunk_id, csr in part:
+                if csr.edge_count == 0:
+                    continue
+                rb = chunk_id % grid_rows
+                cb = chunk_id // grid_rows
+                contrib = csr.spmv(x[cb * block:(cb + 1) * block])
+                hi = min(block, n - rb * block)
+                partial[rb * block:rb * block + hi] += contrib[:hi]
+            return [partial]
+
+        def offset_partials(part):
             partial = np.zeros(n)
             for chunk_id, adjacency in part:
                 offsets = adjacency.edge_offsets()
@@ -187,7 +269,11 @@ class BitmaskGraph:
                 partial[rb * block:rb * block + hi] += contrib[:hi]
             return [partial]
 
-        pieces = self.rdd.map_partitions(partials).collect()
+        if kernel == "csr":
+            pieces = self.csr_blocks().map_partitions(
+                csr_partials).collect()
+        else:
+            pieces = self.rdd.map_partitions(offset_partials).collect()
         result = np.zeros(n)
         for piece in pieces:
             result += piece

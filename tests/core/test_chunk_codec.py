@@ -124,3 +124,89 @@ class TestChunkShuffleByteIdentity:
         assert pickle.dumps(columnar_out) == pickle.dumps(generic_out)
         # the (offset, value) cell pairs ride packed batches
         assert snap.shuffle_batches > 0
+
+
+class TestOffsetChunkCodec:
+    """The OffsetArrayChunk columnar codec (matrix ↔ core)."""
+
+    def _chunks(self, count=4, num_cells=256):
+        from repro.matrix.offsets import OffsetArrayChunk
+
+        rng = np.random.default_rng(9)
+        out = []
+        for _i in range(count):
+            size = int(rng.integers(1, 20))
+            offsets = rng.choice(num_cells, size=size, replace=False)
+            out.append(OffsetArrayChunk(num_cells, offsets,
+                                        rng.random(size)))
+        return out
+
+    def test_roundtrip_pickle_identical(self):
+        from repro.core.chunk_codec import OffsetChunkValues
+
+        chunks = self._chunks()
+        packed = pack_values(chunks)
+        assert isinstance(packed, OffsetChunkValues)
+        assert pickle.dumps(packed.unpack()) == pickle.dumps(chunks)
+
+    def test_gather_matches_fancy_select(self):
+        chunks = self._chunks()
+        packed = pack_values(chunks)
+        idx = np.array([3, 1, 0])
+        assert pickle.dumps(packed.gather(idx).unpack()) \
+            == pickle.dumps([chunks[i] for i in idx])
+
+    def test_mixed_with_plain_chunks_refuses(self):
+        from repro.core.chunk_codec import probe_offset_chunks
+
+        chunks = self._chunks(2)
+        mixed = [chunks[0], _chunk(ChunkMode.SPARSE)]
+        assert probe_offset_chunks(mixed) is None
+        assert probe_offset_chunks([_chunk(ChunkMode.SPARSE)]) is None
+
+    def test_byte_limit_refuses_big_chunks(self):
+        from repro.core.chunk_codec import (
+            probe_offset_chunks,
+            probe_offset_chunks_for_spill,
+        )
+        from repro.matrix.offsets import OffsetArrayChunk
+
+        cells = 2048
+        big = [OffsetArrayChunk(cells, np.arange(cells),
+                                np.random.default_rng(1).random(cells))
+               for _i in range(2)]
+        assert probe_offset_chunks(big) is None  # ships by reference
+        assert probe_offset_chunks_for_spill(big) is not None
+
+    def test_object_payload_refuses(self):
+        from repro.core.chunk_codec import probe_offset_chunks
+        from repro.matrix.offsets import OffsetArrayChunk
+
+        chunk = OffsetArrayChunk(
+            8, np.array([1, 3]), np.array([object(), object()]))
+        assert probe_offset_chunks([chunk]) is None
+
+    def test_shuffle_byte_identity(self):
+        from repro.matrix.offsets import OffsetArrayChunk  # noqa: F401
+
+        def run(columnar):
+            ctx = ClusterContext(num_executors=2,
+                                 default_parallelism=2)
+            chunks = self._chunks(8)
+            data = list(enumerate(chunks))
+            with disable_columnar() if not columnar \
+                    else _nullcontext():
+                placed = ctx.parallelize(data, 2) \
+                    .partition_by(HashPartitioner(2))
+                return pickle.dumps(sorted(placed.collect(),
+                                           key=lambda kv: kv[0]))
+
+        assert run(columnar=True) == run(columnar=False)
+
+
+class _nullcontext:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False

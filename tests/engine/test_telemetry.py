@@ -543,3 +543,110 @@ class TestReportDriftGuards:
         # and no counters line at all when nothing moved
         assert "counters:" not in stage_breakdown(
             timings, counters=MetricsSnapshot())
+
+
+class TestNnzTelemetry:
+    """ISSUE 9: the sparse execution tier's skew visibility."""
+
+    def test_stats_gauges_shape(self):
+        from repro.engine.telemetry import NnzBalanceStats
+
+        stats = NnzBalanceStats()
+        assert stats.gauges() == {}
+        assert stats.last() == (None, None)
+        stats.record("matmul-k", [10.0, 30.0, 20.0])
+        assert stats.last() == ("matmul-k", [10.0, 30.0, 20.0])
+        gauges = stats.gauges()
+        assert gauges["partition_max"] == 30.0
+        assert gauges["partition_mean"] == pytest.approx(20.0)
+        assert gauges["imbalance"] == pytest.approx(1.5)
+        assert gauges["partitions"] == 3
+        stats.clear()
+        assert stats.gauges() == {}
+
+    def test_collect_sample_exposes_nnz_gauges(self):
+        from repro.engine.telemetry import collect_sample
+
+        ctx = ClusterContext(num_executors=2)
+        ctx.nnz_stats.record("graph-load", [5.0, 15.0])
+        sample = collect_sample(ctx)
+        assert sample["gauges"]["nnz.imbalance"] == pytest.approx(1.5)
+        assert sample["gauges"]["nnz.partitions"] == 2
+
+    def test_imbalance_rule_fires_and_dedups_per_stage(self):
+        from repro.engine.telemetry import NnzImbalance
+
+        ctx = ClusterContext(num_executors=2)
+        monitor = HealthMonitor(rules=[NnzImbalance(threshold=2.0)])
+        store = TimeSeriesStore()
+        ctx.nnz_stats.record("matmul-gather", [1.0, 1.0, 10.0])
+        skewed = {"t": 1.0, "gauges": {"nnz.imbalance": 2.5}}
+        events = monitor.evaluate(skewed, store, ctx)
+        assert len(events) == 1
+        assert events[0].rule == "nnz_imbalance"
+        assert "matmul-gather" in events[0].message
+        assert events[0].attrs["imbalance"] == 2.5
+        # same stage still hot: no re-emission
+        assert monitor.evaluate(skewed, store, ctx) == []
+        # balanced placement clears; a later skew re-fires
+        balanced = {"t": 2.0, "gauges": {"nnz.imbalance": 1.1}}
+        monitor.evaluate(balanced, store, ctx)
+        assert monitor.status() == "ok"
+        assert len(monitor.evaluate(skewed, store, ctx)) == 1
+
+    def test_configure_sets_nnz_threshold(self):
+        monitor = HealthMonitor()
+        monitor.configure(nnz_imbalance=7.5)
+        by_type = {type(rule).__name__: rule
+                   for rule in monitor.rules}
+        assert by_type["NnzImbalance"].threshold == 7.5
+
+    def test_nnz_gauges_reach_prometheus_and_top(self):
+        ctx = ClusterContext(num_executors=2,
+                             telemetry_interval=60.0)
+        try:
+            ctx.nnz_stats.record("partition_by_nnz", [2.0, 6.0])
+            ctx.telemetry_sampler.sample_once()
+            snapshot = ctx.telemetry_sampler.snapshot()
+            text = prometheus_text(snapshot)
+            assert "spangle_nnz_imbalance" in text
+            assert "nnz skew" in render_dashboard(snapshot)
+        finally:
+            ctx.shutdown()
+
+    def test_partition_by_nnz_records_loads(self):
+        import numpy as np
+
+        from repro.core import ArrayRDD
+
+        ctx = ClusterContext(num_executors=4, default_parallelism=4)
+        rng = np.random.default_rng(5)
+        dense = rng.random((64, 64))
+        dense[rng.random((64, 64)) >= 0.05] = 0.0
+        arr = ArrayRDD.from_numpy(ctx, dense, (8, 8),
+                                  valid=dense != 0)
+        balanced = arr.partition_by_nnz(4)
+        stage, loads = ctx.nnz_stats.last()
+        assert stage == "partition_by_nnz"
+        assert len(loads) == 4
+        values, _valid = balanced.collect_dense(fill=0.0)
+        np.testing.assert_array_equal(values, dense)
+        measured = balanced.nnz_by_partition()
+        assert sum(measured) == int((dense != 0).sum())
+        stage, _loads = ctx.nnz_stats.last()
+        assert stage == "measured"
+
+    def test_graph_nnz_balance_records_loads(self):
+        import numpy as np
+
+        from repro.ml import BitmaskGraph
+
+        ctx = ClusterContext(num_executors=2, default_parallelism=2)
+        rng = np.random.default_rng(11)
+        edges = rng.integers(0, 64, size=(300, 2))
+        graph = BitmaskGraph.from_edges(ctx, edges, 64,
+                                        block_size=16,
+                                        balance="nnz")
+        stage, loads = ctx.nnz_stats.last()
+        assert stage == "graph-load"
+        assert sum(loads) == graph.num_edges()

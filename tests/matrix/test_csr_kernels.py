@@ -1,0 +1,282 @@
+"""Tests for the CSR sparse execution tier in matrix multiply.
+
+Three layers under test: the block kernels (``_csr_join`` must be
+bit-identical to the legacy ``_coo_join``; the one-sided scatter
+kernel must agree with dense BLAS), the driver-side configuration
+surface (kernel kind, threshold override, nnz balancing), and the
+optimizer integration (the ``matmul_sparse_execution`` rule fires on
+sparse operands and the result stays byte-identical across kernels
+and backends).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.engine.costmodel import ClusterCostModel
+from repro.errors import EngineError
+from repro.matrix import SpangleMatrix
+from repro.matrix.multiply import (
+    SPARSE_KERNEL_THRESHOLD,
+    _BlockKernel,
+    _coo_join,
+    _csr_join,
+    _scatter_partial,
+    set_sparse_kernel,
+    set_sparse_threshold,
+    sparse_config,
+    sparse_threshold,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return ClusterContext(num_executors=4, default_parallelism=4)
+
+
+def sparse_ints(shape, density, seed, lo=-4, hi=5):
+    """Integer-valued sparse blocks: float64 arithmetic on small ints
+    is exact, so every kernel ordering must produce identical bytes."""
+    rng = np.random.default_rng(seed)
+    dense = rng.integers(lo, hi, size=shape).astype(np.float64)
+    dense[rng.random(shape) >= density] = 0.0
+    return dense
+
+
+def coo_triples(dense, seed):
+    """(rows, ks, vals) for a dense block, in Fortran offset order —
+    the order chunk.indices() yields them in."""
+    rows, cols = np.nonzero(dense.T)  # transpose → column-major walk
+    return (cols.astype(np.int64), rows.astype(np.int64),
+            dense[cols, rows])
+
+
+# ----------------------------------------------------------------------
+# join kernels
+# ----------------------------------------------------------------------
+
+class TestCsrJoin:
+    def test_bit_identical_to_coo_join(self):
+        a = sparse_ints((17, 23), 0.15, seed=3)
+        b = sparse_ints((23, 11), 0.2, seed=4)
+        a_rows, a_ks, a_vals = coo_triples(a, 3)
+        b_ks, b_cols, b_vals = coo_triples(b, 4)
+        shape = (17, 11)
+        coo = _coo_join(a_rows, a_ks, a_vals, b_ks, b_cols, b_vals,
+                        shape)
+        csr = _csr_join(a_rows, a_ks, a_vals, b_ks, b_cols, b_vals,
+                        shape)
+        assert coo is not None and csr is not None
+        np.testing.assert_array_equal(coo.rows, csr.rows)
+        np.testing.assert_array_equal(coo.cols, csr.cols)
+        # bit-identical values, not merely allclose
+        assert coo.vals.tobytes() == csr.vals.tobytes()
+
+    def test_no_matching_k_returns_none(self):
+        a = np.zeros((6, 8))
+        b = np.zeros((8, 5))
+        a[2, 0] = 3.0   # only k=0 on the left
+        b[7, 1] = 2.0   # only k=7 on the right
+        args = coo_triples(a, 0) + coo_triples(b, 0) + ((6, 5),)
+        assert _coo_join(*args) is None
+        assert _csr_join(*args) is None
+
+    def test_duplicate_k_expansion(self):
+        # several entries sharing one k on both sides → full cross
+        # product per k, in the COO path's repeat/tile order
+        a = np.zeros((4, 3))
+        a[0, 1] = 2.0
+        a[3, 1] = 5.0
+        b = np.zeros((3, 4))
+        b[1, 0] = 7.0
+        b[1, 3] = -1.0
+        args = coo_triples(a, 0) + coo_triples(b, 0) + ((4, 4),)
+        coo = _coo_join(*args)
+        csr = _csr_join(*args)
+        np.testing.assert_array_equal(coo.rows, csr.rows)
+        np.testing.assert_array_equal(coo.cols, csr.cols)
+        np.testing.assert_array_equal(coo.vals, csr.vals)
+        dense = np.zeros((4, 4))
+        np.add.at(dense, (csr.rows, csr.cols), csr.vals)
+        np.testing.assert_array_equal(dense, a @ b)
+
+
+class TestScatterKernel:
+    def _chunk(self, ctx, dense):
+        m = SpangleMatrix.from_numpy(ctx, dense, dense.shape)
+        (_cid, chunk), = m.array.rdd.collect()
+        return chunk
+
+    def test_sparse_left_dense_right(self, ctx):
+        a = sparse_ints((12, 9), 0.1, seed=5)
+        b = sparse_ints((9, 7), 0.9, seed=6)
+        out = _scatter_partial(self._chunk(ctx, a),
+                               self._chunk(ctx, b),
+                               a.shape, b.shape, sparse_on_left=True)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_dense_left_sparse_right(self, ctx):
+        a = sparse_ints((12, 9), 0.9, seed=7)
+        b = sparse_ints((9, 7), 0.1, seed=8)
+        out = _scatter_partial(self._chunk(ctx, a),
+                               self._chunk(ctx, b),
+                               a.shape, b.shape, sparse_on_left=False)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_all_zero_product_returns_none(self, ctx):
+        a = np.zeros((4, 4))
+        a[0, 0] = 1.0
+        b = np.zeros((4, 4))
+        b[3, 3] = 1.0  # a's k=0 never meets b's k=3
+        assert _scatter_partial(self._chunk(ctx, a),
+                                self._chunk(ctx, b),
+                                a.shape, b.shape,
+                                sparse_on_left=True) is None
+
+
+# ----------------------------------------------------------------------
+# configuration surface
+# ----------------------------------------------------------------------
+
+class TestSparseConfig:
+    def test_threshold_default_comes_from_cost_model(self):
+        model = ClusterCostModel()
+        assert sparse_threshold(model) == pytest.approx(
+            model.sparse_kernel_threshold())
+        # the calibrated default reproduces the legacy constant
+        assert sparse_threshold(model) == pytest.approx(
+            SPARSE_KERNEL_THRESHOLD, rel=0.5)
+
+    def test_threshold_fallback_without_model(self):
+        assert sparse_threshold(None) == SPARSE_KERNEL_THRESHOLD
+
+    def test_override_wins_over_model(self):
+        try:
+            set_sparse_threshold(0.123)
+            assert sparse_threshold(ClusterCostModel()) == 0.123
+        finally:
+            set_sparse_threshold(None)
+
+    def test_repro_level_exports(self):
+        import repro
+
+        assert repro.set_sparse_threshold is set_sparse_threshold
+        assert repro.sparse_config is sparse_config
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(EngineError):
+            set_sparse_kernel("blas")
+
+    def test_sparse_config_restores_state(self):
+        with sparse_config(kernel="coo", threshold=0.5, balance=False):
+            assert sparse_threshold(None) == 0.5
+        assert sparse_threshold(None) == SPARSE_KERNEL_THRESHOLD
+
+
+# ----------------------------------------------------------------------
+# end-to-end: kernels and backends agree byte-for-byte
+# ----------------------------------------------------------------------
+
+class TestEndToEnd:
+    def _product(self, ctx, seed=11, **config):
+        a = sparse_ints((40, 30), 0.05, seed=seed)
+        b = sparse_ints((30, 20), 0.05, seed=seed + 1)
+        ma = SpangleMatrix.from_numpy(ctx, a, (10, 10))
+        mb = SpangleMatrix.from_numpy(ctx, b, (10, 10))
+        if config:
+            with sparse_config(**config):
+                return a @ b, ma.multiply(mb).to_numpy()
+        return a @ b, ma.multiply(mb).to_numpy()
+
+    def test_csr_matches_numpy_exactly(self, ctx):
+        expected, got = self._product(ctx)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_kernels_byte_identical(self, ctx):
+        _, auto = self._product(ctx)
+        _, coo = self._product(ctx, kernel="coo", balance=False)
+        _, csr = self._product(ctx, kernel="csr")
+        _, dense = self._product(ctx, kernel="dense")
+        assert auto.tobytes() == coo.tobytes() == csr.tobytes() \
+            == dense.tobytes()
+
+    def test_backends_byte_identical(self):
+        serial = ClusterContext(num_executors=1,
+                                default_parallelism=1)
+        _, one = self._product(serial)
+        threaded = ClusterContext(num_executors=4,
+                                  default_parallelism=4)
+        _, many = self._product(threaded)
+        with ClusterContext(num_executors=2,
+                            backend="process") as ctx:
+            _, proc = self._product(ctx)
+        assert one.tobytes() == many.tobytes() == proc.tobytes()
+
+    def test_local_join_agrees(self, ctx):
+        a = sparse_ints((40, 30), 0.05, seed=21)
+        b = sparse_ints((30, 20), 0.05, seed=22)
+        ma = SpangleMatrix.from_numpy(ctx, a, (10, 10))
+        mb = SpangleMatrix.from_numpy(ctx, b, (10, 10))
+        shuffled = ma.multiply(mb).to_numpy()
+        local = ma.multiply(mb, local_join=True).to_numpy()
+        assert shuffled.tobytes() == local.tobytes()
+
+    def test_optimizer_rule_fires_on_sparse_operands(self, ctx):
+        a = sparse_ints((40, 30), 0.05, seed=31)
+        b = sparse_ints((30, 20), 0.05, seed=32)
+        ma = SpangleMatrix.from_numpy(ctx, a, (10, 10))
+        mb = SpangleMatrix.from_numpy(ctx, b, (10, 10))
+        text = ma.multiply(mb).explain(optimized=True)
+        assert "matmul_sparse_execution" in text
+        assert "kernel=" in text
+
+    def test_optimizer_rule_skips_dense_operands(self, ctx):
+        a = np.arange(1.0, 1201.0).reshape(40, 30)
+        b = np.arange(1.0, 601.0).reshape(30, 20)
+        ma = SpangleMatrix.from_numpy(ctx, a, (10, 10))
+        mb = SpangleMatrix.from_numpy(ctx, b, (10, 10))
+        product = ma.multiply(mb)
+        assert "matmul_sparse_execution" not in \
+            product.explain(optimized=True)
+        np.testing.assert_allclose(product.to_numpy(), a @ b)
+
+    def test_nnz_stats_recorded(self, ctx):
+        a = sparse_ints((40, 30), 0.05, seed=41)
+        b = sparse_ints((30, 20), 0.05, seed=42)
+        ma = SpangleMatrix.from_numpy(ctx, a, (10, 10))
+        mb = SpangleMatrix.from_numpy(ctx, b, (10, 10))
+        ctx.nnz_stats.clear()
+        ma.multiply(mb).to_numpy()
+        stage, loads = ctx.nnz_stats.last()
+        assert stage in ("matmul-k", "matmul-gather")
+        assert loads and min(loads) >= 0.0
+        assert ctx.nnz_stats.gauges()["imbalance"] >= 1.0
+
+
+# ----------------------------------------------------------------------
+# _BlockKernel contract
+# ----------------------------------------------------------------------
+
+class TestBlockKernel:
+    def test_pickles_by_value(self):
+        import pickle
+
+        kernel = _BlockKernel((4, 4), (4, 4), "csr", 0.02, 0.1)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.kind == "csr"
+        assert clone.gate == 0.02
+        assert clone.scatter_gate == 0.1
+        assert clone.left_shape == (4, 4)
+
+    def test_empty_block_short_circuits(self, ctx):
+        dense = np.zeros((4, 4))
+        dense[1, 2] = 1.0
+        m = SpangleMatrix.from_numpy(ctx, dense, (4, 4),
+                                     sparse_zeros=False)
+        (_cid, chunk), = m.array.rdd.collect()
+        from repro.core.chunk import Chunk
+
+        empty = Chunk.empty(16)
+        kernel = _BlockKernel((4, 4), (4, 4), "csr", 0.02, 0.1)
+        assert kernel(empty, chunk) is None
+        assert kernel(chunk, empty) is None
