@@ -1,0 +1,229 @@
+"""Pipelined vs barrier scheduling — overlap on independent stages.
+
+The pipelined scheduler (the default on parallel contexts) launches a
+stage's shuffle map tasks the moment its inputs are materialized, so
+the independent sides of a join run concurrently where the barrier
+scheduler (``disable_pipelining()``) materializes them one after the
+other. Two workloads measure that contract from both directions:
+
+- **join-overlap** — a two-sided shuffle join whose map tasks block
+  for a fixed interval (GIL-releasing work, modeling the I/O- and
+  network-bound maps of a real cluster). With both sides overlapped
+  the job's wall time collapses toward one side's; asserted at
+  ``>= MIN_OVERLAP_SPEEDUP``. A CPU-bound variant (``np.dot`` work,
+  NumPy releases the GIL) is also measured, and asserted only on
+  machines with >= 4 cores where the kernels can truly run in
+  parallel.
+- **chain-overhead** — three chained shuffles with nothing to
+  overlap: the pipelined scheduler's event loop, per-stage locks, and
+  readiness bookkeeping must cost nothing, so pipelined wall time
+  stays within ``OVERHEAD_CEILING`` of the barrier loop
+  (min-over-repeats on both sides).
+
+Both workloads also assert byte-identical results across the two
+schedulers — overlap must never change what a job returns.
+
+Run as a script to emit the JSON artifact (plus a replayable trace
+event log of the overlapped join)::
+
+    PYTHONPATH=src python benchmarks/test_pipeline_overlap.py pipeline-overlap.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+
+import numpy as np
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/test_pipeline_overlap.py` (the CI smoke
+    # job) as well as `pytest benchmarks/`
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+from benchmarks.harness import print_table, write_trace_artifact
+from repro.engine import ClusterContext, HashPartitioner, disable_pipelining
+
+#: overlapped two-sided join must beat the barrier loop by this much
+MIN_OVERLAP_SPEEDUP = 1.4
+#: and on a pure chain the pipelining machinery must be ~free
+OVERHEAD_CEILING = 1.05
+
+EXECUTORS = 4
+PARTS_PER_SIDE = 2
+KEYS = 8
+RECORDS_PER_SIDE = 40
+TASK_BLOCK_S = 0.04
+CHAIN_TASK_BLOCK_S = 0.02
+REPEATS = 3
+#: CPU-bound variant: np.dot passes per map task over this square size
+DOT_SIZE = 256
+DOT_PASSES = 6
+
+
+def _context(trace: bool = False) -> ClusterContext:
+    return ClusterContext(num_executors=EXECUTORS, use_threads=True,
+                          default_parallelism=EXECUTORS, trace=trace)
+
+
+def _blocking_map(kv):
+    time.sleep(TASK_BLOCK_S)
+    return kv
+
+
+def _chain_map(kv):
+    time.sleep(CHAIN_TASK_BLOCK_S)
+    return kv
+
+
+def _dot_map(kv):
+    block = np.full((DOT_SIZE, DOT_SIZE), float(kv[1] % 7 + 1))
+    for _ in range(DOT_PASSES):
+        block = np.dot(block, block) / DOT_SIZE
+    return (kv[0], kv[1] + int(block[0, 0]) % 2)
+
+
+def _two_sided_join(ctx, mapper):
+    left = ctx.parallelize(
+        [(i % KEYS, i) for i in range(RECORDS_PER_SIDE)],
+        PARTS_PER_SIDE).map(mapper)
+    right = ctx.parallelize(
+        [(i % KEYS, -i) for i in range(RECORDS_PER_SIDE)],
+        PARTS_PER_SIDE).map(mapper)
+    return left.join(right).collect()
+
+
+def _three_stage_chain(ctx):
+    pairs = ctx.parallelize(
+        [(i % KEYS, i) for i in range(RECORDS_PER_SIDE)],
+        PARTS_PER_SIDE)
+    return (pairs.map(_chain_map)
+                 .reduce_by_key(lambda a, b: a + b)
+                 .map(_chain_map)
+                 .reduce_by_key(lambda a, b: a + b,
+                                partitioner=HashPartitioner(PARTS_PER_SIDE))
+                 .map(_chain_map)
+                 .reduce_by_key(lambda a, b: a + b)
+                 .collect())
+
+
+def _measure(workload, pipelined: bool) -> dict:
+    walls = []
+    result = None
+    for _ in range(REPEATS):
+        toggle = disable_pipelining() if not pipelined else None
+        try:
+            with _context() as ctx:
+                start = time.perf_counter()
+                result = workload(ctx)
+                walls.append(time.perf_counter() - start)
+        finally:
+            if toggle is not None:
+                toggle.__exit__(None, None, None)
+    return {"wall_s": min(walls), "walls_s": walls, "result": result}
+
+
+def run() -> dict:
+    workloads = {
+        "join_blocking": lambda ctx: _two_sided_join(ctx, _blocking_map),
+        "join_cpu": lambda ctx: _two_sided_join(ctx, _dot_map),
+        "chain": _three_stage_chain,
+    }
+    results = {}
+    for name, workload in workloads.items():
+        barrier = _measure(workload, pipelined=False)
+        pipelined = _measure(workload, pipelined=True)
+        assert pickle.dumps(barrier["result"]) \
+            == pickle.dumps(pipelined["result"]), name
+        results[name] = {
+            "barrier_wall_s": barrier["wall_s"],
+            "pipelined_wall_s": pipelined["wall_s"],
+            "barrier_walls_s": barrier["walls_s"],
+            "pipelined_walls_s": pipelined["walls_s"],
+            "speedup": barrier["wall_s"] / max(pipelined["wall_s"], 1e-9),
+        }
+
+    artifact = {
+        "executors": EXECUTORS,
+        "parts_per_side": PARTS_PER_SIDE,
+        "task_block_s": TASK_BLOCK_S,
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "min_overlap_speedup": MIN_OVERLAP_SPEEDUP,
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "workloads": results,
+    }
+    print_table(
+        "pipelined vs barrier scheduling (thread backend, min of "
+        f"{REPEATS})",
+        ["workload", "barrier", "pipelined", "speedup"],
+        [
+            [name,
+             f"{row['barrier_wall_s'] * 1e3:.1f}ms",
+             f"{row['pipelined_wall_s'] * 1e3:.1f}ms",
+             f"{row['speedup']:.2f}x"]
+            for name, row in results.items()
+        ],
+    )
+    return artifact
+
+
+def test_pipeline_overlap():
+    artifact = run()
+    workloads = artifact["workloads"]
+    # blocking maps overlap regardless of core count: the barrier loop
+    # pays both join sides in sequence, the pipelined scheduler pays
+    # the slower one
+    blocking = workloads["join_blocking"]
+    assert blocking["speedup"] >= MIN_OVERLAP_SPEEDUP, (
+        f"two-sided join sped up only {blocking['speedup']:.2f}x "
+        f"(barrier {blocking['barrier_wall_s']:.3f}s vs pipelined "
+        f"{blocking['pipelined_wall_s']:.3f}s)")
+    # CPU-bound maps need real cores to overlap; on smaller machines
+    # the numbers are still recorded in the artifact
+    if (os.cpu_count() or 1) >= 4:
+        cpu = workloads["join_cpu"]
+        assert cpu["speedup"] >= MIN_OVERLAP_SPEEDUP, (
+            f"CPU-bound join sped up only {cpu['speedup']:.2f}x on "
+            f"{os.cpu_count()} cores")
+    # a pure chain has no independent stages: pipelining must not slow
+    # it down beyond timer noise
+    chain = workloads["chain"]
+    overhead = chain["pipelined_wall_s"] / max(chain["barrier_wall_s"],
+                                               1e-9)
+    assert overhead <= OVERHEAD_CEILING, (
+        f"pipelined chain paid {overhead:.3f}x over the barrier loop")
+
+
+def main(json_path: str = None) -> dict:
+    artifact = run()
+    if json_path:
+        # one traced pipelined run of the overlapped join, for the
+        # Chrome-trace / `repro trace` artifacts: the two cogroup-side
+        # stage spans visibly overlap and carry depends_on edges
+        with _context(trace=True) as ctx:
+            _two_sided_join(ctx, _blocking_map)
+            stage_spans = [
+                {"name": span.name,
+                 "start_s": span.start_s,
+                 "end_s": span.end_s,
+                 "depends_on": span.attrs.get("depends_on")}
+                for span in ctx.tracer.spans()
+                if span.kind in ("shuffle", "result")]
+            artifact["trace"] = write_trace_artifact(ctx, json_path)
+            artifact["trace"]["stage_spans"] = stage_spans
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+    print(json.dumps(artifact, indent=2))
+    return artifact
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -55,7 +55,13 @@ from repro.engine.partitioner import (
     RangePartitioner,
 )
 from repro.engine.rdd import RDD
-from repro.engine.scheduler import ExecutorPool, StageScheduler
+from repro.engine.scheduler import (
+    ExecutorPool,
+    StageScheduler,
+    disable_pipelining,
+    enable_pipelining,
+    pipelining_enabled,
+)
 from repro.engine.storage import (
     CacheManager,
     CostAwareEviction,
@@ -103,7 +109,10 @@ __all__ = [
     "WorkerHeartbeats",
     "columnar_enabled",
     "disable_columnar",
+    "disable_pipelining",
     "enable_columnar",
+    "enable_pipelining",
     "memory_report",
+    "pipelining_enabled",
     "prometheus_text",
 ]

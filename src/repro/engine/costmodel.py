@@ -122,6 +122,46 @@ class ClusterCostModel:
         transfer = max(int(nbytes), 0) / self.network_bandwidth_bytes_s
         return transfer + max(int(num_tasks), 0) * self.task_overhead_s
 
+    def serial_job_seconds(self, stage_seconds: dict) -> float:
+        """Modeled job time when stages run one at a time behind
+        barriers (``disable_pipelining()``): the sum over stages.
+
+        ``stage_seconds`` maps a stage key to its modeled seconds; the
+        keys only need to match the ``deps`` mapping handed to
+        :meth:`pipelined_job_seconds`.
+        """
+        return float(sum(stage_seconds.values()))
+
+    def pipelined_job_seconds(self, stage_seconds: dict,
+                              deps: dict) -> float:
+        """Modeled job time under the pipelined scheduler: the critical
+        path through the stage DAG — the heaviest dependency chain —
+        instead of the barrier scheduler's sum-of-stages.
+
+        ``stage_seconds`` maps a stage key to its modeled seconds and
+        ``deps`` maps a stage key to the keys it depends on (absent
+        keys depend on nothing). A stage can start the moment its last
+        dependency finishes and independent stages overlap perfectly,
+        so each stage's modeled finish time is its own cost plus the
+        latest dependency finish; the job takes as long as the latest
+        stage. Equals :meth:`serial_job_seconds` for a pure chain,
+        and the max over stages for fully independent ones.
+        """
+        memo = {}
+
+        def finish_time(key):
+            if key in memo:
+                return memo[key]
+            memo[key] = 0.0  # cycle guard: a revisit contributes nothing
+            upstream = max(
+                (finish_time(dep) for dep in deps.get(key, ())),
+                default=0.0)
+            memo[key] = float(stage_seconds.get(key, 0.0)) + upstream
+            return memo[key]
+
+        return max((finish_time(key) for key in stage_seconds),
+                   default=0.0)
+
     def sparse_kernel_threshold(self) -> float:
         """Density below which sparse partial products beat BLAS.
 

@@ -344,6 +344,8 @@ class RDD:
         self._checkpoint_lock = threading.Lock()
         self._compute_locks = {}
         self._compute_locks_guard = threading.Lock()
+        self._mat_locks = {}
+        self._mat_locks_guard = threading.Lock()
         self._lineage_hint_cache = None
 
     # ------------------------------------------------------------------
@@ -403,6 +405,23 @@ class RDD:
                 lock = self._compute_locks[index] = threading.Lock()
             return lock
 
+    def _materialize_lock(self, which) -> threading.Lock:
+        """The per-(rdd, which) shuffle-stage materialize lock.
+
+        Concurrent callers of one map stage — two driver jobs sharing a
+        cached upstream, or the pipelined scheduler racing a direct
+        ``_fetch_shuffle`` — serialize here and double-check the stored
+        buckets, so a stage's map tasks run at most once. ``which`` is
+        the :class:`CoGroupedRDD` parent slot (``None`` for a
+        :class:`ShuffledRDD`); each slot gets its own lock so the two
+        sides of a cogroup can materialize concurrently.
+        """
+        with self._mat_locks_guard:
+            lock = self._mat_locks.get(which)
+            if lock is None:
+                lock = self._mat_locks[which] = threading.Lock()
+            return lock
+
     # ------------------------------------------------------------------
     # process-boundary pickling
     # ------------------------------------------------------------------
@@ -420,6 +439,8 @@ class RDD:
         state["_checkpoint_lock"] = None
         state["_compute_locks"] = {}
         state["_compute_locks_guard"] = None
+        state["_mat_locks"] = {}
+        state["_mat_locks_guard"] = None
         state.pop("_lock", None)
         while True:
             try:
@@ -434,6 +455,8 @@ class RDD:
         self._checkpoint_lock = threading.Lock()
         self._compute_locks = {}
         self._compute_locks_guard = threading.Lock()
+        self._mat_locks = {}
+        self._mat_locks_guard = threading.Lock()
         self._lock = threading.Lock()
 
     def persist(self, level: StorageLevel = StorageLevel.MEMORY) -> "RDD":
@@ -935,7 +958,149 @@ class CoalescedRDD(RDD):
         return out
 
 
-class ShuffledRDD(RDD):
+class _ShuffleStageBase(RDD):
+    """Shared map-stage machinery for the two wide-dependency RDDs.
+
+    A shuffle map stage is the same thing on a :class:`ShuffledRDD` and
+    on one parent slot of a :class:`CoGroupedRDD`: run one map task per
+    parent partition, merge the per-task buckets in parent-partition
+    order (the byte-identity contract), record the shuffle metrics, and
+    store the buckets. This base factors the pieces so the barrier path
+    (:meth:`materialize_stage`) and the pipelined scheduler — which
+    submits :meth:`run_shuffle_map_task` calls itself and commits via
+    :meth:`commit_shuffle` when the last output lands — execute the
+    exact same task bodies and merge.
+
+    ``which`` selects the cogroup parent slot and is ``None`` for a
+    plain shuffle throughout.
+    """
+
+    def shuffle_parent(self, which) -> RDD:
+        """The map-side parent of stage ``which``."""
+        return self.dependencies[0 if which is None else which]
+
+    def shuffle_label(self, which) -> str:
+        """The stage's span/timing label."""
+        raise NotImplementedError
+
+    def shuffle_ready(self, which) -> bool:
+        """Whether stage ``which`` already has materialized buckets."""
+        return self._peek_buckets(which) is not None
+
+    def _peek_buckets(self, which):
+        """The stored buckets of stage ``which``, or None."""
+        raise NotImplementedError
+
+    def _store_buckets(self, which, buckets) -> None:
+        raise NotImplementedError
+
+    def run_shuffle_map_task(self, which, parent_index, stage_span):
+        """One traced, retried shuffle map task (any thread).
+
+        Returns the ``(buckets, records, bytes, batch_stats)`` tuple of
+        ``_map_task``; under the process backend the body round-trips
+        through a worker instead.
+        """
+        tracer = self.context.tracer
+        runner = self.context.process_runner
+        with tracer.span("map_task", "task", parent=stage_span,
+                         partition=parent_index) as task_span:
+            if runner is not None:
+                def attempt():
+                    return runner.run_shuffle_map(
+                        self, which, parent_index, task_span)
+            elif which is None:
+                def attempt():
+                    return self._map_task(parent_index)
+            else:
+                def attempt():
+                    return self._map_task(which, parent_index)
+            out = run_task_with_retries(self.context, parent_index,
+                                        attempt)
+            task_span.set(records=out[1], bytes=out[2])
+            return out
+
+    def commit_shuffle(self, which, outputs, span, start_s) -> list:
+        """Merge map outputs in parent-partition order and store them.
+
+        The caller holds the stage's materialize lock. ``outputs`` is
+        one ``_map_task`` tuple per parent partition, in parent order —
+        whatever order the tasks finished in.
+        """
+        metrics = self.context.metrics
+        parent = self.shuffle_parent(which)
+        buckets = [[] for _ in range(self.num_partitions)]
+        total_records = 0
+        total_bytes = 0
+        total_batches = 0
+        total_batch_records = 0
+        for task_buckets, records, nbytes, stats in outputs:
+            for target, segment in enumerate(task_buckets):
+                if segment:
+                    buckets[target].append(segment)
+            total_records += records
+            total_bytes += nbytes
+            total_batches += stats[0]
+            total_batch_records += stats[1]
+        span.set(records=total_records, bytes=total_bytes,
+                 batches=total_batches)
+        metrics.record_shuffle(total_records, total_bytes)
+        if total_batches:
+            metrics.record_shuffle_batches(total_batches,
+                                           total_batch_records)
+        metrics.record_stage_timing(
+            self.shuffle_label(which), "shuffle",
+            time.perf_counter() - start_s, parent.num_partitions)
+        self._store_buckets(which, buckets)
+        return buckets
+
+    def materialize_stage(self, which, pool=None, depends_on=None,
+                          parent_span=None) -> list:
+        """Barrier-materialize one shuffle map stage, idempotently.
+
+        Map tasks for every parent partition run concurrently when an
+        :class:`~repro.engine.scheduler.ExecutorPool` is given; the
+        merge happens once, in parent-partition order, so the threaded
+        result is byte-identical to the serial one. Concurrent callers
+        serialize on the per-``(rdd, which)`` lock and double-check the
+        stored buckets, so map tasks never double-run.
+
+        ``depends_on`` / ``parent_span`` let the scheduler stamp its
+        stage-graph edges onto the stage span; direct callers omit them.
+        """
+        with self._materialize_lock(which):
+            ready = self._peek_buckets(which)
+            if ready is not None:
+                return ready
+            parent = self.shuffle_parent(which)
+            metrics = self.context.metrics
+            tracer = self.context.tracer
+            metrics.record_stage()
+            start = time.perf_counter()
+            attrs = {"num_tasks": parent.num_partitions}
+            if depends_on is not None:
+                attrs["depends_on"] = depends_on
+                attrs["ready_at"] = start
+                attrs["launched_at"] = start
+            span = tracer.start(self.shuffle_label(which), "shuffle",
+                                parent=parent_span, detached=True,
+                                **attrs)
+            try:
+                def run_map_task(parent_index):
+                    return self.run_shuffle_map_task(which, parent_index,
+                                                     span)
+
+                indices = range(parent.num_partitions)
+                if pool is not None:
+                    outputs = pool.map_tasks(run_map_task, indices)
+                else:
+                    outputs = [run_map_task(index) for index in indices]
+                return self.commit_shuffle(which, outputs, span, start)
+            finally:
+                tracer.finish(span)
+
+
+class ShuffledRDD(_ShuffleStageBase):
     """A wide dependency: re-bucket (key, value) records by a partitioner.
 
     The combiner triple mirrors Spark's ``combineByKey``. When the parent
@@ -1100,69 +1265,22 @@ class ShuffledRDD(RDD):
         return buckets, num_records, total_bytes, (num_batches,
                                                    batch_records)
 
+    def shuffle_label(self, which) -> str:
+        return self.name
+
+    def _peek_buckets(self, which):
+        return self._buckets
+
+    def _store_buckets(self, which, buckets) -> None:
+        self._buckets = buckets
+
     def materialize(self, pool=None) -> list:
         """Materialize map-side buckets for every reducer (once).
 
-        With an :class:`~repro.engine.scheduler.ExecutorPool`, map tasks
-        for all parent partitions run concurrently; the merge happens
-        once, in parent-partition order, so the threaded result is
-        byte-identical to the serial one.
+        Idempotent under concurrent callers; see
+        :meth:`_ShuffleStageBase.materialize_stage`.
         """
-        with self._lock:
-            if self._buckets is not None:
-                return self._buckets
-            parent = self.dependencies[0]
-            metrics = self.context.metrics
-            tracer = self.context.tracer
-            metrics.record_stage()
-            start = time.perf_counter()
-            runner = self.context.process_runner
-            with tracer.span(self.name, "shuffle",
-                             num_tasks=parent.num_partitions) as span:
-                def run_map_task(parent_index):
-                    with tracer.span("map_task", "task", parent=span,
-                                     partition=parent_index) as task_span:
-                        if runner is not None:
-                            def attempt():
-                                return runner.run_shuffle_map(
-                                    self, None, parent_index, task_span)
-                        else:
-                            def attempt():
-                                return self._map_task(parent_index)
-                        out = run_task_with_retries(
-                            self.context, parent_index, attempt)
-                        task_span.set(records=out[1], bytes=out[2])
-                        return out
-
-                indices = range(parent.num_partitions)
-                if pool is not None:
-                    outputs = pool.map_tasks(run_map_task, indices)
-                else:
-                    outputs = [run_map_task(index) for index in indices]
-                buckets = [[] for _ in range(self.num_partitions)]
-                total_records = 0
-                total_bytes = 0
-                total_batches = 0
-                total_batch_records = 0
-                for task_buckets, records, nbytes, stats in outputs:
-                    for target, segment in enumerate(task_buckets):
-                        if segment:
-                            buckets[target].append(segment)
-                    total_records += records
-                    total_bytes += nbytes
-                    total_batches += stats[0]
-                    total_batch_records += stats[1]
-                span.set(records=total_records, bytes=total_bytes,
-                         batches=total_batches)
-            metrics.record_shuffle(total_records, total_bytes)
-            if total_batches:
-                metrics.record_shuffle_batches(total_batches,
-                                               total_batch_records)
-            metrics.record_stage_timing(
-                self.name, "shuffle", time.perf_counter() - start,
-                parent.num_partitions)
-            self._buckets = buckets
-            return buckets
+        return self.materialize_stage(None, pool=pool)
 
     def _fetch_shuffle(self) -> list:
         buckets = self._buckets
@@ -1172,7 +1290,7 @@ class ShuffledRDD(RDD):
 
     def invalidate_shuffle(self) -> None:
         """Drop materialized map output (used by fault-injection tests)."""
-        with self._lock:
+        with self._materialize_lock(None):
             self._buckets = None
 
     def _columnar_narrow_combine(self, records):
@@ -1281,7 +1399,7 @@ class ShuffledRDD(RDD):
         return list(merged.items())
 
 
-class CoGroupedRDD(RDD):
+class CoGroupedRDD(_ShuffleStageBase):
     """Group several pair-RDDs by key: ``(key, [values_0, values_1, ...])``.
 
     Parents whose partitioner equals the target partitioner contribute
@@ -1359,67 +1477,23 @@ class CoGroupedRDD(RDD):
         return buckets, num_records, total_bytes, (num_batches,
                                                    num_records)
 
+    def shuffle_label(self, which) -> str:
+        return f"{self.name}[{which}]"
+
+    def _peek_buckets(self, which):
+        return self._buckets[which]
+
+    def _store_buckets(self, which, buckets) -> None:
+        self._buckets[which] = buckets
+
     def materialize_parent(self, which: int, pool=None) -> list:
         """Materialize the shuffle of one wide parent (once).
 
-        Map tasks run concurrently on ``pool`` when given; buckets are
-        merged in parent-partition order for determinism.
+        Each parent slot has its own materialize lock, so the two
+        sides of a cogroup can materialize concurrently; see
+        :meth:`_ShuffleStageBase.materialize_stage`.
         """
-        with self._lock:
-            if self._buckets[which] is not None:
-                return self._buckets[which]
-            parent = self.dependencies[which]
-            metrics = self.context.metrics
-            tracer = self.context.tracer
-            metrics.record_stage()
-            start = time.perf_counter()
-            runner = self.context.process_runner
-            with tracer.span(f"{self.name}[{which}]", "shuffle",
-                             num_tasks=parent.num_partitions) as span:
-                def run_map_task(parent_index):
-                    with tracer.span("map_task", "task", parent=span,
-                                     partition=parent_index) as task_span:
-                        if runner is not None:
-                            def attempt():
-                                return runner.run_shuffle_map(
-                                    self, which, parent_index, task_span)
-                        else:
-                            def attempt():
-                                return self._map_task(which, parent_index)
-                        out = run_task_with_retries(
-                            self.context, parent_index, attempt)
-                        task_span.set(records=out[1], bytes=out[2])
-                        return out
-
-                indices = range(parent.num_partitions)
-                if pool is not None:
-                    outputs = pool.map_tasks(run_map_task, indices)
-                else:
-                    outputs = [run_map_task(index) for index in indices]
-                buckets = [[] for _ in range(self.num_partitions)]
-                total_records = 0
-                total_bytes = 0
-                total_batches = 0
-                total_batch_records = 0
-                for task_buckets, records, nbytes, stats in outputs:
-                    for target, segment in enumerate(task_buckets):
-                        if segment:
-                            buckets[target].append(segment)
-                    total_records += records
-                    total_bytes += nbytes
-                    total_batches += stats[0]
-                    total_batch_records += stats[1]
-                span.set(records=total_records, bytes=total_bytes,
-                         batches=total_batches)
-            metrics.record_shuffle(total_records, total_bytes)
-            if total_batches:
-                metrics.record_shuffle_batches(total_batches,
-                                               total_batch_records)
-            metrics.record_stage_timing(
-                f"{self.name}[{which}]", "shuffle",
-                time.perf_counter() - start, parent.num_partitions)
-            self._buckets[which] = buckets
-            return buckets
+        return self.materialize_stage(which, pool=pool)
 
     def _fetch_parent_shuffle(self, which: int) -> list:
         buckets = self._buckets[which]

@@ -764,7 +764,10 @@ def collect_sample(context) -> dict:
     pool = getattr(context, "executor_pool", None)
     if pool is not None:
         for name, value in pool.gauges().items():
-            gauges[f"pool.{name}"] = value
+            # the pool carries a few gauges it maintains on behalf of
+            # other subsystems (the scheduler's stage-occupancy pair);
+            # those arrive pre-namespaced and keep their own prefix
+            gauges[name if "." in name else f"pool.{name}"] = value
     nnz_stats = getattr(context, "nnz_stats", None)
     if nnz_stats is not None:
         for name, value in nnz_stats.gauges().items():

@@ -38,7 +38,9 @@ DASHBOARD_SERIES = (
                 ("shm.resident_bytes", "shm", "bytes", False))),
     ("tasks", (("counter.tasks_launched", "tasks/s", "rate", True),
                ("pool.busy_threads", "busy", "plain", False),
-               ("pool.queued_tasks", "queued", "plain", False))),
+               ("pool.queued_tasks", "queued", "plain", False),
+               ("scheduler.ready_stages", "ready", "plain", False),
+               ("scheduler.inflight_stages", "inflight", "plain", False))),
     ("shuffle", (("counter.shuffle_bytes", "bytes/s", "bytes", True),
                  ("counter.shuffle_records", "recs/s", "rate", True),
                  ("counter.cache_spills", "spills/s", "rate", True),

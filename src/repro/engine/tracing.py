@@ -199,12 +199,19 @@ class Tracer:
         stack = self._state().stack
         return stack[-1] if stack else None
 
-    def start(self, name: str, kind: str, parent=None, **attrs):
+    def start(self, name: str, kind: str, parent=None, detached=False,
+              **attrs):
         """Open a span; returns it (or :data:`NULL_SPAN` when disabled).
 
         ``parent`` overrides the implicit thread-local parent — required
         for task spans, which open on executor threads whose stacks do
         not contain the driver-side stage span.
+
+        ``detached`` spans never join the thread-local stack: the
+        pipelined scheduler keeps several stage spans open on the driver
+        thread at once, and stacking them would make each look like the
+        previous one's child. Detached spans do not become the implicit
+        parent of anything; give their children an explicit ``parent``.
         """
         if not self.enabled:
             return NULL_SPAN
@@ -214,7 +221,8 @@ class Tracer:
         parent_id = parent.span_id if isinstance(parent, Span) else None
         span = Span(next(self._ids), parent_id, name, kind,
                     time.perf_counter(), state.thread, attrs)
-        state.stack.append(span)
+        if not detached:
+            state.stack.append(span)
         return span
 
     def finish(self, span) -> None:
@@ -235,12 +243,13 @@ class Tracer:
                 self._spans.extend(state.buffer)
             state.buffer.clear()
 
-    def span(self, name: str, kind: str, parent=None, **attrs):
+    def span(self, name: str, kind: str, parent=None, detached=False,
+             **attrs):
         """``with tracer.span(...) as span:`` — start/finish paired."""
         if not self.enabled:
             return NULL_SPAN
         return _SpanHandle(self, self.start(name, kind, parent=parent,
-                                            **attrs))
+                                            detached=detached, **attrs))
 
     def event(self, name: str, kind: str, parent=None, **attrs) -> None:
         """A zero-duration annotation under the current span."""
@@ -323,14 +332,23 @@ class Tracer:
 # logical tree (the serial == threaded determinism contract)
 # ----------------------------------------------------------------------
 
+#: span attributes that carry wall-clock observations, not logic — the
+#: pipelined scheduler stamps stage readiness/launch times on stage
+#: spans, and those (like start_s/end_s) legitimately differ run to run
+_TIMING_ATTRS = frozenset({"ready_at", "launched_at"})
+
+
 def _logical_attrs(span: Span) -> tuple:
     """Attributes that must match between scheduler modes.
 
     Everything the engine records is logical (bytes, records, counts);
     values are rendered with ``repr`` so heterogeneous types sort.
+    Wall-clock attributes (:data:`_TIMING_ATTRS`) are erased alongside
+    span timings.
     """
     return tuple(sorted(
-        (key, repr(value)) for key, value in span.attrs.items()))
+        (key, repr(value)) for key, value in span.attrs.items()
+        if key not in _TIMING_ATTRS))
 
 
 def logical_tree(spans, exclude_kinds=frozenset({"cache"})) -> tuple:

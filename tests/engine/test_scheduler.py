@@ -4,13 +4,17 @@ Serial (``use_threads=False``, the default), threaded, and
 process-backend execution must return byte-identical results and
 identical logical metrics — jobs, stages, tasks, shuffle records/bytes
 — across every lineage shape the engine supports, including under
-fault injection. Task *ordering* and wall-clock observations are
-allowed to differ.
+fault injection. The pipelined scheduler (overlapped stage execution,
+the default on parallel contexts) must match the barrier scheduler
+(``disable_pipelining()``) the same way. Task *ordering* and
+wall-clock observations are allowed to differ.
 """
 
 import contextlib
 import pickle
+import random
 import threading
+import time
 
 import pytest
 
@@ -19,8 +23,11 @@ from repro.engine import (
     ExecutorPool,
     HashPartitioner,
     disable_columnar,
+    disable_pipelining,
+    pipelining_enabled,
 )
 from repro.engine.explain import stage_breakdown
+from repro.engine.tracing import logical_tree
 from repro.errors import TaskFailure
 
 # counters that must not depend on the execution mode
@@ -129,9 +136,11 @@ SCENARIOS = {
 }
 
 
-def _run(use_threads, scenario, columnar=True, backend="thread"):
+def _run(use_threads, scenario, columnar=True, backend="thread",
+         pipelined=True):
     toggle = contextlib.nullcontext() if columnar else disable_columnar()
-    with toggle, \
+    sched = contextlib.nullcontext() if pipelined else disable_pipelining()
+    with toggle, sched, \
             ClusterContext(num_executors=4, use_threads=use_threads,
                            backend=backend) as ctx:
         before = ctx.metrics.snapshot()
@@ -185,6 +194,190 @@ class TestDeterminismContract:
             # one shuffle from partition_by; the co-partitioned
             # reduce_by_key narrows and moves nothing extra
             assert delta.shuffles_performed == 1
+
+
+def _random_dag_scenario(seed):
+    """A deterministic random multi-shuffle DAG built from ``seed``.
+
+    Joins, cogroups, and union+reduce combine random pair-RDD leaves
+    until one remains — diamonds and chains of varying width, always
+    over ``(int, int)`` records so every mode shuffles the same bytes.
+    """
+
+    def scenario(ctx):
+        rng = random.Random(seed)
+
+        def leaf():
+            n = rng.randint(20, 60)
+            k = rng.randint(3, 7)
+            return ctx.parallelize([(i % k, i) for i in range(n)],
+                                   rng.randint(2, 4))
+
+        rdds = [leaf() for _ in range(rng.randint(2, 4))]
+        while len(rdds) > 1:
+            a = rdds.pop(rng.randrange(len(rdds)))
+            b = rdds.pop(rng.randrange(len(rdds)))
+            op = rng.choice(("join", "cogroup", "union_reduce"))
+            if op == "join":
+                merged = a.join(b).map_values(lambda v: v[0] + v[1])
+            elif op == "cogroup":
+                merged = a.cogroup(b).map_values(
+                    lambda groups: sum(groups[0]) - sum(groups[1]))
+            else:
+                merged = a.union(b).reduce_by_key(lambda x, y: x + y)
+            if rng.random() < 0.5:
+                merged = merged.map_values(lambda v: v * 2)
+            rdds.append(merged)
+        return rdds[0].collect()
+
+    return scenario
+
+
+class TestPipelinedContract:
+    """pipelined == barrier byte-identity, across all three backends."""
+
+    MODES = {
+        "serial": dict(use_threads=False, backend="thread"),
+        "thread": dict(use_threads=True, backend="thread"),
+        "process": dict(use_threads=False, backend="process"),
+    }
+
+    # the process backend forks workers per context, so it covers the
+    # multi-stage scenarios (where pipelining actually engages) rather
+    # than re-running every single-stage shape at fork cost
+    PROCESS_SCENARIOS = ("cogroup", "join", "nested_shuffles")
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_pipelined_matches_barrier(self, name, mode):
+        if mode == "process" and name not in self.PROCESS_SCENARIOS:
+            pytest.skip("process backend covers multi-stage scenarios")
+        scenario = SCENARIOS[name]
+        kwargs = self.MODES[mode]
+        barrier_result, barrier_delta = _run(
+            scenario=scenario, pipelined=False, **kwargs)
+        pipelined_result, pipelined_delta = _run(
+            scenario=scenario, pipelined=True, **kwargs)
+        assert pickle.dumps(barrier_result) \
+            == pickle.dumps(pipelined_result)
+        for field_name in LOGICAL_FIELDS:
+            assert getattr(barrier_delta, field_name) \
+                == getattr(pipelined_delta, field_name), field_name
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_dag_contract(self, seed, mode):
+        scenario = _random_dag_scenario(seed)
+        kwargs = self.MODES[mode]
+        barrier_result, barrier_delta = _run(
+            scenario=scenario, pipelined=False, **kwargs)
+        pipelined_result, pipelined_delta = _run(
+            scenario=scenario, pipelined=True, **kwargs)
+        assert pickle.dumps(barrier_result) \
+            == pickle.dumps(pipelined_result)
+        for field_name in LOGICAL_FIELDS:
+            assert getattr(barrier_delta, field_name) \
+                == getattr(pipelined_delta, field_name), field_name
+
+
+class TestPipelinedScheduling:
+    """DAG-shape behavior of the event-driven scheduler."""
+
+    @staticmethod
+    def _diamond(ctx, delay=0.0):
+        def slow(kv):
+            if delay:
+                time.sleep(delay)
+            return kv
+
+        left = ctx.parallelize([(i % 4, i) for i in range(8)], 2) \
+                  .map(slow)
+        right = ctx.parallelize([(i % 4, -i) for i in range(8)], 2) \
+                   .map(slow)
+        return left.cogroup(right)
+
+    def test_diamond_overlap_and_identity(self):
+        """The two independent sides of a cogroup overlap in time under
+        the pipelined scheduler, and the bytes match barrier mode."""
+        with disable_pipelining(), \
+                ClusterContext(num_executors=4, use_threads=True) as ctx:
+            barrier = self._diamond(ctx, delay=0.05).collect()
+        with ClusterContext(num_executors=4, use_threads=True,
+                            trace=True) as ctx:
+            pipelined = self._diamond(ctx, delay=0.05).collect()
+            spans = {span.name: span for span in ctx.tracer.spans()
+                     if span.kind == "shuffle"}
+            left, right = spans["cogroup[0]"], spans["cogroup[1]"]
+            # both sides launched before either finished
+            assert left.start_s < right.end_s
+            assert right.start_s < left.end_s
+            assert left.attrs["depends_on"] == []
+            assert left.attrs["launched_at"] >= left.attrs["ready_at"]
+        assert pickle.dumps(barrier) == pickle.dumps(pipelined)
+
+    def test_logical_trace_matches_barrier(self):
+        """Span names, kinds, parent edges, and non-timing attributes
+        are identical between barrier and pipelined runs."""
+
+        def scenario(ctx):
+            left = ctx.parallelize([(i % 4, i) for i in range(24)], 3)
+            right = ctx.parallelize([(i % 4, -i) for i in range(24)], 3)
+            return left.join(right).collect()
+
+        with disable_pipelining(), \
+                ClusterContext(num_executors=4, use_threads=True,
+                               trace=True) as ctx:
+            barrier_result = scenario(ctx)
+            barrier_tree = logical_tree(ctx.tracer.spans())
+        with ClusterContext(num_executors=4, use_threads=True,
+                            trace=True) as ctx:
+            pipelined_result = scenario(ctx)
+            pipelined_tree = logical_tree(ctx.tracer.spans())
+        assert barrier_result == pipelined_result
+        assert barrier_tree == pipelined_tree
+
+    def test_stage_graph_edges(self):
+        """Chained shuffles produce chained dependency edges; the
+        result stage depends on the last one."""
+        with ClusterContext(num_executors=2) as ctx:
+            pairs = ctx.parallelize([(i % 9, i) for i in range(18)], 3)
+            first = pairs.reduce_by_key(lambda a, b: a + b)
+            second = first.map(lambda kv: (kv[0] % 3, kv[1])) \
+                .reduce_by_key(lambda a, b: a + b,
+                               partitioner=HashPartitioner(3))
+            stages, result_deps = ctx.scheduler.stage_graph(second)
+            assert len(stages) == 2
+            assert stages[0].deps == []
+            assert stages[1].deps == [stages[0]]
+            assert stages[0].children == [stages[1]]
+            assert result_deps == [stages[1]]
+            assert stages[1].depends_on() == [stages[0].edge_name]
+
+    def test_diamond_stage_graph_is_independent(self):
+        with ClusterContext(num_executors=2) as ctx:
+            grouped = self._diamond(ctx)
+            stages, result_deps = ctx.scheduler.stage_graph(grouped)
+            assert len(stages) == 2
+            assert stages[0].deps == [] and stages[1].deps == []
+            assert sorted(stage.which for stage in stages) == [0, 1]
+            assert result_deps == stages
+
+    def test_toggle_restores_state(self):
+        assert pipelining_enabled()
+        with disable_pipelining():
+            assert not pipelining_enabled()
+        assert pipelining_enabled()
+
+    def test_scheduler_alias_exports(self):
+        """Drift guard: repro.scheduler re-exports the implementation."""
+        import repro.engine.scheduler as impl
+        import repro.scheduler as alias
+
+        for name in alias.__all__:
+            assert getattr(alias, name) is getattr(impl, name), name
+        for name in ("disable_pipelining", "enable_pipelining",
+                     "pipelining_enabled"):
+            assert name in alias.__all__
 
 
 class TestExecutorPool:
@@ -319,6 +512,94 @@ class TestConcurrencySafety:
             ctx.parallelize(range(32), 4).map(boom).collect()
         assert isinstance(excinfo.value.cause, ValueError)
         ctx.shutdown()
+
+    def test_concurrent_jobs_materialize_shared_shuffle_once(self):
+        """Two driver threads racing through one shared shuffle stage
+        compute each map partition exactly once — the per-stage
+        materialize lock makes concurrent materialization idempotent."""
+        with ClusterContext(num_executors=4, use_threads=True) as ctx:
+            counts = {}
+            guard = threading.Lock()
+
+            def counting(index, part):
+                with guard:
+                    counts[index] = counts.get(index, 0) + 1
+                return part
+
+            shared = ctx.parallelize([(i % 5, i) for i in range(60)], 6) \
+                        .map_partitions_with_index(counting) \
+                        .reduce_by_key(lambda a, b: a + b)
+            gate = threading.Barrier(2)
+            results = {}
+            errors = []
+
+            def job(name, derive):
+                try:
+                    gate.wait(timeout=10)
+                    results[name] = derive(shared).collect()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=job,
+                    args=("double", lambda r: r.map_values(
+                        lambda v: v * 2))),
+                threading.Thread(
+                    target=job,
+                    args=("keys", lambda r: r.map(lambda kv: kv[0]))),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            expected = {}
+            for i in range(60):
+                expected[i % 5] = expected.get(i % 5, 0) + i
+            assert sorted(results["double"]) \
+                == sorted((k, v * 2) for k, v in expected.items())
+            assert sorted(results["keys"]) == sorted(expected)
+            assert len(counts) == 6
+            assert all(count == 1 for count in counts.values()), counts
+
+    def test_shutdown_mid_shuffle_stage_raises_clear_error(self):
+        """Shutting the pool down while shuffle map tasks are queued
+        surfaces one clear diagnostic, not a traceback storm of
+        cancelled futures."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocking(kv):
+            started.set()
+            release.wait(timeout=10)
+            return kv
+
+        ctx = ClusterContext(num_executors=2, use_threads=True)
+        failures = []
+
+        def job():
+            try:
+                left = ctx.parallelize(
+                    [(i % 4, i) for i in range(32)], 8).map(blocking)
+                right = ctx.parallelize(
+                    [(i % 4, -i) for i in range(32)], 8)
+                left.join(right).collect()
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        thread = threading.Thread(target=job)
+        thread.start()
+        try:
+            assert started.wait(timeout=10)
+            ctx.executor_pool.shutdown()
+        finally:
+            release.set()
+            thread.join(timeout=30)
+            ctx.shutdown()
+        assert len(failures) == 1
+        assert isinstance(failures[0], RuntimeError)
+        assert "shut down" in str(failures[0])
 
 
 class TestMetricsAccounting:

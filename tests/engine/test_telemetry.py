@@ -123,7 +123,9 @@ class TestSamplerCollection:
             for name in ("cache.resident_bytes", "cache.spilled_bytes",
                          "cache.blocks", "cache.pressure",
                          "shm.segments", "shm.resident_bytes",
-                         "pool.busy_threads", "pool.queued_tasks"):
+                         "pool.busy_threads", "pool.queued_tasks",
+                         "scheduler.ready_stages",
+                         "scheduler.inflight_stages"):
                 assert name in gauges, name
             # every engine counter rides along, by name
             assert set(sample["counters"]) == set(COUNTER_FIELDS)
@@ -279,6 +281,21 @@ class TestPrometheusText:
         text = prometheus_text(snapshot)
         for name in COUNTER_FIELDS:
             assert f"spangle_{name}_total 1" in text
+
+    def test_scheduler_gauges_render(self):
+        """The pipelined scheduler's readiness gauges flow through the
+        sampler into the Prometheus text unprefixed-by-pool."""
+        snapshot = {
+            "counters": {},
+            "gauges": {"scheduler.ready_stages": 3,
+                       "scheduler.inflight_stages": 2},
+            "workers": {}, "health": {},
+        }
+        text = prometheus_text(snapshot)
+        lines = text.splitlines()
+        assert "spangle_scheduler_ready_stages 3" in lines
+        assert "# TYPE spangle_scheduler_ready_stages gauge" in lines
+        assert "spangle_scheduler_inflight_stages 2" in lines
 
 
 class TestJsonlSink:
@@ -466,6 +483,9 @@ class TestTopDashboard:
         assert "[shuffle]" in frame
         assert "[health]" in frame
         assert "jobs=1" in frame
+        # the pipelined scheduler's readiness gauges ride in [tasks]
+        assert "ready" in frame
+        assert "inflight" in frame
 
     def test_run_top_replay_exit_codes(self, tmp_path, capsys):
         path = str(tmp_path / "run.telemetry.jsonl")
